@@ -1,0 +1,120 @@
+//===- bench/bench_common.h - Shared bench-harness plumbing ----*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flag parsing and aggregation shared by the per-figure bench
+/// binaries. Every binary accepts:
+///
+///   --full              paper-sized run (10 samples x 10,000
+///                       affectations x full spreads)
+///   --samples=N         override sample count
+///   --affectations=N    override affectations per experiment
+///   --keys=A,B,...      restrict to some paper key types
+///
+/// The default ("quick") configuration keeps every binary within tens
+/// of seconds on one core while preserving the paper's shape.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_BENCH_BENCH_COMMON_H
+#define SEPE_BENCH_BENCH_COMMON_H
+
+#include "driver/experiment.h"
+#include "driver/report.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace sepe::bench {
+
+struct BenchOptions {
+  size_t Samples = 3;
+  size_t Affectations = 2000;
+  std::vector<size_t> Spreads = {500, 2000};
+  std::vector<PaperKey> Keys{AllPaperKeys.begin(), AllPaperKeys.end()};
+  bool Full = false;
+};
+
+inline PaperKey paperKeyByName(const std::string &Name, bool &Ok) {
+  Ok = true;
+  for (PaperKey Key : AllPaperKeys)
+    if (Name == paperKeyName(Key))
+      return Key;
+  Ok = false;
+  return PaperKey::SSN;
+}
+
+inline BenchOptions parseBenchOptions(int Argc, char **Argv) {
+  BenchOptions Options;
+  for (int I = 1; I != Argc; ++I) {
+    const std::string Arg = Argv[I];
+    if (Arg == "--full") {
+      Options.Full = true;
+      Options.Samples = 10;
+      Options.Affectations = 10000;
+      Options.Spreads = {500, 2000, 10000};
+    } else if (Arg.rfind("--samples=", 0) == 0) {
+      Options.Samples = std::stoul(Arg.substr(10));
+    } else if (Arg.rfind("--affectations=", 0) == 0) {
+      Options.Affectations = std::stoul(Arg.substr(15));
+    } else if (Arg.rfind("--keys=", 0) == 0) {
+      Options.Keys.clear();
+      std::string List = Arg.substr(7);
+      size_t Pos = 0;
+      while (Pos != std::string::npos) {
+        const size_t Comma = List.find(',', Pos);
+        const std::string Name =
+            List.substr(Pos, Comma == std::string::npos ? Comma
+                                                        : Comma - Pos);
+        bool Ok = false;
+        const PaperKey Key = paperKeyByName(Name, Ok);
+        if (Ok)
+          Options.Keys.push_back(Key);
+        else
+          std::fprintf(stderr, "warning: unknown key type '%s'\n",
+                       Name.c_str());
+        Pos = Comma == std::string::npos ? Comma : Comma + 1;
+      }
+    } else if (Arg == "--help" || Arg == "-h") {
+      std::fprintf(stderr,
+                   "options: --full --samples=N --affectations=N "
+                   "--keys=SSN,IPv4,...\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "warning: ignoring unknown option '%s'\n",
+                   Arg.c_str());
+    }
+  }
+  return Options;
+}
+
+inline void printHeader(const char *Artifact, const char *Question,
+                        const BenchOptions &Options) {
+  std::printf("== %s ==\n%s\n", Artifact, Question);
+  std::printf("mode: %s (%zu samples, %zu affectations, %zu key types)\n\n",
+              Options.Full ? "full (paper-sized)" : "quick",
+              Options.Samples, Options.Affectations, Options.Keys.size());
+}
+
+/// Per-hash accumulator across the experiment grid.
+struct MetricSamples {
+  std::vector<double> BTime;
+  std::vector<double> HTime;
+  std::vector<double> BColl;
+  double TColl = 0;
+
+  void add(const ExperimentResult &Result) {
+    BTime.push_back(Result.BTimeMs);
+    HTime.push_back(Result.HTimeMs);
+    BColl.push_back(static_cast<double>(Result.BucketCollisions));
+  }
+};
+
+} // namespace sepe::bench
+
+#endif // SEPE_BENCH_BENCH_COMMON_H

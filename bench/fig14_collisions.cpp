@@ -1,0 +1,66 @@
+//===- bench/fig14_collisions.cpp - Figure 14: bucket collisions ----------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 14 (RQ2): the distribution of bucket-collision
+/// counts per hash function over the experiment grid, plus the
+/// Mann-Whitney check that the synthetic functions are statistically
+/// indistinguishable from STL — with Gperf the lone outlier.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_common.h"
+
+#include "stats/mann_whitney.h"
+
+#include <map>
+
+using namespace sepe;
+using namespace sepe::bench;
+
+int main(int Argc, char **Argv) {
+  const BenchOptions Options = parseBenchOptions(Argc, Argv);
+  printHeader("Figure 14 - bucket collisions per hash function",
+              "RQ2: do the synthetic functions collide more in STL "
+              "containers?",
+              Options);
+
+  std::map<HashKind, MetricSamples> Metrics;
+  const std::vector<ExperimentConfig> Grid =
+      standardGrid(Options.Affectations, Options.Spreads);
+
+  for (PaperKey Key : Options.Keys) {
+    const HashFunctionSet Set = HashFunctionSet::create(Key);
+    for (const ExperimentConfig &Base : Grid) {
+      // Collisions are deterministic per workload; one sample suffices.
+      const Workload Work = makeWorkload(Key, Base);
+      for (HashKind Kind : AllHashKinds)
+        Metrics[Kind].add(runExperiment(Work, Base, Kind, Set));
+    }
+  }
+
+  std::vector<std::string> Labels;
+  std::vector<BoxStats> Boxes;
+  for (HashKind Kind : AllHashKinds) {
+    Labels.push_back(hashKindName(Kind));
+    Boxes.push_back(boxStats(Metrics[Kind].BColl));
+  }
+  std::printf("%s\n", renderBoxplots(Labels, Boxes).c_str());
+
+  std::printf("Mann-Whitney U (bucket collisions vs STL):\n");
+  for (HashKind Kind : AllHashKinds) {
+    if (Kind == HashKind::Stl)
+      continue;
+    const double P = mannWhitneyU(Metrics[Kind].BColl,
+                                  Metrics[HashKind::Stl].BColl)
+                         .PValue;
+    std::printf("  %-7s p = %.4f%s\n", hashKindName(Kind), P,
+                P < 0.05 ? "  (different)" : "  (equivalent)");
+  }
+  std::printf("\nShape check (paper): no meaningful difference between "
+              "synthetic functions and STL; Gperf much higher.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+//===- bench/fig18_lowmix_true.cpp - Figure 18: low-mixing TC -------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 18 (RQ7): true collisions when only the 64-X most
+/// significant hash bits survive, plus the four-digit-integer worst
+/// case the paper closes RQ7 with (forced short-key specialization,
+/// upper vs lower 32 bits).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_common.h"
+
+#include "core/executor.h"
+#include "core/regex_parser.h"
+#include "core/synthesizer.h"
+
+#include <map>
+#include <unordered_set>
+
+using namespace sepe;
+using namespace sepe::bench;
+
+namespace {
+
+/// Distinct keys whose hashes collide once the low \p Discard bits are
+/// dropped.
+template <typename Hasher>
+uint64_t truncatedCollisions(const Hasher &Hash,
+                             const std::vector<std::string> &Keys,
+                             unsigned Discard) {
+  std::unordered_set<uint64_t> Seen;
+  uint64_t Collisions = 0;
+  for (const std::string &Key : Keys)
+    if (!Seen.insert(static_cast<uint64_t>(Hash(Key)) >> Discard).second)
+      ++Collisions;
+  return Collisions;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchOptions Options = parseBenchOptions(Argc, Argv);
+  const size_t KeyCount = Options.Full ? 10000 : 4000;
+  printHeader("Figure 18 - true collisions vs discarded low bits",
+              "RQ7: collisions once only the most significant hash bits "
+              "survive",
+              Options);
+
+  const std::vector<unsigned> DiscardSweep = {0,  8,  16, 24, 32,
+                                              40, 48, 56};
+
+  std::vector<std::string> Headers = {"Function"};
+  for (unsigned X : DiscardSweep)
+    Headers.push_back("X=" + std::to_string(X));
+  TextTable Table(Headers);
+
+  for (HashKind Kind : AllHashKinds) {
+    std::map<unsigned, double> Collisions;
+    for (PaperKey Key : Options.Keys) {
+      const HashFunctionSet Set = HashFunctionSet::create(Key);
+      KeyGenerator Gen(paperKeyFormat(Key), KeyDistribution::Uniform,
+                       0xf18 + static_cast<uint64_t>(Key));
+      const std::vector<std::string> Keys = Gen.distinct(KeyCount);
+      for (unsigned X : DiscardSweep)
+        Set.visit(Kind, [&](const auto &Hasher) {
+          Collisions[X] +=
+              static_cast<double>(truncatedCollisions(Hasher, Keys, X));
+        });
+    }
+    std::vector<std::string> Row = {hashKindName(Kind)};
+    for (unsigned X : DiscardSweep)
+      Row.push_back(formatDouble(
+          Collisions[X] / static_cast<double>(Options.Keys.size()), 0));
+    Table.addRow(std::move(Row));
+  }
+  std::printf("%s\n", Table.str().c_str());
+
+  // --- The four-digit worst case ------------------------------------------
+  std::printf("Four-digit integers (forced specialization, %zu keys = "
+              "the whole space):\n",
+              size_t{10000});
+  Expected<FormatSpec> Spec = parseRegex(R"(\d{4})");
+  if (!Spec)
+    std::abort();
+  SynthesisOptions Force;
+  Force.AllowShortKeys = true;
+  Expected<HashPlan> Plan =
+      synthesize(Spec->abstract(), HashFamily::Pext, Force);
+  if (!Plan)
+    std::abort();
+  const SynthesizedHash Pext(Plan.take());
+  const MurmurStlHash Stl;
+
+  KeyGenerator Gen(*Spec, KeyDistribution::Incremental, 0);
+  const std::vector<std::string> Digits = Gen.distinct(10000);
+
+  TextTable Short({"Function", "upper 32 bits", "lower 32 bits"});
+  const auto LowerCollisions = [&](const auto &Hash) {
+    std::unordered_set<uint64_t> Seen;
+    uint64_t Collisions = 0;
+    for (const std::string &Key : Digits)
+      if (!Seen.insert(static_cast<uint64_t>(Hash(Key)) & 0xffffffffULL)
+               .second)
+        ++Collisions;
+    return Collisions;
+  };
+  Short.addRow({"STL",
+                formatDouble(static_cast<double>(
+                                 truncatedCollisions(Stl, Digits, 32)),
+                             0),
+                formatDouble(static_cast<double>(LowerCollisions(Stl)), 0)});
+  Short.addRow({"Pext",
+                formatDouble(static_cast<double>(
+                                 truncatedCollisions(Pext, Digits, 32)),
+                             0),
+                formatDouble(static_cast<double>(LowerCollisions(Pext)),
+                             0)});
+  std::printf("%s\n", Short.str().c_str());
+
+  std::printf("Shape check (paper): with upper bits, Pext collapses "
+              "(paper: 9,999 TC vs STL 5,786); with lower bits the two "
+              "behave alike. Pext/Aes resist the sweep longer than "
+              "Naive/OffXor.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+//===- bench/micro_hash.cpp - google-benchmark hash throughput ------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Raw hash-throughput microbenchmarks (the H-Time axis of Table 1) on
+/// google-benchmark: every (hash function x paper key format) pair.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/hash_registry.h"
+#include "keygen/distributions.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace sepe;
+
+namespace {
+
+std::vector<std::string> benchKeys(PaperKey Key) {
+  KeyGenerator Gen(paperKeyFormat(Key), KeyDistribution::Uniform,
+                   0xbe9c4 + static_cast<uint64_t>(Key));
+  return Gen.distinct(512);
+}
+
+const HashFunctionSet &setFor(PaperKey Key) {
+  static std::array<HashFunctionSet, 8> Sets = [] {
+    std::array<HashFunctionSet, 8> Result;
+    for (PaperKey K : AllPaperKeys)
+      Result[static_cast<size_t>(K)] = HashFunctionSet::create(K);
+    return Result;
+  }();
+  return Sets[static_cast<size_t>(Key)];
+}
+
+void hashThroughput(benchmark::State &State, PaperKey Key, HashKind Kind) {
+  const std::vector<std::string> Keys = benchKeys(Key);
+  const HashFunctionSet &Set = setFor(Key);
+  size_t I = 0;
+  Set.visit(Kind, [&](const auto &Hasher) {
+    for (auto _ : State) {
+      benchmark::DoNotOptimize(Hasher(Keys[I]));
+      I = (I + 1) & 511;
+    }
+  });
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Keys.front().size()));
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  // Keep the default sweep quick: 80 benchmarks at the library default
+  // min time would run for minutes; callers can still override.
+  std::vector<char *> Args(argv, argv + argc);
+  std::string MinTime = "--benchmark_min_time=0.05s";
+  bool HasMinTime = false;
+  for (int I = 1; I != argc; ++I)
+    if (std::string(argv[I]).rfind("--benchmark_min_time", 0) == 0)
+      HasMinTime = true;
+  if (!HasMinTime)
+    Args.push_back(MinTime.data());
+  int Argc = static_cast<int>(Args.size());
+
+  for (PaperKey Key : AllPaperKeys)
+    for (HashKind Kind : AllHashKinds) {
+      const std::string Name = std::string("Hash/") + paperKeyName(Key) +
+                               "/" + hashKindName(Kind);
+      benchmark::RegisterBenchmark(
+          Name.c_str(), [Key, Kind](benchmark::State &State) {
+            hashThroughput(State, Key, Kind);
+          });
+    }
+  benchmark::Initialize(&Argc, Args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

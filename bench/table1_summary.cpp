@@ -1,0 +1,84 @@
+//===- bench/table1_summary.cpp - Table 1: the four metrics ---------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Table 1: geometric-mean B-Time, total H-Time, bucket
+/// collisions and true collisions per hash function under the normal
+/// key distribution — the paper's headline comparison, including the
+/// ~50x H-Time gap between OffXor and Abseil.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_common.h"
+
+#include <map>
+
+using namespace sepe;
+using namespace sepe::bench;
+
+int main(int Argc, char **Argv) {
+  const BenchOptions Options = parseBenchOptions(Argc, Argv);
+  printHeader("Table 1 - performance summary (normal distribution)",
+              "RQ1/RQ2: B-Time, H-Time, B-Coll, T-Coll per function",
+              Options);
+
+  std::map<HashKind, MetricSamples> Metrics;
+  std::vector<ExperimentConfig> Grid =
+      standardGrid(Options.Affectations, Options.Spreads);
+  std::erase_if(Grid, [](const ExperimentConfig &Config) {
+    return Config.Distribution != KeyDistribution::Normal;
+  });
+
+  for (PaperKey Key : Options.Keys) {
+    const HashFunctionSet Set = HashFunctionSet::create(Key);
+    // T-Coll: the paper counts collisions over 10,000 keys per type.
+    {
+      KeyGenerator Gen(paperKeyFormat(Key), KeyDistribution::Normal,
+                       0x7c011 + static_cast<uint64_t>(Key));
+      const std::vector<std::string> Keys =
+          Gen.distinct(Options.Full ? 10000 : 2000);
+      for (HashKind Kind : AllHashKinds)
+        Metrics[Kind].TColl += static_cast<double>(
+            countTrueCollisions(Keys, Kind, Set));
+    }
+    for (const ExperimentConfig &Base : Grid) {
+      for (size_t Sample = 0; Sample != Options.Samples; ++Sample) {
+        ExperimentConfig Config = Base;
+        Config.Seed = Base.Seed * 7919 + Sample;
+        const Workload Work = makeWorkload(Key, Config);
+        for (HashKind Kind : AllHashKinds)
+          Metrics[Kind].add(runExperiment(Work, Config, Kind, Set));
+      }
+    }
+  }
+
+  TextTable Table(
+      {"Function", "B-Time (ms)", "H-Time (ms)", "B-Coll", "T-Coll"});
+  for (HashKind Kind : AllHashKinds) {
+    const MetricSamples &M = Metrics.at(Kind);
+    Table.addRow({hashKindName(Kind), formatDouble(geometricMean(M.BTime)),
+                  formatDouble(geometricMean(M.HTime), 4),
+                  formatDouble(mean(M.BColl), 1),
+                  formatDouble(M.TColl, 0)});
+  }
+  std::printf("%s\n", Table.str().c_str());
+
+  const auto HGeo = [&](HashKind Kind) {
+    return geometricMean(Metrics.at(Kind).HTime);
+  };
+  std::printf("H-Time ratios (paper: OffXor ~4.2x faster than STL, ~49x "
+              "faster than Abseil; Aes ~2x faster than City):\n");
+  std::printf("  STL    / OffXor = %.1fx\n",
+              HGeo(HashKind::Stl) / HGeo(HashKind::OffXor));
+  std::printf("  Abseil / OffXor = %.1fx\n",
+              HGeo(HashKind::Abseil) / HGeo(HashKind::OffXor));
+  std::printf("  City   / Aes    = %.1fx\n",
+              HGeo(HashKind::City) / HGeo(HashKind::Aes));
+  std::printf("\nShape check (paper Table 1): synthetic B-Time < STL; "
+              "Gperf B-Time worst despite lowest H-Time; Pext T-Coll = 0; "
+              "Gpt T-Coll dominated by IPv4.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+//===- bench/table3_distribution.cpp - Table 3: distribution impact -------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Table 3 (RQ5): geometric-mean B-Time and total true
+/// collisions per hash function, broken down by key distribution
+/// (incremental / normal / uniform).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_common.h"
+
+#include <map>
+
+using namespace sepe;
+using namespace sepe::bench;
+
+int main(int Argc, char **Argv) {
+  const BenchOptions Options = parseBenchOptions(Argc, Argv);
+  printHeader("Table 3 - key distribution impact",
+              "RQ5: how does the key distribution shape time and "
+              "collisions?",
+              Options);
+
+  struct Cell {
+    std::vector<double> BTime;
+    double TColl = 0;
+  };
+  std::map<HashKind, std::map<KeyDistribution, Cell>> Cells;
+
+  const std::vector<ExperimentConfig> Grid =
+      standardGrid(Options.Affectations, Options.Spreads);
+
+  for (PaperKey Key : Options.Keys) {
+    const HashFunctionSet Set = HashFunctionSet::create(Key);
+    for (KeyDistribution Dist : AllKeyDistributions) {
+      KeyGenerator Gen(paperKeyFormat(Key), Dist,
+                       0xd157 + static_cast<uint64_t>(Key));
+      const std::vector<std::string> Keys =
+          Gen.distinct(Options.Full ? 10000 : 2000);
+      for (HashKind Kind : AllHashKinds)
+        Cells[Kind][Dist].TColl += static_cast<double>(
+            countTrueCollisions(Keys, Kind, Set));
+    }
+    for (const ExperimentConfig &Base : Grid) {
+      for (size_t Sample = 0; Sample != Options.Samples; ++Sample) {
+        ExperimentConfig Config = Base;
+        Config.Seed = Base.Seed * 31337 + Sample;
+        const Workload Work = makeWorkload(Key, Config);
+        for (HashKind Kind : AllHashKinds)
+          Cells[Kind][Config.Distribution].BTime.push_back(
+              runExperiment(Work, Config, Kind, Set).BTimeMs);
+      }
+    }
+  }
+
+  TextTable Table({"Function", "Inc BT", "Inc TC", "Normal BT", "Normal TC",
+                   "Uniform BT", "Uniform TC"});
+  for (HashKind Kind : AllHashKinds) {
+    std::vector<std::string> Row = {hashKindName(Kind)};
+    for (KeyDistribution Dist : AllKeyDistributions) {
+      const Cell &C = Cells[Kind][Dist];
+      Row.push_back(formatDouble(geometricMean(C.BTime)));
+      Row.push_back(formatDouble(C.TColl, 0));
+    }
+    Table.addRow(std::move(Row));
+  }
+  std::printf("%s\n", Table.str().c_str());
+
+  std::printf("Shape check (paper Table 3): Pext has 0 collisions under "
+              "every distribution; Gperf collides everywhere; uniform "
+              "keys give the fastest bucket times; Gpt collides most "
+              "under uniform keys.\n");
+  return 0;
+}

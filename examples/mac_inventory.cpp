@@ -1,0 +1,90 @@
+//===- examples/mac_inventory.cpp - Inference-driven MAC inventory --------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A network-device inventory keyed by MAC addresses, driven end to end
+/// through the example-based interface (Section 3.1): observe real
+/// keys, infer the regular expression with the quad-semilattice join,
+/// synthesize all four hash families, and pick the best one for an
+/// unordered_set-based deduplication pass.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/executor.h"
+#include "core/inference.h"
+#include "core/regex_parser.h"
+#include "core/regex_printer.h"
+#include "core/synthesizer.h"
+#include "keygen/distributions.h"
+#include "keygen/paper_formats.h"
+
+#include <cstdio>
+#include <string>
+#include <unordered_set>
+
+using namespace sepe;
+
+int main() {
+  // 1. Observe example keys (e.g. sniffed from the network). Lower- and
+  // upper-case hex digits both occur, as the paper's MAC format allows.
+  KeyGenerator Observer(paperKeyFormat(PaperKey::MAC),
+                        KeyDistribution::Uniform, 0xacc);
+  std::vector<std::string> Observed = Observer.distinct(64);
+  std::printf("observed %zu MAC addresses; first: %s\n", Observed.size(),
+              Observed.front().c_str());
+
+  // 2. Infer the format (the keybuilder path).
+  const KeyPattern Pattern = inferPattern(Observed);
+  const std::string Regex = printRegex(Pattern);
+  std::printf("inferred regex: %s\n", Regex.c_str());
+  std::printf("free bits per key: %u of %zu\n", Pattern.freeBitCount(),
+              8 * Pattern.maxLength());
+
+  // 3. Synthesize all four families and report their plans.
+  Expected<std::array<HashPlan, 4>> Plans = synthesizeAllFamilies(Pattern);
+  if (!Plans) {
+    std::fprintf(stderr, "synthesis error: %s\n",
+                 Plans.error().Message.c_str());
+    return 1;
+  }
+  for (const HashPlan &Plan : *Plans)
+    std::printf("  %-6s: %zu loads%s\n", familyName(Plan.Family),
+                Plan.Steps.size(),
+                Plan.Family == HashFamily::Pext ? " (+pext masks)" : "");
+
+  // 4. Deduplicate a stream of sightings with the OffXor hash.
+  const SynthesizedHash MacHash((*Plans)[1]);
+  std::unordered_set<std::string, SynthesizedHash> Seen(16, MacHash);
+  KeyGenerator Stream(paperKeyFormat(PaperKey::MAC),
+                      KeyDistribution::Normal, 0xcafe);
+  size_t Sightings = 0, Unique = 0;
+  for (int I = 0; I != 50000; ++I) {
+    ++Sightings;
+    if (Seen.insert(Stream.next()).second)
+      ++Unique;
+  }
+  std::printf("dedup: %zu sightings -> %zu unique devices\n", Sightings,
+              Unique);
+
+  // 5. Sanity: the inferred-format hash accepts every observed key and
+  // agrees with a hash synthesized from the paper's official regex.
+  Expected<FormatSpec> Official = parseRegex(paperKeyRegex(PaperKey::MAC));
+  if (!Official)
+    return 1;
+  Expected<HashPlan> OfficialPlan =
+      synthesize(Official->abstract(), HashFamily::OffXor);
+  if (!OfficialPlan)
+    return 1;
+  const SynthesizedHash OfficialHash(OfficialPlan.take());
+  for (const std::string &Mac : Observed)
+    if (MacHash(Mac) != OfficialHash(Mac)) {
+      std::printf("note: inferred hash differs from official-regex hash "
+                  "(the example set may constrain more quads)\n");
+      break;
+    }
+  std::printf("done.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+//===- examples/ssn_registry.cpp - Example 2.3: SSN-keyed registry --------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A citizen registry keyed by US Social Security Numbers — the paper's
+/// running example (Figures 4 and 12). Demonstrates that the Pext
+/// function is a bijection from SSN strings to integers, and measures
+/// the lookup-throughput gap against std::hash on this machine.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/executor.h"
+#include "core/regex_parser.h"
+#include "core/synthesizer.h"
+#include "keygen/distributions.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace sepe;
+
+namespace {
+
+struct Citizen {
+  std::string Name;
+  int BirthYear;
+};
+
+template <typename Map>
+double lookupsPerSecond(Map &Registry,
+                        const std::vector<std::string> &Keys) {
+  uint64_t Found = 0;
+  const auto Start = std::chrono::steady_clock::now();
+  for (int Round = 0; Round != 50; ++Round)
+    for (const std::string &Key : Keys)
+      Found += Registry.count(Key);
+  const auto End = std::chrono::steady_clock::now();
+  asm volatile("" : : "r"(Found) : "memory");
+  const double Seconds =
+      std::chrono::duration<double>(End - Start).count();
+  return 50.0 * static_cast<double>(Keys.size()) / Seconds;
+}
+
+} // namespace
+
+int main() {
+  Expected<FormatSpec> Format = parseRegex(R"(\d{3}-\d{2}-\d{4})");
+  if (!Format)
+    return 1;
+  Expected<HashPlan> Plan =
+      synthesize(Format->abstract(), HashFamily::Pext);
+  if (!Plan) {
+    std::fprintf(stderr, "synthesis error: %s\n",
+                 Plan.error().Message.c_str());
+    return 1;
+  }
+  std::printf("Pext plan for SSNs (masks of Figure 12):\n%s\n",
+              Plan->str().c_str());
+  const SynthesizedHash SsnHash(*Plan);
+
+  // The bijection property: 100k distinct SSNs, zero hash collisions.
+  KeyGenerator Gen(*Format, KeyDistribution::Uniform, 2024);
+  const std::vector<std::string> Ssns = Gen.distinct(100000);
+  std::unordered_set<uint64_t> Hashes;
+  for (const std::string &Ssn : Ssns)
+    Hashes.insert(SsnHash(Ssn));
+  std::printf("%zu distinct SSNs -> %zu distinct hashes (%s)\n",
+              Ssns.size(), Hashes.size(),
+              Ssns.size() == Hashes.size() ? "bijection confirmed"
+                                           : "collision!");
+
+  // Populate two registries: specialized hash vs std::hash.
+  std::unordered_map<std::string, Citizen, SynthesizedHash> Fast(16,
+                                                                 SsnHash);
+  std::unordered_map<std::string, Citizen> Standard;
+  for (size_t I = 0; I != Ssns.size(); ++I) {
+    const Citizen Person{"citizen-" + std::to_string(I),
+                         1940 + static_cast<int>(I % 80)};
+    Fast.emplace(Ssns[I], Person);
+    Standard.emplace(Ssns[I], Person);
+  }
+
+  const double FastRate = lookupsPerSecond(Fast, Ssns);
+  const double StdRate = lookupsPerSecond(Standard, Ssns);
+  std::printf("lookups/s  specialized: %.2fM   std::hash: %.2fM   "
+              "speedup: %.2fx\n",
+              FastRate / 1e6, StdRate / 1e6, FastRate / StdRate);
+
+  std::printf("sample: %s -> %s\n", Ssns.front().c_str(),
+              Fast.at(Ssns.front()).Name.c_str());
+  return 0;
+}

@@ -1,0 +1,97 @@
+//===- examples/url_router.cpp - Examples 3.7/3.8: URL keys ---------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny HTTP route cache keyed by URLs with a long constant prefix —
+/// the scenario of Examples 3.7 and 3.8. Shows how the synthesizer
+/// skips the constant subsequence entirely (the OffXor plan reads only
+/// the slug), prints the generated code for both the fixed-length and
+/// the variable-length (skip table) cases, and compares hashing
+/// throughput against the STL.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/codegen.h"
+#include "core/executor.h"
+#include "core/regex_parser.h"
+#include "core/synthesizer.h"
+#include "hashes/murmur.h"
+#include "keygen/distributions.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+using namespace sepe;
+
+namespace {
+
+template <typename Hasher>
+double hashNsPerKey(const Hasher &Hash,
+                    const std::vector<std::string> &Keys) {
+  uint64_t Sink = 0;
+  const auto Start = std::chrono::steady_clock::now();
+  for (int Round = 0; Round != 2000; ++Round)
+    for (const std::string &Key : Keys)
+      Sink += Hash(Key);
+  const auto End = std::chrono::steady_clock::now();
+  asm volatile("" : : "r"(Sink) : "memory");
+  return std::chrono::duration<double, std::nano>(End - Start).count() /
+         (2000.0 * static_cast<double>(Keys.size()));
+}
+
+} // namespace
+
+int main() {
+  // Example 3.8's simplified keys: constant URL prefix + SSN payload.
+  const char *FixedRegex =
+      R"(https://example\.com/src\?ssn=\d{3}\.\d{2}\.\d{4})";
+  Expected<FormatSpec> Fixed = parseRegex(FixedRegex);
+  if (!Fixed)
+    return 1;
+  Expected<HashPlan> FixedPlan =
+      synthesize(Fixed->abstract(), HashFamily::OffXor);
+  if (!FixedPlan)
+    return 1;
+  std::printf("fixed-length keys (%zu bytes): the plan reads only the "
+              "SSN\n%s\n",
+              Fixed->maxLength(), FixedPlan->str().c_str());
+  std::printf("%s\n", emitHashFunction(*FixedPlan).c_str());
+
+  // Example 3.7's full format appends a variable name field: the
+  // generated function uses the skip table of Figure 8.
+  const char *VariableRegex =
+      R"(https://example\.com/src\?ssn=\d{3}\.\d{2}\.\d{4}&name=(\w){0,12})";
+  Expected<FormatSpec> Variable = parseRegex(VariableRegex);
+  if (!Variable)
+    return 1;
+  Expected<HashPlan> VariablePlan =
+      synthesize(Variable->abstract(), HashFamily::OffXor);
+  if (!VariablePlan)
+    return 1;
+  std::printf("variable-length keys: skip table drives the loop\n%s\n",
+              VariablePlan->str().c_str());
+  std::printf("%s\n", emitHashFunction(*VariablePlan).c_str());
+
+  // Route cache in action.
+  const SynthesizedHash UrlHash(*FixedPlan);
+  std::unordered_map<std::string, int, SynthesizedHash> Routes(16, UrlHash);
+  KeyGenerator Gen(*Fixed, KeyDistribution::Uniform, 7);
+  const std::vector<std::string> Urls = Gen.distinct(20000);
+  for (size_t I = 0; I != Urls.size(); ++I)
+    Routes.emplace(Urls[I], static_cast<int>(I % 16));
+  std::printf("route cache: %zu URLs, %zu buckets, handler(%s) = %d\n",
+              Routes.size(), Routes.bucket_count(), Urls.front().c_str(),
+              Routes.at(Urls.front()));
+
+  const double Specialized = hashNsPerKey(UrlHash, Urls);
+  const double Stl = hashNsPerKey(MurmurStlHash{}, Urls);
+  std::printf("hashing: specialized %.1f ns/key vs STL %.1f ns/key "
+              "(%.1fx) - the constant prefix is never read\n",
+              Specialized, Stl, Stl / Specialized);
+  return 0;
+}

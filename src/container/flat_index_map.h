@@ -1,0 +1,200 @@
+//===- container/flat_index_map.h - Learned-index style map -----*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's future-work direction made concrete ("our techniques
+/// specialize hashing, but not storage and retrieval. Thus, we see room
+/// for generating code for specialized data structures"), following the
+/// Kraska et al. quote the paper leans on: when the synthesized Pext
+/// function is a *bijection* from format keys to 64-bit integers, the
+/// hash IS the key. A map can then:
+///
+///   - store only the 64-bit image, never the key string (no string
+///     compares, no per-node allocation);
+///   - probe by a Fibonacci-scrambled slot of the image (open
+///     addressing with linear probing over a power-of-two table; the
+///     multiply spreads images whose entropy sits in arbitrary bit
+///     ranges, since the pext packing is not monotone in the key);
+///   - rely on the bijection for exactness: equal image <=> equal key.
+///
+/// The container refuses construction from a non-bijective plan, since
+/// dropping the key string would otherwise be unsound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_CONTAINER_FLAT_INDEX_MAP_H
+#define SEPE_CONTAINER_FLAT_INDEX_MAP_H
+
+#include "core/executor.h"
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace sepe {
+
+/// Open-addressed map from format keys to \p Value, keyed by the image
+/// of a bijective synthesized hash.
+template <typename Value> class FlatIndexMap {
+public:
+  /// \p Hash must carry a plan with Bijective == true.
+  explicit FlatIndexMap(SynthesizedHash Hash, size_t InitialCapacity = 16)
+      : Hash(std::move(Hash)) {
+    assert(this->Hash.valid() && "FlatIndexMap requires a hash");
+    assert(this->Hash.plan().Bijective &&
+           "FlatIndexMap is only sound for bijective plans");
+    size_t Capacity = 16;
+    while (Capacity < InitialCapacity * 2)
+      Capacity *= 2;
+    States.assign(Capacity, Empty);
+    Slots.resize(Capacity);
+  }
+
+  size_t size() const { return Elements; }
+  bool empty() const { return Elements == 0; }
+  size_t capacity() const { return Slots.size(); }
+
+  /// Inserts (key, value); returns false (and leaves the old value)
+  /// when the key is already present.
+  bool insert(std::string_view Key, Value V) {
+    maybeGrow();
+    return insertImage(Hash(Key), std::move(V));
+  }
+
+  /// Pointer to the value for \p Key, or nullptr.
+  Value *find(std::string_view Key) { return findImage(Hash(Key)); }
+  const Value *find(std::string_view Key) const {
+    return const_cast<FlatIndexMap *>(this)->findImage(Hash(Key));
+  }
+
+  bool contains(std::string_view Key) const { return find(Key) != nullptr; }
+
+  /// Removes \p Key; returns false when absent. Uses backward-shift
+  /// deletion, so no tombstones accumulate.
+  bool erase(std::string_view Key) {
+    const uint64_t Image = Hash(Key);
+    const size_t Mask = Slots.size() - 1;
+    size_t I = homeSlot(Image);
+    while (true) {
+      if (States[I] == Empty)
+        return false;
+      if (Slots[I].Image == Image)
+        break;
+      I = (I + 1) & Mask;
+    }
+    // Backward-shift: pull subsequent displaced entries into the hole.
+    size_t Hole = I;
+    size_t Next = (Hole + 1) & Mask;
+    while (States[Next] == Full) {
+      const size_t Home = homeSlot(Slots[Next].Image);
+      // The entry can move into the hole only if the hole does not lie
+      // before its home bucket in probe order.
+      if (!between(Home, Hole, Next)) {
+        Next = (Next + 1) & Mask;
+        continue;
+      }
+      Slots[Hole] = std::move(Slots[Next]);
+      Hole = Next;
+      Next = (Hole + 1) & Mask;
+    }
+    States[Hole] = Empty;
+    --Elements;
+    return true;
+  }
+
+  /// Longest probe sequence observed for the current contents; the
+  /// metric the specialized layout is supposed to keep small.
+  size_t maxProbeLength() const {
+    const size_t Mask = Slots.size() - 1;
+    size_t Max = 0;
+    for (size_t I = 0; I != Slots.size(); ++I) {
+      if (States[I] != Full)
+        continue;
+      const size_t Home = homeSlot(Slots[I].Image);
+      const size_t Probe = (I + Slots.size() - Home) & Mask;
+      Max = std::max(Max, Probe + 1);
+    }
+    return Max;
+  }
+
+private:
+  enum SlotState : uint8_t { Empty = 0, Full = 1 };
+
+  struct Slot {
+    uint64_t Image = 0;
+    Value V{};
+  };
+
+  /// Fibonacci slot mapping: one multiply spreads the image's entropy
+  /// into the top bits, which index the power-of-two table.
+  size_t homeSlot(uint64_t Image) const {
+    const unsigned Log2 =
+        static_cast<unsigned>(std::countr_zero(Slots.size()));
+    return static_cast<size_t>((Image * 0x9E3779B97F4A7C15ULL) >>
+                               (64 - Log2));
+  }
+
+  /// True when \p X lies in the half-open circular range (From, To].
+  static bool between(size_t Home, size_t Hole, size_t Current) {
+    // The displaced entry at Current may fill Hole iff its Home bucket
+    // is circularly "at or before" the hole, i.e. the hole lies within
+    // [Home, Current].
+    if (Home <= Current)
+      return Home <= Hole && Hole <= Current;
+    return Hole >= Home || Hole <= Current;
+  }
+
+  void maybeGrow() {
+    if ((Elements + 1) * 10 < Slots.size() * 9)
+      return;
+    std::vector<SlotState> OldStates = std::move(States);
+    std::vector<Slot> OldSlots = std::move(Slots);
+    States.assign(OldSlots.size() * 2, Empty);
+    Slots.clear();
+    Slots.resize(OldStates.size() * 2);
+    Elements = 0;
+    for (size_t I = 0; I != OldSlots.size(); ++I)
+      if (OldStates[I] == Full)
+        insertImage(OldSlots[I].Image, std::move(OldSlots[I].V));
+  }
+
+  bool insertImage(uint64_t Image, Value V) {
+    const size_t Mask = Slots.size() - 1;
+    size_t I = homeSlot(Image);
+    while (States[I] == Full) {
+      if (Slots[I].Image == Image)
+        return false;
+      I = (I + 1) & Mask;
+    }
+    States[I] = Full;
+    Slots[I].Image = Image;
+    Slots[I].V = std::move(V);
+    ++Elements;
+    return true;
+  }
+
+  Value *findImage(uint64_t Image) {
+    const size_t Mask = Slots.size() - 1;
+    size_t I = homeSlot(Image);
+    while (States[I] == Full) {
+      if (Slots[I].Image == Image)
+        return &Slots[I].V;
+      I = (I + 1) & Mask;
+    }
+    return nullptr;
+  }
+
+  SynthesizedHash Hash;
+  std::vector<SlotState> States;
+  std::vector<Slot> Slots;
+  size_t Elements = 0;
+};
+
+} // namespace sepe
+
+#endif // SEPE_CONTAINER_FLAT_INDEX_MAP_H

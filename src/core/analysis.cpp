@@ -1,0 +1,142 @@
+//===- core/analysis.cpp - Key-format analyses for codegen ---------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/analysis.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace sepe;
+
+std::vector<ByteRun> sepe::parseRanges(const KeyPattern &Pattern) {
+  std::vector<ByteRun> Runs;
+  const size_t N = Pattern.maxLength();
+  size_t I = 0;
+  while (I != N) {
+    const bool Constant = Pattern.byteAt(I).isConstant();
+    size_t J = I + 1;
+    while (J != N && Pattern.byteAt(J).isConstant() == Constant)
+      ++J;
+    Runs.push_back(ByteRun{I, J, Constant});
+    I = J;
+  }
+  return Runs;
+}
+
+uint64_t sepe::freeMaskAt(const KeyPattern &Pattern, size_t Offset) {
+  assert(Offset + 8 <= Pattern.maxLength() && "load reads past the key");
+  uint64_t Mask = 0;
+  for (size_t J = 0; J != 8; ++J)
+    Mask |= static_cast<uint64_t>(Pattern.byteAt(Offset + J).freeMask())
+            << (8 * J);
+  return Mask;
+}
+
+namespace {
+
+/// Restricts \p Word's masks to bytes at key positions >= CoveredEnd, so
+/// overlapping loads never extract the same bit twice.
+uint64_t maskFromByte(uint64_t Mask, uint32_t LoadOffset, size_t CoveredEnd) {
+  if (CoveredEnd <= LoadOffset)
+    return Mask;
+  const size_t Skipped = std::min<size_t>(CoveredEnd - LoadOffset, 8);
+  if (Skipped == 8)
+    return 0;
+  return Mask & (~uint64_t{0} << (8 * Skipped));
+}
+
+LoadWord makeLoad(const KeyPattern &Pattern, uint32_t Offset,
+                  size_t CoveredEnd) {
+  const uint64_t Free = freeMaskAt(Pattern, Offset);
+  return LoadWord{Offset, Free, maskFromByte(Free, Offset, CoveredEnd)};
+}
+
+} // namespace
+
+std::vector<LoadWord> sepe::computeLoadsAllBytes(const KeyPattern &Pattern) {
+  assert(Pattern.isFixedLength() && "Naive layout requires fixed length");
+  const size_t Len = Pattern.maxLength();
+  assert(Len >= 8 && "short keys fall back to the standard hash");
+  std::vector<LoadWord> Loads;
+  size_t CoveredEnd = 0;
+  for (size_t Offset = 0; Offset + 8 <= Len; Offset += 8) {
+    Loads.push_back(makeLoad(Pattern, static_cast<uint32_t>(Offset),
+                             CoveredEnd));
+    CoveredEnd = Offset + 8;
+  }
+  if (Len % 8 != 0) {
+    // Pull the final load back so it ends exactly at the key's last byte
+    // (Section 3.2.2: "the last load always starts at position n - 8").
+    Loads.push_back(makeLoad(Pattern, static_cast<uint32_t>(Len - 8),
+                             CoveredEnd));
+  }
+  return Loads;
+}
+
+std::vector<LoadWord>
+sepe::computeLoadsSkippingConst(const KeyPattern &Pattern) {
+  assert(Pattern.isFixedLength() && "const-skipping layout requires fixed "
+                                    "length");
+  const size_t Len = Pattern.maxLength();
+  assert(Len >= 8 && "short keys fall back to the standard hash");
+  std::vector<LoadWord> Loads;
+  size_t CoveredEnd = 0;
+  for (const ByteRun &Run : parseRanges(Pattern)) {
+    if (Run.IsConstant)
+      continue;
+    size_t Pos = std::max(Run.Begin, CoveredEnd);
+    while (Pos < Run.End) {
+      // Clamp so the load never reads past the key; the overlap into
+      // already-covered bytes is filtered out of NewFreeMask.
+      const size_t Offset = std::min(Pos, Len - 8);
+      Loads.push_back(makeLoad(Pattern, static_cast<uint32_t>(Offset),
+                               CoveredEnd));
+      CoveredEnd = Offset + 8;
+      Pos = CoveredEnd;
+    }
+  }
+  return Loads;
+}
+
+SkipTable sepe::buildSkipTable(const KeyPattern &Pattern) {
+  const size_t MinLen = Pattern.minLength();
+  SkipTable Table;
+  std::vector<uint32_t> Offsets;
+  std::vector<uint64_t> Masks;
+  size_t CoveredEnd = 0;
+  for (const ByteRun &Run : parseRanges(Pattern)) {
+    if (Run.IsConstant || Run.Begin >= MinLen)
+      continue;
+    size_t Pos = std::max(Run.Begin, CoveredEnd);
+    // Loads must stay inside the guaranteed prefix: every key is at
+    // least MinLen bytes long, so a load at MinLen-8 is always safe.
+    while (Pos < Run.End && Pos + 8 <= MinLen) {
+      Offsets.push_back(static_cast<uint32_t>(Pos));
+      Masks.push_back(maskFromByte(freeMaskAt(Pattern, Pos),
+                                   static_cast<uint32_t>(Pos), CoveredEnd));
+      CoveredEnd = Pos + 8;
+      Pos = CoveredEnd;
+    }
+    if (Pos < Run.End)
+      break; // Remaining bytes belong to the tail loop.
+  }
+
+  if (Offsets.empty()) {
+    Table.TailStart = 0;
+    return Table;
+  }
+
+  // Figure 8 layout: Skip[0] positions the pointer on the first load;
+  // Skip[C] advances it after the C-th load. The final entry advances
+  // past the last load so the tail loop starts right behind it.
+  Table.Skip.push_back(Offsets.front());
+  for (size_t I = 1; I != Offsets.size(); ++I)
+    Table.Skip.push_back(Offsets[I] - Offsets[I - 1]);
+  Table.Skip.push_back(8);
+  Table.Masks = std::move(Masks);
+  Table.TailStart = Offsets.back() + 8;
+  return Table;
+}

@@ -1,0 +1,101 @@
+//===- core/analysis.h - Key-format analyses for codegen -------*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analyses of Section 3.2 that turn a KeyPattern into a load layout:
+///
+///   - parseRanges: maximal runs of constant / non-constant bytes;
+///   - computeLoads: 64-bit load offsets covering all non-constant bytes,
+///     using the paper's overlapping last-load rule for fixed-length keys
+///     (Section 3.2.2) and skipping constant words (Section 3.2.1);
+///   - pext masks: the free (non-constant) bits inside each loaded word,
+///     at bit-pair granularity (Section 3.2.3);
+///   - buildSkipTable: the skip table driving the variable-length loop of
+///     Figure 8.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_CORE_ANALYSIS_H
+#define SEPE_CORE_ANALYSIS_H
+
+#include "core/key_pattern.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace sepe {
+
+/// A maximal run of bytes [Begin, End) that are all constant or all
+/// non-constant.
+struct ByteRun {
+  size_t Begin;
+  size_t End;
+  bool IsConstant;
+
+  size_t size() const { return End - Begin; }
+  friend bool operator==(const ByteRun &A, const ByteRun &B) {
+    return A.Begin == B.Begin && A.End == B.End &&
+           A.IsConstant == B.IsConstant;
+  }
+};
+
+/// Splits the first maxLength() bytes of \p Pattern into maximal
+/// constant / non-constant runs ("parseRanges" in Figure 7).
+std::vector<ByteRun> parseRanges(const KeyPattern &Pattern);
+
+/// One planned 64-bit load.
+struct LoadWord {
+  /// Byte offset of the load within the key.
+  uint32_t Offset;
+  /// Free (non-constant) bits of the eight loaded bytes, little-endian:
+  /// key byte Offset+J occupies result bits [8J, 8J+8).
+  uint64_t FreeMask;
+  /// Subset of FreeMask not already covered by an earlier, overlapping
+  /// load; pext masks are built from this so no bit is extracted twice
+  /// (compare masks mk0/mk1 in Figure 12).
+  uint64_t NewFreeMask;
+
+  friend bool operator==(const LoadWord &A, const LoadWord &B) {
+    return A.Offset == B.Offset && A.FreeMask == B.FreeMask &&
+           A.NewFreeMask == B.NewFreeMask;
+  }
+};
+
+/// Load layout for a fixed-length key covering every byte (the Naive
+/// family): loads at 0, 8, 16, ... with the final load pulled back to
+/// KeyLen-8 when the length is not a multiple of eight. Requires
+/// KeyLen >= 8.
+std::vector<LoadWord> computeLoadsAllBytes(const KeyPattern &Pattern);
+
+/// Load layout for a fixed-length key covering only non-constant runs
+/// (the OffXor / Aes / Pext families, Section 3.2.2): constant words are
+/// never loaded, and the last load of each run overlaps backwards when
+/// the run tail is narrower than a word. Requires KeyLen >= 8.
+std::vector<LoadWord> computeLoadsSkippingConst(const KeyPattern &Pattern);
+
+/// The free-bit mask of the eight bytes starting at \p Offset.
+uint64_t freeMaskAt(const KeyPattern &Pattern, size_t Offset);
+
+/// The skip table of Section 3.2.1 for variable-length keys. The layout
+/// mirrors Figure 8: Skip[0] is the initial pointer adjustment, and after
+/// the C-th load the pointer advances by Skip[C]; loads are only planned
+/// inside the guaranteed prefix [0, minLength()-8]. Bytes from TailStart
+/// on are consumed by the byte-at-a-time tail loop.
+struct SkipTable {
+  std::vector<uint32_t> Skip;
+  /// Pext masks, one per planned load (Skip.size() - 1 entries).
+  std::vector<uint64_t> Masks;
+  /// First byte handled by the tail loop.
+  uint32_t TailStart = 0;
+
+  size_t loadCount() const { return Skip.empty() ? 0 : Skip.size() - 1; }
+};
+
+SkipTable buildSkipTable(const KeyPattern &Pattern);
+
+} // namespace sepe
+
+#endif // SEPE_CORE_ANALYSIS_H

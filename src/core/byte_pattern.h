@@ -1,0 +1,132 @@
+//===- core/byte_pattern.h - Quad abstraction of one key byte ---*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstraction of a single key byte as four quad-lattice elements,
+/// packed as a (constant-bit mask, constant-bit value) pair. Bit-pair
+/// granularity is the paper's deliberate design point: it is fine enough
+/// to capture the constant prefixes of ASCII digits (four constant bits)
+/// and letters (two constant bits), and coarse enough to keep synthesis
+/// linear (Section 3.1, "Rationale").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_CORE_BYTE_PATTERN_H
+#define SEPE_CORE_BYTE_PATTERN_H
+
+#include "core/quad.h"
+
+#include <cstdint>
+#include <string>
+
+namespace sepe {
+
+/// The join of the quad abstractions of a set of bytes. Invariant:
+/// ConstMask covers whole bit pairs (each pair of mask bits is 00 or 11)
+/// and ConstValue is zero outside ConstMask.
+class BytePattern {
+public:
+  /// Constructs the unconstrained byte (all four quads top).
+  constexpr BytePattern() : ConstMask(0), ConstValue(0) {}
+
+  /// Constructs the abstraction of the single byte \p Value (all four
+  /// quads concrete).
+  static constexpr BytePattern fromByte(uint8_t Value) {
+    return BytePattern(0xFF, Value);
+  }
+
+  /// Constructs the fully unconstrained byte.
+  static constexpr BytePattern top() { return BytePattern(); }
+
+  /// Builds a pattern from explicit mask/value; \p Mask must cover whole
+  /// bit pairs.
+  static constexpr BytePattern fromMaskValue(uint8_t Mask, uint8_t Value) {
+    assert(isPairMask(Mask) && "mask must have bit-pair granularity");
+    assert((Value & ~Mask) == 0 && "value bits outside the mask");
+    return BytePattern(Mask, Value);
+  }
+
+  /// Bits that hold the same value in every byte this pattern abstracts.
+  constexpr uint8_t constMask() const { return ConstMask; }
+
+  /// The value of the constant bits (zero outside constMask()).
+  constexpr uint8_t constValue() const { return ConstValue; }
+
+  /// Bits free to vary; the complement of constMask().
+  constexpr uint8_t freeMask() const { return static_cast<uint8_t>(~ConstMask); }
+
+  /// True when all four quads are concrete: the byte is a constant.
+  constexpr bool isConstant() const { return ConstMask == 0xFF; }
+
+  /// True when no quad is concrete.
+  constexpr bool isTop() const { return ConstMask == 0; }
+
+  /// Number of constant bits (always even).
+  constexpr unsigned constBitCount() const {
+    return static_cast<unsigned>(__builtin_popcount(ConstMask));
+  }
+
+  /// The quad at index \p I, where index 0 is the most significant bit
+  /// pair (matching the left-to-right rendering in the paper's figures).
+  constexpr Quad quadAt(unsigned I) const {
+    assert(I < 4 && "a byte holds four quads");
+    const unsigned Shift = 2 * (3 - I);
+    if (((ConstMask >> Shift) & 0x3) != 0x3)
+      return Quad::top();
+    return Quad::pair(static_cast<uint8_t>((ConstValue >> Shift) & 0x3));
+  }
+
+  /// True when \p Byte is admitted by this pattern.
+  constexpr bool matches(uint8_t Byte) const {
+    return (Byte & ConstMask) == ConstValue;
+  }
+
+  /// Pointwise quad join (the least upper bound in the product lattice).
+  friend constexpr BytePattern join(BytePattern A, BytePattern B) {
+    // A bit pair stays constant iff it is constant on both sides and the
+    // values agree. Compute "values agree" at pair granularity.
+    const uint8_t Disagree = static_cast<uint8_t>(A.ConstValue ^ B.ConstValue);
+    uint8_t Mask = static_cast<uint8_t>(A.ConstMask & B.ConstMask);
+    for (unsigned Shift = 0; Shift < 8; Shift += 2) {
+      const uint8_t PairMask = static_cast<uint8_t>(0x3 << Shift);
+      if ((Mask & PairMask) != PairMask || (Disagree & PairMask) != 0)
+        Mask = static_cast<uint8_t>(Mask & ~PairMask);
+    }
+    return BytePattern(Mask, static_cast<uint8_t>(A.ConstValue & Mask));
+  }
+
+  friend constexpr bool operator==(BytePattern A, BytePattern B) {
+    return A.ConstMask == B.ConstMask && A.ConstValue == B.ConstValue;
+  }
+
+  /// Renders the four quads left to right, e.g. "0100TT01".
+  std::string str() const {
+    std::string Out;
+    for (unsigned I = 0; I != 4; ++I)
+      Out += quadAt(I).str();
+    return Out;
+  }
+
+private:
+  constexpr BytePattern(uint8_t Mask, uint8_t Value)
+      : ConstMask(Mask), ConstValue(Value) {}
+
+  static constexpr bool isPairMask(uint8_t Mask) {
+    for (unsigned Shift = 0; Shift < 8; Shift += 2) {
+      const uint8_t Pair = (Mask >> Shift) & 0x3;
+      if (Pair == 0x1 || Pair == 0x2)
+        return false;
+    }
+    return true;
+  }
+
+  uint8_t ConstMask;
+  uint8_t ConstValue;
+};
+
+} // namespace sepe
+
+#endif // SEPE_CORE_BYTE_PATTERN_H

@@ -1,0 +1,140 @@
+//===- core/charset.h - Exact set of byte values ----------------*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An exact set of byte values, used for the precise side of the pipeline:
+/// the regex parser produces CharSets, the key generators enumerate them,
+/// and the quad abstraction (BytePattern) is derived by joining their
+/// members.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_CORE_CHARSET_H
+#define SEPE_CORE_CHARSET_H
+
+#include "core/byte_pattern.h"
+
+#include <bitset>
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace sepe {
+
+/// A set of byte values with rank/select style queries so a set can be
+/// used as a digit alphabet in mixed-radix key generation.
+class CharSet {
+public:
+  CharSet() = default;
+
+  /// The singleton set {Byte}.
+  static CharSet singleton(uint8_t Byte) {
+    CharSet Set;
+    Set.Bits.set(Byte);
+    return Set;
+  }
+
+  /// The inclusive range [Lo, Hi].
+  static CharSet range(uint8_t Lo, uint8_t Hi) {
+    assert(Lo <= Hi && "inverted character range");
+    CharSet Set;
+    for (unsigned Byte = Lo; Byte <= Hi; ++Byte)
+      Set.Bits.set(Byte);
+    return Set;
+  }
+
+  /// The set of all 256 byte values.
+  static CharSet any() {
+    CharSet Set;
+    Set.Bits.set();
+    return Set;
+  }
+
+  void insert(uint8_t Byte) { Bits.set(Byte); }
+
+  void insertRange(uint8_t Lo, uint8_t Hi) {
+    assert(Lo <= Hi && "inverted character range");
+    for (unsigned Byte = Lo; Byte <= Hi; ++Byte)
+      Bits.set(Byte);
+  }
+
+  CharSet &operator|=(const CharSet &Other) {
+    Bits |= Other.Bits;
+    return *this;
+  }
+
+  bool contains(uint8_t Byte) const { return Bits.test(Byte); }
+
+  /// Number of members.
+  size_t size() const { return Bits.count(); }
+
+  bool empty() const { return Bits.none(); }
+
+  /// True when exactly one byte is admitted.
+  bool isSingleton() const { return Bits.count() == 1; }
+
+  /// The \p Rank-th smallest member (0-based). Precondition:
+  /// Rank < size(). Linear scan; the alphabet is at most 256 entries.
+  uint8_t nth(size_t Rank) const {
+    assert(Rank < size() && "rank out of range");
+    for (unsigned Byte = 0; Byte != 256; ++Byte) {
+      if (!Bits.test(Byte))
+        continue;
+      if (Rank == 0)
+        return static_cast<uint8_t>(Byte);
+      --Rank;
+    }
+    assert(false && "unreachable: rank was checked against size");
+    return 0;
+  }
+
+  /// The rank of \p Byte among the members (inverse of nth). Precondition:
+  /// contains(Byte).
+  size_t rankOf(uint8_t Byte) const {
+    assert(contains(Byte) && "byte not in set");
+    size_t Rank = 0;
+    for (unsigned B = 0; B != Byte; ++B)
+      if (Bits.test(B))
+        ++Rank;
+    return Rank;
+  }
+
+  /// The smallest member. Precondition: !empty().
+  uint8_t min() const { return nth(0); }
+
+  /// The largest member. Precondition: !empty().
+  uint8_t max() const { return nth(size() - 1); }
+
+  /// The join of the quad abstractions of every member: the BytePattern
+  /// the paper's lattice assigns to this position.
+  BytePattern abstraction() const {
+    assert(!empty() && "abstracting an empty character set");
+    bool First = true;
+    BytePattern Result;
+    for (unsigned Byte = 0; Byte != 256; ++Byte) {
+      if (!Bits.test(Byte))
+        continue;
+      const BytePattern Single = BytePattern::fromByte(
+          static_cast<uint8_t>(Byte));
+      Result = First ? Single : join(Result, Single);
+      First = false;
+      if (Result.isTop())
+        break;
+    }
+    return Result;
+  }
+
+  friend bool operator==(const CharSet &A, const CharSet &B) {
+    return A.Bits == B.Bits;
+  }
+
+private:
+  std::bitset<256> Bits;
+};
+
+} // namespace sepe
+
+#endif // SEPE_CORE_CHARSET_H

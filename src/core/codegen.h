@@ -1,0 +1,60 @@
+//===- core/codegen.h - Emit C++ source for a HashPlan ---------*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits standalone C++ source code for a HashPlan: a functor struct
+/// compatible with std::unordered_map (Figure 5c/5d), in the style of
+/// the paper's keysynth tool. Three targets are supported: x86 (BMI2
+/// `_pext_u64`, AES-NI `_mm_aesenc_si128`), aarch64 (NEON AESE/AESMC,
+/// software bit-gather in lieu of the unavailable `bext`), and a fully
+/// portable flavor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_CORE_CODEGEN_H
+#define SEPE_CORE_CODEGEN_H
+
+#include "core/plan.h"
+
+#include <array>
+#include <string>
+
+namespace sepe {
+
+/// Instruction set the emitted code is specialized for.
+enum class Target { X86, AArch64, Portable };
+
+/// Human-readable target name.
+const char *targetName(Target T);
+
+struct CodegenOptions {
+  Target Isa = Target::X86;
+  /// Name of the emitted struct; when empty a name is derived from the
+  /// plan's family ("SepeOffXorHash", ...).
+  std::string StructName;
+  /// Also emit an extern "C" wrapper `uint64_t <name>_hash(const char*,
+  /// size_t)`, so the generated code can be loaded as a shared object
+  /// (used by the end-to-end tests).
+  bool EmitCWrapper = false;
+};
+
+/// Emits the helper preamble (loads, pext, AES round) shared by all
+/// functions of one target. Idempotent per translation unit thanks to an
+/// include guard macro.
+std::string emitPreamble(Target Isa);
+
+/// Emits one functor struct for \p Plan. Does not include the preamble.
+std::string emitHashFunction(const HashPlan &Plan,
+                             const CodegenOptions &Options = {});
+
+/// Emits a complete translation unit: preamble plus one functor per
+/// plan.
+std::string emitTranslationUnit(const std::vector<HashPlan> &Plans,
+                                const CodegenOptions &Options = {});
+
+} // namespace sepe
+
+#endif // SEPE_CORE_CODEGEN_H

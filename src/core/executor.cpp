@@ -1,0 +1,280 @@
+//===- core/executor.cpp - Runtime evaluation of HashPlans ---------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/executor.h"
+
+#include "hashes/aes_round.h"
+#include "hashes/murmur.h"
+#include "support/bit_ops.h"
+
+#include <bit>
+
+#if defined(SEPE_HAVE_AESNI)
+#include <immintrin.h>
+#endif
+
+using namespace sepe;
+
+namespace {
+
+/// Initial AES state; arbitrary odd constants (first digits of pi/e) —
+/// the Aes family derives its dispersion from the round function, not
+/// the seed.
+constexpr Block128 AesInitState{0x243f6a8885a308d3ULL,
+                                0x13198a2e03707344ULL};
+
+uint64_t evalFallback(const HashPlan &, const char *Data, size_t Len) {
+  return murmurHashBytes(Data, Len, StlHashSeed);
+}
+
+// --- Fixed-length paths ---------------------------------------------------
+
+uint64_t evalFixedXor(const HashPlan &Plan, const char *Data, size_t) {
+  uint64_t Hash = 0;
+  for (const PlanStep &S : Plan.Steps)
+    Hash ^= loadU64Le(Data + S.Offset);
+  return Hash;
+}
+
+template <uint64_t (*Pext)(uint64_t, uint64_t)>
+uint64_t evalFixedPext(const HashPlan &Plan, const char *Data, size_t) {
+  uint64_t Hash = 0;
+  // Chunks are *rotated* into place rather than shifted so formats with
+  // more than 64 relevant bits wrap around without losing entropy
+  // (Section 4.2: zero T-Coll even on 400-relevant-bit keys). For
+  // chunks that fit, rotl is identical to the shift in Figure 12.
+  for (const PlanStep &S : Plan.Steps)
+    Hash ^= std::rotl(Pext(loadU64Le(Data + S.Offset), S.Mask), S.Shift);
+  return Hash;
+}
+
+template <Block128 (*Round)(Block128, Block128)>
+uint64_t evalFixedAes(const HashPlan &Plan, const char *Data, size_t Len) {
+  Block128 State = AesInitState;
+  State.Lo ^= Len;
+  const std::vector<PlanStep> &Steps = Plan.Steps;
+  size_t I = 0;
+  for (; I + 1 < Steps.size(); I += 2) {
+    const Block128 Chunk{loadU64Le(Data + Steps[I].Offset),
+                         loadU64Le(Data + Steps[I + 1].Offset)};
+    State = Round(State, Chunk);
+  }
+  if (I < Steps.size()) {
+    // Odd number of loads: replicate the last word to fill the block,
+    // the behavior that costs the Aes family a handful of collisions on
+    // keys shorter than 16 bytes (Section 4.2).
+    const uint64_t Last = loadU64Le(Data + Steps[I].Offset);
+    State = Round(State, Block128{Last, Last});
+  }
+  State = Round(State, AesInitState);
+  return State.Lo ^ State.Hi;
+}
+
+#if defined(SEPE_HAVE_AESNI)
+/// Register-resident variant of evalFixedAes: bit-identical to the
+/// template instantiated with aesEncRoundHw, but the 128-bit state stays
+/// in an xmm register across rounds instead of round-tripping through
+/// Block128.
+uint64_t evalFixedAesNative(const HashPlan &Plan, const char *Data,
+                            size_t Len) {
+  const __m128i Init = _mm_set_epi64x(
+      static_cast<long long>(0x13198a2e03707344ULL),
+      static_cast<long long>(0x243f6a8885a308d3ULL));
+  __m128i State = _mm_set_epi64x(
+      static_cast<long long>(0x13198a2e03707344ULL),
+      static_cast<long long>(0x243f6a8885a308d3ULL ^ Len));
+  const std::vector<PlanStep> &Steps = Plan.Steps;
+  size_t I = 0;
+  for (; I + 1 < Steps.size(); I += 2) {
+    const __m128i Chunk = _mm_set_epi64x(
+        static_cast<long long>(loadU64Le(Data + Steps[I + 1].Offset)),
+        static_cast<long long>(loadU64Le(Data + Steps[I].Offset)));
+    State = _mm_aesenc_si128(State, Chunk);
+  }
+  if (I < Steps.size()) {
+    const long long Last =
+        static_cast<long long>(loadU64Le(Data + Steps[I].Offset));
+    State = _mm_aesenc_si128(State, _mm_set_epi64x(Last, Last));
+  }
+  State = _mm_aesenc_si128(State, Init);
+  const uint64_t Lo = static_cast<uint64_t>(_mm_cvtsi128_si64(State));
+  const uint64_t Hi = static_cast<uint64_t>(
+      _mm_cvtsi128_si64(_mm_unpackhi_epi64(State, State)));
+  return Lo ^ Hi;
+}
+#endif
+
+// --- Short forced-specialization path (RQ7) -------------------------------
+
+uint64_t evalPartialXor(const HashPlan &Plan, const char *Data, size_t Len) {
+  (void)Plan;
+  return loadBytesLe(Data, Len < 8 ? Len : 8);
+}
+
+template <uint64_t (*Pext)(uint64_t, uint64_t)>
+uint64_t evalPartialPext(const HashPlan &Plan, const char *Data, size_t Len) {
+  const uint64_t Word = loadBytesLe(Data, Len < 8 ? Len : 8);
+  return Pext(Word, Plan.Steps.front().Mask);
+}
+
+template <Block128 (*Round)(Block128, Block128)>
+uint64_t evalPartialAes(const HashPlan &Plan, const char *Data, size_t Len) {
+  (void)Plan;
+  const uint64_t Word = loadBytesLe(Data, Len < 8 ? Len : 8);
+  Block128 State = AesInitState;
+  State.Lo ^= Len;
+  State = Round(State, Block128{Word, Word});
+  State = Round(State, AesInitState);
+  return State.Lo ^ State.Hi;
+}
+
+// --- Variable-length (skip table) paths: Figure 8 -------------------------
+
+/// Walks the skip table, handing each loaded word and then each tail
+/// byte to the callbacks.
+template <typename WordFn, typename ByteFn>
+void walkSkipTable(const HashPlan &Plan, const char *Data, size_t Len,
+                   WordFn Word, ByteFn Byte) {
+  const SkipTable &Table = Plan.Skip;
+  const char *P = Data;
+  const char *End = Data + Len;
+  if (!Table.Skip.empty()) {
+    P += Table.Skip[0];
+    for (size_t C = 1; C != Table.Skip.size(); ++C) {
+      Word(loadU64Le(P), C - 1);
+      P += Table.Skip[C];
+    }
+  }
+  while (P < End) {
+    Byte(static_cast<uint8_t>(*P));
+    ++P;
+  }
+}
+
+uint64_t evalVarXor(const HashPlan &Plan, const char *Data, size_t Len) {
+  uint64_t Hash = Len;
+  unsigned TailShift = 0;
+  walkSkipTable(
+      Plan, Data, Len, [&](uint64_t W, size_t) { Hash ^= W; },
+      [&](uint8_t B) {
+        Hash ^= std::rotl(static_cast<uint64_t>(B),
+                          static_cast<int>(TailShift));
+        TailShift = (TailShift + 8) & 63;
+      });
+  return Hash;
+}
+
+template <uint64_t (*Pext)(uint64_t, uint64_t)>
+uint64_t evalVarPext(const HashPlan &Plan, const char *Data, size_t Len) {
+  uint64_t Hash = Len;
+  unsigned BitOffset = 0;
+  unsigned TailShift = 0;
+  walkSkipTable(
+      Plan, Data, Len,
+      [&](uint64_t W, size_t C) {
+        const uint64_t Mask = Plan.Skip.Masks[C];
+        Hash ^= std::rotl(Pext(W, Mask), static_cast<int>(BitOffset & 63));
+        BitOffset += static_cast<unsigned>(__builtin_popcountll(Mask));
+      },
+      [&](uint8_t B) {
+        Hash ^= std::rotl(static_cast<uint64_t>(B),
+                          static_cast<int>((BitOffset + TailShift) & 63));
+        TailShift = (TailShift + 8) & 63;
+      });
+  return Hash;
+}
+
+template <Block128 (*Round)(Block128, Block128)>
+uint64_t evalVarAes(const HashPlan &Plan, const char *Data, size_t Len) {
+  Block128 State = AesInitState;
+  State.Lo ^= Len;
+  uint64_t Pending = 0;
+  bool HavePending = false;
+  uint64_t TailAcc = 0;
+  unsigned TailShift = 0;
+  walkSkipTable(
+      Plan, Data, Len,
+      [&](uint64_t W, size_t) {
+        if (HavePending) {
+          State = Round(State, Block128{Pending, W});
+          HavePending = false;
+          return;
+        }
+        Pending = W;
+        HavePending = true;
+      },
+      [&](uint8_t B) {
+        TailAcc ^= static_cast<uint64_t>(B) << TailShift;
+        TailShift = (TailShift + 8) & 63;
+      });
+  if (HavePending)
+    State = Round(State, Block128{Pending, Pending});
+  if (TailShift != 0 || TailAcc != 0)
+    State = Round(State, Block128{TailAcc, Len});
+  State = Round(State, AesInitState);
+  return State.Lo ^ State.Hi;
+}
+
+} // namespace
+
+SynthesizedHash::EvalFn SynthesizedHash::selectEval(const HashPlan &Plan,
+                                                    IsaLevel Isa) {
+  if (Plan.FallbackToStl)
+    return evalFallback;
+
+  // pext hardware is available only at Native; AES hardware also at
+  // NoBitExtract (the Jetson's situation).
+  const bool HwPext = Isa == IsaLevel::Native;
+  const bool Hw = Isa != IsaLevel::Portable;
+  if (Plan.PartialLoad) {
+    switch (Plan.Family) {
+    case HashFamily::Naive:
+    case HashFamily::OffXor:
+      return evalPartialXor;
+    case HashFamily::Pext:
+      return HwPext ? evalPartialPext<pextHw> : evalPartialPext<pextSoft>;
+    case HashFamily::Aes:
+      return Hw ? evalPartialAes<aesEncRoundHw>
+                : evalPartialAes<aesEncRoundSoft>;
+    }
+  }
+
+  if (Plan.FixedLength) {
+    switch (Plan.Family) {
+    case HashFamily::Naive:
+    case HashFamily::OffXor:
+      return evalFixedXor;
+    case HashFamily::Pext:
+      return HwPext ? evalFixedPext<pextHw> : evalFixedPext<pextSoft>;
+    case HashFamily::Aes:
+#if defined(SEPE_HAVE_AESNI)
+      if (Hw)
+        return evalFixedAesNative;
+#endif
+      return Hw ? evalFixedAes<aesEncRoundHw>
+                : evalFixedAes<aesEncRoundSoft>;
+    }
+  }
+
+  switch (Plan.Family) {
+  case HashFamily::Naive:
+  case HashFamily::OffXor:
+    return evalVarXor;
+  case HashFamily::Pext:
+    return HwPext ? evalVarPext<pextHw> : evalVarPext<pextSoft>;
+  case HashFamily::Aes:
+    return Hw ? evalVarAes<aesEncRoundHw> : evalVarAes<aesEncRoundSoft>;
+  }
+  assert(false && "unreachable: all plan shapes handled above");
+  return evalFallback;
+}
+
+SynthesizedHash::SynthesizedHash(std::shared_ptr<const HashPlan> Plan,
+                                 IsaLevel Isa)
+    : Plan(std::move(Plan)) {
+  assert(this->Plan && "SynthesizedHash requires a plan");
+  Eval = selectEval(*this->Plan, Isa);
+}

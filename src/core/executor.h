@@ -1,0 +1,77 @@
+//===- core/executor.h - Runtime evaluation of HashPlans --------*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SynthesizedHash evaluates a HashPlan at runtime — the in-process
+/// equivalent of compiling the C++ source that core/codegen.h emits. The
+/// evaluation routine is selected once, when the plan is attached, so
+/// the per-key cost is one indirect call plus the plan's straight-line
+/// steps. A "portable" mode forces the software pext / AES paths, which
+/// is how the aarch64 experiment of RQ4 is reproduced on this host.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_CORE_EXECUTOR_H
+#define SEPE_CORE_EXECUTOR_H
+
+#include "core/plan.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace sepe {
+
+/// Which specialized instructions the executor may use. NoBitExtract
+/// models the paper's Jetson (RQ4): AES hardware present, pext/bext
+/// absent. Portable forces the bit-exact software routines for
+/// everything.
+enum class IsaLevel { Native, NoBitExtract, Portable };
+
+/// A container-ready hash functor backed by a HashPlan. Copyable and
+/// cheap to copy (shared plan ownership), so it can be handed to
+/// std::unordered_map like any other hasher.
+class SynthesizedHash {
+public:
+  SynthesizedHash() = default;
+
+  /// Wraps \p Plan, selecting evaluation routines for \p Isa.
+  explicit SynthesizedHash(std::shared_ptr<const HashPlan> Plan,
+                           IsaLevel Isa = IsaLevel::Native);
+
+  /// Convenience: takes ownership of a plan by value.
+  explicit SynthesizedHash(HashPlan Plan, IsaLevel Isa = IsaLevel::Native)
+      : SynthesizedHash(std::make_shared<const HashPlan>(std::move(Plan)),
+                        Isa) {}
+
+  bool valid() const { return Plan != nullptr; }
+  const HashPlan &plan() const {
+    assert(Plan && "no plan attached");
+    return *Plan;
+  }
+
+  /// Hashes \p Key. Precondition: Key conforms to the plan's key format
+  /// (length within bounds); out-of-format keys still produce a value
+  /// but no dispersion guarantees hold — exactly the contract of the
+  /// paper's generated functions.
+  size_t operator()(std::string_view Key) const {
+    assert(Plan && "hashing with an empty SynthesizedHash");
+    return Eval(*Plan, Key.data(), Key.size());
+  }
+
+private:
+  using EvalFn = uint64_t (*)(const HashPlan &, const char *, size_t);
+
+  static EvalFn selectEval(const HashPlan &Plan, IsaLevel Isa);
+
+  std::shared_ptr<const HashPlan> Plan;
+  EvalFn Eval = nullptr;
+};
+
+} // namespace sepe
+
+#endif // SEPE_CORE_EXECUTOR_H

@@ -1,0 +1,105 @@
+//===- core/format_spec.h - Exact description of a key format --*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The exact (non-lattice) description of a key format: one CharSet per
+/// position plus length bounds. The regex parser produces a FormatSpec;
+/// the key generators enumerate it; abstract() lowers it into the quad
+/// lattice for synthesis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_CORE_FORMAT_SPEC_H
+#define SEPE_CORE_FORMAT_SPEC_H
+
+#include "core/charset.h"
+#include "core/key_pattern.h"
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sepe {
+
+/// An exact key format: position I admits exactly the bytes in
+/// Classes[I]; keys have length in [MinLen, Classes.size()].
+class FormatSpec {
+public:
+  FormatSpec() = default;
+
+  static FormatSpec fixed(std::vector<CharSet> Classes) {
+    FormatSpec Spec;
+    Spec.MinLen = Classes.size();
+    Spec.Classes = std::move(Classes);
+    return Spec;
+  }
+
+  static FormatSpec variable(std::vector<CharSet> Classes, size_t MinLen) {
+    assert(MinLen <= Classes.size() && "MinLen exceeds format width");
+    FormatSpec Spec;
+    Spec.MinLen = MinLen;
+    Spec.Classes = std::move(Classes);
+    return Spec;
+  }
+
+  size_t minLength() const { return MinLen; }
+  size_t maxLength() const { return Classes.size(); }
+  bool isFixedLength() const { return MinLen == Classes.size(); }
+  bool empty() const { return Classes.empty(); }
+
+  const CharSet &classAt(size_t I) const {
+    assert(I < Classes.size() && "class index out of range");
+    return Classes[I];
+  }
+
+  const std::vector<CharSet> &classes() const { return Classes; }
+
+  /// True when \p Key belongs to the format.
+  bool matches(std::string_view Key) const {
+    if (Key.size() < MinLen || Key.size() > Classes.size())
+      return false;
+    for (size_t I = 0; I != Key.size(); ++I)
+      if (!Classes[I].contains(static_cast<uint8_t>(Key[I])))
+        return false;
+    return true;
+  }
+
+  /// Positions admitting more than one byte, in ascending order. These
+  /// form the digit positions of the mixed-radix enumeration used by the
+  /// key generators.
+  std::vector<size_t> variablePositions() const {
+    std::vector<size_t> Positions;
+    for (size_t I = 0; I != Classes.size(); ++I)
+      if (!Classes[I].isSingleton())
+        Positions.push_back(I);
+    return Positions;
+  }
+
+  /// Lowers the exact format into the quad lattice: each class becomes
+  /// the join of its members' byte abstractions (Section 3.1).
+  KeyPattern abstract() const {
+    std::vector<BytePattern> Bytes;
+    Bytes.reserve(Classes.size());
+    for (const CharSet &Class : Classes)
+      Bytes.push_back(Class.abstraction());
+    if (isFixedLength())
+      return KeyPattern::fixed(std::move(Bytes));
+    return KeyPattern::variable(std::move(Bytes), MinLen);
+  }
+
+  friend bool operator==(const FormatSpec &A, const FormatSpec &B) {
+    return A.MinLen == B.MinLen && A.Classes == B.Classes;
+  }
+
+private:
+  std::vector<CharSet> Classes;
+  size_t MinLen = 0;
+};
+
+} // namespace sepe
+
+#endif // SEPE_CORE_FORMAT_SPEC_H

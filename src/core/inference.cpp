@@ -1,0 +1,67 @@
+//===- core/inference.cpp - Pattern inference from key examples ----------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/inference.h"
+
+#include <istream>
+
+using namespace sepe;
+
+void PatternBuilder::addKey(std::string_view Key) {
+  if (Count == 0) {
+    MinLen = MaxLen = Key.size();
+    Bytes.reserve(Key.size());
+    for (char C : Key)
+      Bytes.push_back(BytePattern::fromByte(static_cast<uint8_t>(C)));
+    Count = 1;
+    return;
+  }
+
+  // Positions beyond a key's length contribute top (Definition 3.2's
+  // treatment of missing bit pairs), so widening the pattern tops the new
+  // tail for every previously seen shorter key and vice versa.
+  if (Key.size() > MaxLen) {
+    Bytes.resize(Key.size(), BytePattern::top());
+    MaxLen = Key.size();
+  }
+  MinLen = std::min(MinLen, Key.size());
+
+  for (size_t I = 0; I != Bytes.size(); ++I) {
+    const BytePattern Incoming =
+        I < Key.size() ? BytePattern::fromByte(static_cast<uint8_t>(Key[I]))
+                       : BytePattern::top();
+    Bytes[I] = join(Bytes[I], Incoming);
+  }
+  ++Count;
+}
+
+KeyPattern PatternBuilder::pattern() const {
+  if (Count == 0)
+    return KeyPattern();
+  if (MinLen == MaxLen)
+    return KeyPattern::fixed(Bytes);
+  return KeyPattern::variable(Bytes, MinLen);
+}
+
+KeyPattern sepe::inferPattern(const std::vector<std::string> &Keys) {
+  PatternBuilder Builder;
+  for (const std::string &Key : Keys)
+    Builder.addKey(Key);
+  return Builder.pattern();
+}
+
+KeyPattern sepe::inferPatternFromStream(std::istream &In) {
+  PatternBuilder Builder;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    if (Line.empty())
+      continue;
+    Builder.addKey(Line);
+  }
+  return Builder.pattern();
+}

@@ -1,0 +1,120 @@
+//===- core/key_pattern.h - Quad abstraction of a key format ----*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A KeyPattern is the paper's "regular expression" in lattice form: one
+/// BytePattern per position plus length bounds. It is the interchange
+/// format between inference (Section 3.1) and code generation
+/// (Section 3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_CORE_KEY_PATTERN_H
+#define SEPE_CORE_KEY_PATTERN_H
+
+#include "core/byte_pattern.h"
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sepe {
+
+/// The per-position quad abstraction of a key format.
+class KeyPattern {
+public:
+  KeyPattern() = default;
+
+  /// Builds a fixed-length pattern from \p Bytes.
+  static KeyPattern fixed(std::vector<BytePattern> Bytes) {
+    KeyPattern P;
+    P.MinLen = P.MaxLen = Bytes.size();
+    P.Bytes = std::move(Bytes);
+    return P;
+  }
+
+  /// Builds a variable-length pattern: positions in [MinLen, MaxLen) are
+  /// optional. \p Bytes must have MaxLen entries.
+  static KeyPattern variable(std::vector<BytePattern> Bytes, size_t MinLen) {
+    assert(MinLen <= Bytes.size() && "MinLen exceeds pattern width");
+    KeyPattern P;
+    P.MinLen = MinLen;
+    P.MaxLen = Bytes.size();
+    P.Bytes = std::move(Bytes);
+    return P;
+  }
+
+  size_t minLength() const { return MinLen; }
+  size_t maxLength() const { return MaxLen; }
+  bool isFixedLength() const { return MinLen == MaxLen; }
+  bool empty() const { return Bytes.empty(); }
+  size_t size() const { return Bytes.size(); }
+
+  const BytePattern &byteAt(size_t I) const {
+    assert(I < Bytes.size() && "byte index out of range");
+    return Bytes[I];
+  }
+
+  const std::vector<BytePattern> &bytes() const { return Bytes; }
+
+  /// True when \p Key is admitted: its length lies in [MinLen, MaxLen]
+  /// and every byte satisfies the pattern at its position.
+  bool matches(std::string_view Key) const {
+    if (Key.size() < MinLen || Key.size() > MaxLen)
+      return false;
+    for (size_t I = 0; I != Key.size(); ++I)
+      if (!Bytes[I].matches(static_cast<uint8_t>(Key[I])))
+        return false;
+    return true;
+  }
+
+  /// Total number of free (non-constant) bits over all positions; the
+  /// "relevant bits" count of Section 4.2.
+  unsigned freeBitCount() const {
+    unsigned Count = 0;
+    for (const BytePattern &B : Bytes)
+      Count += 8 - B.constBitCount();
+    return Count;
+  }
+
+  /// Pointwise join of two patterns (used when merging inferred patterns
+  /// from separate example sets). Positions beyond the shorter pattern
+  /// become top, and length bounds widen.
+  friend KeyPattern join(const KeyPattern &A, const KeyPattern &B) {
+    const size_t MaxLen = std::max(A.MaxLen, B.MaxLen);
+    std::vector<BytePattern> Bytes(MaxLen, BytePattern::top());
+    const size_t Common = std::min(A.Bytes.size(), B.Bytes.size());
+    for (size_t I = 0; I != Common; ++I)
+      Bytes[I] = join(A.Bytes[I], B.Bytes[I]);
+    return KeyPattern::variable(std::move(Bytes),
+                                std::min(A.MinLen, B.MinLen));
+  }
+
+  friend bool operator==(const KeyPattern &A, const KeyPattern &B) {
+    return A.MinLen == B.MinLen && A.MaxLen == B.MaxLen && A.Bytes == B.Bytes;
+  }
+
+  /// Debug rendering: one quad string per byte, '|' separated.
+  std::string str() const {
+    std::string Out;
+    for (size_t I = 0; I != Bytes.size(); ++I) {
+      if (I != 0)
+        Out += '|';
+      Out += Bytes[I].str();
+    }
+    return Out;
+  }
+
+private:
+  std::vector<BytePattern> Bytes;
+  size_t MinLen = 0;
+  size_t MaxLen = 0;
+};
+
+} // namespace sepe
+
+#endif // SEPE_CORE_KEY_PATTERN_H

@@ -1,0 +1,60 @@
+//===- core/plan.cpp - IR for synthesized hash functions -----------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/plan.h"
+
+#include <cstdio>
+
+using namespace sepe;
+
+const char *sepe::familyName(HashFamily Family) {
+  switch (Family) {
+  case HashFamily::Naive:
+    return "Naive";
+  case HashFamily::OffXor:
+    return "OffXor";
+  case HashFamily::Aes:
+    return "Aes";
+  case HashFamily::Pext:
+    return "Pext";
+  }
+  return "<invalid>";
+}
+
+size_t HashPlan::codeSizeEstimate() const {
+  // One load/extract/combine group per step plus a fixed prologue; the
+  // skip-table path adds its table and the two loops.
+  size_t Size = 64;
+  Size += Steps.size() * 48;
+  Size += Skip.Skip.size() * 8 + Skip.Masks.size() * 16;
+  return Size;
+}
+
+std::string HashPlan::str() const {
+  std::string Out;
+  char Buffer[128];
+  std::snprintf(Buffer, sizeof(Buffer), "plan %s len=[%u,%u]%s%s\n",
+                familyName(Family), MinKeyLen, MaxKeyLen,
+                FallbackToStl ? " fallback" : "",
+                PartialLoad ? " partial" : "");
+  Out += Buffer;
+  for (const PlanStep &S : Steps) {
+    std::snprintf(Buffer, sizeof(Buffer),
+                  "  load +%u mask=0x%016llx shift=%u\n", S.Offset,
+                  static_cast<unsigned long long>(S.Mask), S.Shift);
+    Out += Buffer;
+  }
+  if (!Skip.Skip.empty()) {
+    Out += "  skip =";
+    for (uint32_t S : Skip.Skip) {
+      std::snprintf(Buffer, sizeof(Buffer), " %u", S);
+      Out += Buffer;
+    }
+    std::snprintf(Buffer, sizeof(Buffer), " tail=%u\n", Skip.TailStart);
+    Out += Buffer;
+  }
+  return Out;
+}

@@ -1,0 +1,88 @@
+//===- core/quad.h - The quad semilattice of Definition 3.2 -----*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The quad-semilattice of the paper's Definition 3.2: the set
+/// {00, 01, 10, 11} of bit pairs plus a top element, ordered so that the
+/// join of two distinct concrete pairs is top. Folding this join over a
+/// set of example keys identifies which bit pairs are constant across all
+/// keys (Section 3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_CORE_QUAD_H
+#define SEPE_CORE_QUAD_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace sepe {
+
+/// One element of the quad semilattice: a concrete bit pair 00/01/10/11 or
+/// the top element.
+class Quad {
+public:
+  /// Sentinel encoding for the top element.
+  static constexpr uint8_t TopValue = 4;
+
+  /// Constructs the top element.
+  constexpr Quad() : Encoding(TopValue) {}
+
+  /// Constructs a concrete bit pair from a value in [0, 3].
+  static constexpr Quad pair(uint8_t Bits) {
+    assert(Bits < 4 && "a bit pair holds two bits");
+    return Quad(Bits);
+  }
+
+  /// Constructs the top element.
+  static constexpr Quad top() { return Quad(); }
+
+  constexpr bool isTop() const { return Encoding == TopValue; }
+
+  /// The concrete bit pair; only valid when !isTop().
+  constexpr uint8_t bits() const {
+    assert(!isTop() && "top has no concrete bits");
+    return Encoding;
+  }
+
+  /// The least upper bound of Definition 3.2: equal concrete pairs join to
+  /// themselves, everything else joins to top.
+  friend constexpr Quad join(Quad A, Quad B) {
+    if (A.Encoding == B.Encoding)
+      return A;
+    return Quad::top();
+  }
+
+  /// The partial order induced by the join: A <= B iff join(A, B) == B.
+  friend constexpr bool operator<=(Quad A, Quad B) {
+    return join(A, B).Encoding == B.Encoding;
+  }
+
+  friend constexpr bool operator==(Quad A, Quad B) {
+    return A.Encoding == B.Encoding;
+  }
+
+  /// Renders the quad as two binary digits, or "TT" for top, matching the
+  /// figures in the paper.
+  std::string str() const {
+    if (isTop())
+      return "TT";
+    std::string Out(2, '0');
+    Out[0] = static_cast<char>('0' + ((Encoding >> 1) & 1));
+    Out[1] = static_cast<char>('0' + (Encoding & 1));
+    return Out;
+  }
+
+private:
+  explicit constexpr Quad(uint8_t Encoding) : Encoding(Encoding) {}
+
+  uint8_t Encoding;
+};
+
+} // namespace sepe
+
+#endif // SEPE_CORE_QUAD_H

@@ -1,0 +1,309 @@
+//===- core/regex_parser.cpp - Restricted regex -> FormatSpec ------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/regex_parser.h"
+
+#include <cctype>
+#include <optional>
+#include <string>
+
+using namespace sepe;
+
+namespace {
+
+/// The expansion of a regex fragment: a run of required positions
+/// followed by a run of optional positions. Optional positions may only
+/// occur as a tail, which keeps the positional abstraction exact.
+struct Expansion {
+  std::vector<CharSet> Required;
+  std::vector<CharSet> Optional;
+
+  size_t width() const { return Required.size() + Optional.size(); }
+  bool isFixed() const { return Optional.empty(); }
+};
+
+class Parser {
+public:
+  explicit Parser(std::string_view Input) : Input(Input) {}
+
+  Expected<FormatSpec> run() {
+    Expected<Expansion> Body = parseSequence(/*InsideGroup=*/false);
+    if (!Body)
+      return Body.error();
+    if (Pos != Input.size())
+      return Error::at(Pos, "unexpected ')'");
+    std::vector<CharSet> Classes = std::move(Body->Required);
+    const size_t MinLen = Classes.size();
+    for (CharSet &Tail : Body->Optional)
+      Classes.push_back(std::move(Tail));
+    if (Classes.empty())
+      return Error::at(0, "empty regular expression describes no key bytes");
+    return FormatSpec::variable(std::move(Classes), MinLen);
+  }
+
+private:
+  std::string_view Input;
+  size_t Pos = 0;
+
+  bool atEnd() const { return Pos >= Input.size(); }
+  char peek() const { return Input[Pos]; }
+
+  Expected<Expansion> parseSequence(bool InsideGroup) {
+    Expansion Result;
+    while (!atEnd() && peek() != ')') {
+      const size_t ItemPos = Pos;
+      Expected<Expansion> Item = parseItem();
+      if (!Item)
+        return Item.error();
+      if (!Result.isFixed() && Item->width() != 0)
+        return Error::at(ItemPos,
+                         "variable-length construct is only supported at "
+                         "the end of the pattern");
+      for (CharSet &C : Item->Required)
+        Result.Required.push_back(std::move(C));
+      for (CharSet &C : Item->Optional)
+        Result.Optional.push_back(std::move(C));
+      if (Result.width() > MaxRegexWidth)
+        return Error::at(ItemPos, "expanded pattern exceeds the maximum "
+                                  "supported width");
+    }
+    if (InsideGroup) {
+      if (atEnd())
+        return Error::at(Pos, "expected ')' before end of pattern");
+      ++Pos; // consume ')'
+    }
+    return Result;
+  }
+
+  Expected<Expansion> parseItem() {
+    const size_t AtomPos = Pos;
+    Expected<Expansion> Atom = parseAtom();
+    if (!Atom)
+      return Atom.error();
+    return applyQuantifier(std::move(*Atom), AtomPos);
+  }
+
+  Expected<Expansion> parseAtom() {
+    const char C = peek();
+    if (C == '(') {
+      ++Pos;
+      return parseSequence(/*InsideGroup=*/true);
+    }
+    if (C == '[') {
+      Expected<CharSet> Class = parseClass();
+      if (!Class)
+        return Class.error();
+      return single(Class.take());
+    }
+    if (C == '\\') {
+      Expected<CharSet> Escaped = parseEscape();
+      if (!Escaped)
+        return Escaped.error();
+      return single(Escaped.take());
+    }
+    if (C == '.') {
+      ++Pos;
+      return single(CharSet::any());
+    }
+    if (C == '*' || C == '+')
+      return Error::at(Pos, "unbounded repetition is not supported; SEPE "
+                            "requires a bounded key format");
+    if (C == '|')
+      return Error::at(Pos, "alternation is not supported; provide one "
+                            "pattern per key format");
+    if (C == '{' || C == '}' || C == '?' || C == ']')
+      return Error::at(Pos, std::string("unexpected '") + C + "'");
+    ++Pos;
+    return single(CharSet::singleton(static_cast<uint8_t>(C)));
+  }
+
+  static Expansion single(CharSet Class) {
+    Expansion E;
+    E.Required.push_back(std::move(Class));
+    return E;
+  }
+
+  Expected<Expansion> applyQuantifier(Expansion Atom, size_t AtomPos) {
+    if (atEnd())
+      return Atom;
+    if (peek() == '?') {
+      ++Pos;
+      if (!Atom.isFixed())
+        return Error::at(AtomPos, "'?' applied to a variable-length group");
+      Expansion Result;
+      Result.Optional = std::move(Atom.Required);
+      return Result;
+    }
+    if (peek() != '{')
+      return Atom;
+
+    ++Pos; // consume '{'
+    Expected<size_t> Lo = parseCount();
+    if (!Lo)
+      return Lo.error();
+    size_t Hi = *Lo;
+    if (!atEnd() && peek() == ',') {
+      ++Pos;
+      if (!atEnd() && peek() == '}')
+        return Error::at(Pos, "'{n,}' unbounded repetition is not supported");
+      Expected<size_t> HiCount = parseCount();
+      if (!HiCount)
+        return HiCount.error();
+      Hi = *HiCount;
+    }
+    if (atEnd() || peek() != '}')
+      return Error::at(Pos, "expected '}' to close repetition count");
+    ++Pos;
+    if (Hi < *Lo)
+      return Error::at(Pos, "repetition range {n,m} requires n <= m");
+    if (!Atom.isFixed() && Hi > 1)
+      return Error::at(AtomPos,
+                       "repetition of a variable-length group is not "
+                       "supported");
+    if (Atom.width() != 0 && Hi > MaxRegexWidth / Atom.width())
+      return Error::at(AtomPos, "expanded pattern exceeds the maximum "
+                                "supported width");
+
+    Expansion Result;
+    for (size_t I = 0; I != *Lo; ++I)
+      for (const CharSet &C : Atom.Required)
+        Result.Required.push_back(C);
+    for (size_t I = *Lo; I != Hi; ++I)
+      for (const CharSet &C : Atom.Required)
+        Result.Optional.push_back(C);
+    // A variable-length atom repeated at most once keeps its own tail.
+    if (!Atom.isFixed())
+      for (const CharSet &C : Atom.Optional)
+        Result.Optional.push_back(C);
+    return Result;
+  }
+
+  Expected<size_t> parseCount() {
+    if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+      return Error::at(Pos, "expected a repetition count");
+    size_t Value = 0;
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      Value = Value * 10 + static_cast<size_t>(peek() - '0');
+      if (Value > MaxRegexWidth)
+        return Error::at(Pos, "repetition count is too large");
+      ++Pos;
+    }
+    return Value;
+  }
+
+  Expected<CharSet> parseClass() {
+    assert(peek() == '[' && "parseClass expects an opening bracket");
+    const size_t OpenPos = Pos;
+    ++Pos;
+    if (!atEnd() && peek() == '^')
+      return Error::at(Pos, "negated character classes are not supported");
+    CharSet Result;
+    while (!atEnd() && peek() != ']') {
+      Expected<CharSet> First = parseClassMember();
+      if (!First)
+        return First.error();
+      // A range requires a singleton on both sides: [a-f].
+      if (!atEnd() && peek() == '-' && Pos + 1 < Input.size() &&
+          Input[Pos + 1] != ']') {
+        if (!First->isSingleton())
+          return Error::at(Pos, "range bound must be a single character");
+        ++Pos; // consume '-'
+        Expected<CharSet> Last = parseClassMember();
+        if (!Last)
+          return Last.error();
+        if (!Last->isSingleton())
+          return Error::at(Pos, "range bound must be a single character");
+        const uint8_t Lo = First->min(), Hi = Last->min();
+        if (Lo > Hi)
+          return Error::at(Pos, "inverted character range");
+        Result.insertRange(Lo, Hi);
+        continue;
+      }
+      Result |= *First;
+    }
+    if (atEnd())
+      return Error::at(OpenPos, "unterminated character class");
+    ++Pos; // consume ']'
+    if (Result.empty())
+      return Error::at(OpenPos, "empty character class");
+    return Result;
+  }
+
+  Expected<CharSet> parseClassMember() {
+    if (peek() == '\\')
+      return parseEscape();
+    CharSet Single = CharSet::singleton(static_cast<uint8_t>(peek()));
+    ++Pos;
+    return Single;
+  }
+
+  Expected<CharSet> parseEscape() {
+    assert(peek() == '\\' && "parseEscape expects a backslash");
+    const size_t SlashPos = Pos;
+    ++Pos;
+    if (atEnd())
+      return Error::at(SlashPos, "dangling '\\' at end of pattern");
+    const char C = peek();
+    ++Pos;
+    switch (C) {
+    case 'd':
+      return CharSet::range('0', '9');
+    case 'w': {
+      CharSet Word = CharSet::range('a', 'z');
+      Word |= CharSet::range('A', 'Z');
+      Word |= CharSet::range('0', '9');
+      Word.insert('_');
+      return Word;
+    }
+    case 's': {
+      CharSet Space;
+      for (char W : {' ', '\t', '\n', '\r', '\f', '\v'})
+        Space.insert(static_cast<uint8_t>(W));
+      return Space;
+    }
+    case 'n':
+      return CharSet::singleton('\n');
+    case 't':
+      return CharSet::singleton('\t');
+    case 'r':
+      return CharSet::singleton('\r');
+    case '0':
+      return CharSet::singleton('\0');
+    case 'x': {
+      if (Pos + 1 >= Input.size() || !isHex(Input[Pos]) || !isHex(Input[Pos + 1]))
+        return Error::at(SlashPos, "\\x escape requires two hex digits");
+      const uint8_t Value = static_cast<uint8_t>(hexVal(Input[Pos]) * 16 +
+                                                 hexVal(Input[Pos + 1]));
+      Pos += 2;
+      return CharSet::singleton(Value);
+    }
+    case 'D':
+    case 'W':
+    case 'S':
+      return Error::at(SlashPos, "negated escape classes are not supported");
+    default:
+      // Any other escaped character stands for itself: \., \\, \-, \( ...
+      return CharSet::singleton(static_cast<uint8_t>(C));
+    }
+  }
+
+  static bool isHex(char C) {
+    return std::isxdigit(static_cast<unsigned char>(C)) != 0;
+  }
+  static unsigned hexVal(char C) {
+    if (C >= '0' && C <= '9')
+      return static_cast<unsigned>(C - '0');
+    if (C >= 'a' && C <= 'f')
+      return static_cast<unsigned>(C - 'a' + 10);
+    return static_cast<unsigned>(C - 'A' + 10);
+  }
+};
+
+} // namespace
+
+Expected<FormatSpec> sepe::parseRegex(std::string_view Regex) {
+  return Parser(Regex).run();
+}

@@ -1,0 +1,44 @@
+//===- core/regex_parser.h - Restricted regex -> FormatSpec ----*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the restricted regular-expression dialect SEPE accepts
+/// (Figure 5b) into an exact FormatSpec. Supported constructs:
+///
+///   - literal characters and '\'-escapes (\., \\, \xHH, ...)
+///   - character classes: [0-9a-fA-F], \d, \w, \s, and '.' (any byte)
+///   - groups: ( ... )
+///   - counted repetition: {n} anywhere, {n,m} and '?' in tail position
+///
+/// Unbounded repetition ('*', '+', '{n,}') and alternation ('|') are
+/// rejected with a diagnostic: SEPE's specializations require a bounded
+/// positional format. Keys with genuinely unbounded tails should be
+/// described up to a prefix; the synthesized functions then fall back to
+/// the skip-table loop of Section 3.2.1 for the tail.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_CORE_REGEX_PARSER_H
+#define SEPE_CORE_REGEX_PARSER_H
+
+#include "core/format_spec.h"
+#include "support/expected.h"
+
+#include <string_view>
+
+namespace sepe {
+
+/// Maximum expanded width a regex may describe; guards against
+/// pathological counted repetitions.
+constexpr size_t MaxRegexWidth = 1u << 20;
+
+/// Parses \p Regex into an exact per-position format. On failure the
+/// error carries the offending input position.
+Expected<FormatSpec> parseRegex(std::string_view Regex);
+
+} // namespace sepe
+
+#endif // SEPE_CORE_REGEX_PARSER_H

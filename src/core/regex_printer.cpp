@@ -1,0 +1,125 @@
+//===- core/regex_printer.cpp - KeyPattern -> canonical regex ------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/regex_printer.h"
+
+#include <cctype>
+
+using namespace sepe;
+
+namespace {
+
+/// Characters that must be escaped when printed as regex literals.
+bool needsEscape(uint8_t Byte) {
+  switch (Byte) {
+  case '.':
+  case '\\':
+  case '(':
+  case ')':
+  case '[':
+  case ']':
+  case '{':
+  case '}':
+  case '?':
+  case '*':
+  case '+':
+  case '|':
+  case '-':
+  case '^':
+    return true;
+  default:
+    return false;
+  }
+}
+
+void appendByte(std::string &Out, uint8_t Byte, bool InClass) {
+  if (std::isprint(Byte) != 0) {
+    if (InClass ? (Byte == ']' || Byte == '\\' || Byte == '-' || Byte == '^')
+                : needsEscape(Byte))
+      Out += '\\';
+    Out += static_cast<char>(Byte);
+    return;
+  }
+  static const char Hex[] = "0123456789abcdef";
+  Out += "\\x";
+  Out += Hex[Byte >> 4];
+  Out += Hex[Byte & 0xF];
+}
+
+/// Emits the set of bytes matching \p Byte as a class, compressing
+/// consecutive values into ranges.
+std::string classAtom(const BytePattern &Byte) {
+  std::string Out = "[";
+  int RunStart = -1, Prev = -2;
+  const auto FlushRun = [&](int Last) {
+    if (RunStart < 0)
+      return;
+    appendByte(Out, static_cast<uint8_t>(RunStart), /*InClass=*/true);
+    if (Last > RunStart) {
+      if (Last > RunStart + 1)
+        Out += '-';
+      appendByte(Out, static_cast<uint8_t>(Last), /*InClass=*/true);
+    }
+  };
+  for (unsigned Value = 0; Value != 256; ++Value) {
+    if (!Byte.matches(static_cast<uint8_t>(Value)))
+      continue;
+    if (static_cast<int>(Value) != Prev + 1) {
+      FlushRun(Prev);
+      RunStart = static_cast<int>(Value);
+    }
+    Prev = static_cast<int>(Value);
+  }
+  FlushRun(Prev);
+  Out += ']';
+  return Out;
+}
+
+} // namespace
+
+std::string sepe::printByteAtom(const BytePattern &Byte) {
+  if (Byte.isTop())
+    return ".";
+  if (Byte.isConstant()) {
+    std::string Out;
+    appendByte(Out, Byte.constValue(), /*InClass=*/false);
+    return Out;
+  }
+  return classAtom(Byte);
+}
+
+std::string sepe::printRegex(const KeyPattern &Pattern) {
+  std::string Out;
+  size_t I = 0;
+  const size_t N = Pattern.size();
+  while (I != N) {
+    const bool Optional = I >= Pattern.minLength();
+    const std::string Atom = printByteAtom(Pattern.byteAt(I));
+    size_t RunLen = 1;
+    while (I + RunLen != N &&
+           (I + RunLen >= Pattern.minLength()) == Optional &&
+           printByteAtom(Pattern.byteAt(I + RunLen)) == Atom)
+      ++RunLen;
+    if (Optional) {
+      // Optional tails print as (atom){0,k} so length information
+      // round-trips through the parser.
+      Out += '(';
+      Out += Atom;
+      Out += "){0,";
+      Out += std::to_string(RunLen);
+      Out += '}';
+    } else {
+      Out += Atom;
+      if (RunLen > 1) {
+        Out += '{';
+        Out += std::to_string(RunLen);
+        Out += '}';
+      }
+    }
+    I += RunLen;
+  }
+  return Out;
+}

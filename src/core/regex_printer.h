@@ -1,0 +1,37 @@
+//===- core/regex_printer.h - KeyPattern -> canonical regex ----*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a KeyPattern back into the restricted regex dialect. This is
+/// the output side of the paper's `keybuilder` tool: inference produces a
+/// lattice pattern, and the printed regex is what the user feeds into
+/// `keysynth` (Figure 5a). Round-trip property: parsing the printed regex
+/// and abstracting it yields the original pattern.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_CORE_REGEX_PRINTER_H
+#define SEPE_CORE_REGEX_PRINTER_H
+
+#include "core/key_pattern.h"
+
+#include <string>
+
+namespace sepe {
+
+/// Renders one byte pattern as a regex atom: a literal for constant
+/// bytes, '.' for top, or a character class covering exactly the bytes
+/// the quad constraints admit.
+std::string printByteAtom(const BytePattern &Byte);
+
+/// Renders \p Pattern as a regex. Optional tail positions (variable
+/// length) are emitted with '?' quantifiers. Runs of identical atoms are
+/// compressed with {n} counts.
+std::string printRegex(const KeyPattern &Pattern);
+
+} // namespace sepe
+
+#endif // SEPE_CORE_REGEX_PRINTER_H

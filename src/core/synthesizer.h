@@ -1,0 +1,54 @@
+//===- core/synthesizer.h - KeyPattern -> HashPlan --------------*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The code generator of Section 3.2 (Figure 7): turns a KeyPattern into
+/// a HashPlan for one of the four families. The pipeline is
+///
+///   parseRanges -> ignoreConstantSubsequences (load offsets / skip
+///   table) -> calculateMasks + removeConstBits (pext masks and shifts)
+///   -> unrollSequences (straight-line plan for fixed-length keys).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_CORE_SYNTHESIZER_H
+#define SEPE_CORE_SYNTHESIZER_H
+
+#include "core/key_pattern.h"
+#include "core/plan.h"
+#include "support/expected.h"
+
+#include <array>
+
+namespace sepe {
+
+/// Tunables for synthesis.
+struct SynthesisOptions {
+  /// Specialize keys shorter than one machine word instead of falling
+  /// back to the standard hash (used by the RQ7 worst-case study; the
+  /// paper's tool never does this by default, see footnote 5).
+  bool AllowShortKeys = false;
+
+  /// Pext only: shift the last extracted chunk so the hash uses the full
+  /// 64-bit range (Step 3 in Figure 12). Disabling keeps all chunks
+  /// packed at the low end.
+  bool SpreadToTopBits = true;
+};
+
+/// Synthesizes a plan of the given \p Family for \p Pattern. Fails when
+/// the pattern is empty or entirely constant (a format with a single
+/// member needs no hash).
+Expected<HashPlan> synthesize(const KeyPattern &Pattern, HashFamily Family,
+                              const SynthesisOptions &Options = {});
+
+/// All four families for one pattern, in enum order.
+Expected<std::array<HashPlan, 4>>
+synthesizeAllFamilies(const KeyPattern &Pattern,
+                      const SynthesisOptions &Options = {});
+
+} // namespace sepe
+
+#endif // SEPE_CORE_SYNTHESIZER_H

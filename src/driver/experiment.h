@@ -1,0 +1,104 @@
+//===- driver/experiment.h - The paper's benchmark driver ------*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The experiment driver of Section 4 ("Benchmarks"): a workload is a
+/// set of keys plus a schedule of affectations (insert / search /
+/// erase); an experiment runs one schedule against one container type
+/// under one hash function and reports the paper's four metrics:
+///
+///   B-Time  - wall time of the full schedule (container effects
+///             included);
+///   H-Time  - wall time of hashing every scheduled key;
+///   B-Coll  - bucket collisions after inserting the distinct keys;
+///   T-Coll  - distinct keys sharing a 64-bit hash value.
+///
+/// The standard grid is the paper's 144-experiment parameterization:
+/// 4 containers x 3 distributions x 3 spreads x 4 execution modes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_DRIVER_EXPERIMENT_H
+#define SEPE_DRIVER_EXPERIMENT_H
+
+#include "driver/hash_registry.h"
+#include "keygen/distributions.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sepe {
+
+/// The four STL containers of the driver.
+enum class ContainerKind { Map, Set, MultiMap, MultiSet };
+
+constexpr std::array<ContainerKind, 4> AllContainerKinds = {
+    ContainerKind::Map, ContainerKind::Set, ContainerKind::MultiMap,
+    ContainerKind::MultiSet};
+
+/// "U-Map", "U-Set", "UM-Map", "UM-Set" (Figure 20's labels).
+const char *containerKindName(ContainerKind Kind);
+
+/// Batched or one of the three allowed interweaved probability pairs
+/// (Pi, Ps).
+enum class ExecMode { Batched, Inter70_20, Inter60_20, Inter40_30 };
+
+constexpr std::array<ExecMode, 4> AllExecModes = {
+    ExecMode::Batched, ExecMode::Inter70_20, ExecMode::Inter60_20,
+    ExecMode::Inter40_30};
+
+const char *execModeName(ExecMode Mode);
+
+struct ExperimentConfig {
+  ContainerKind Container = ContainerKind::Map;
+  KeyDistribution Distribution = KeyDistribution::Normal;
+  size_t Spread = 10000;
+  ExecMode Mode = ExecMode::Batched;
+  size_t Affectations = 10000;
+  uint64_t Seed = 0x5e9e;
+};
+
+/// A reproducible workload: the same keys and schedule are replayed for
+/// every hash function, so timing differences isolate the hash.
+struct Workload {
+  enum class Op : uint8_t { Insert, Search, Erase };
+
+  std::vector<std::string> Keys;
+  std::vector<std::pair<Op, uint32_t>> Schedule;
+};
+
+/// Builds the workload for one key format under one configuration.
+Workload makeWorkload(PaperKey Key, const ExperimentConfig &Config);
+
+struct ExperimentResult {
+  double BTimeMs = 0;
+  double HTimeMs = 0;
+  uint64_t BucketCollisions = 0;
+  uint64_t TrueCollisions = 0;
+};
+
+/// Replays \p Work against the configured container under one hash
+/// function and measures all four metrics.
+ExperimentResult runExperiment(const Workload &Work,
+                               const ExperimentConfig &Config, HashKind Kind,
+                               const HashFunctionSet &Set);
+
+/// Counts distinct keys whose 64-bit hash collides with an earlier key
+/// (the paper's T-Coll).
+uint64_t countTrueCollisions(const std::vector<std::string> &Keys,
+                             HashKind Kind, const HashFunctionSet &Set);
+
+/// The paper's 144-experiment grid, with the affectation count and the
+/// spreads scalable so the default suite stays laptop-sized.
+std::vector<ExperimentConfig>
+standardGrid(size_t Affectations = 10000,
+             const std::vector<size_t> &Spreads = {500, 2000, 10000},
+             uint64_t Seed = 0x5e9e);
+
+} // namespace sepe
+
+#endif // SEPE_DRIVER_EXPERIMENT_H

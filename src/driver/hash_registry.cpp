@@ -1,0 +1,71 @@
+//===- driver/hash_registry.cpp - The ten hash functions of Sec. 4 -------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/hash_registry.h"
+
+#include "core/synthesizer.h"
+#include "keygen/distributions.h"
+
+#include <cstdlib>
+
+using namespace sepe;
+
+const char *sepe::hashKindName(HashKind Kind) {
+  switch (Kind) {
+  case HashKind::Abseil:
+    return "Abseil";
+  case HashKind::Aes:
+    return "Aes";
+  case HashKind::City:
+    return "City";
+  case HashKind::Fnv:
+    return "FNV";
+  case HashKind::Gperf:
+    return "Gperf";
+  case HashKind::Gpt:
+    return "Gpt";
+  case HashKind::Naive:
+    return "Naive";
+  case HashKind::OffXor:
+    return "OffXor";
+  case HashKind::Pext:
+    return "Pext";
+  case HashKind::Stl:
+    return "STL";
+  }
+  return "<invalid>";
+}
+
+bool sepe::isSynthetic(HashKind Kind) {
+  return Kind == HashKind::Naive || Kind == HashKind::OffXor ||
+         Kind == HashKind::Aes || Kind == HashKind::Pext;
+}
+
+HashFunctionSet HashFunctionSet::create(PaperKey Key, IsaLevel Isa) {
+  HashFunctionSet Set;
+  Set.Key = Key;
+
+  const KeyPattern Pattern = paperKeyFormat(Key).abstract();
+  Expected<std::array<HashPlan, 4>> Plans = synthesizeAllFamilies(Pattern);
+  if (!Plans) {
+    // The paper formats are all synthesizable; failure is a bug.
+    std::abort();
+  }
+  for (size_t I = 0; I != 4; ++I)
+    Set.Synthesized[I] = SynthesizedHash((*Plans)[I], Isa);
+
+  // Gperf is trained with 1000 random keys (Section 4, "Baseline Hash
+  // Functions"), so it is perfect only on that sample.
+  KeyGenerator Gen(paperKeyFormat(Key), KeyDistribution::Uniform,
+                   /*Seed=*/0x9be5f + static_cast<uint64_t>(Key));
+  Set.Gperf = buildPerfectHash(Gen.distinct(1000));
+  return Set;
+}
+
+size_t HashFunctionSet::hash(HashKind Kind, std::string_view KeyText) const {
+  return visit(Kind,
+               [KeyText](const auto &Hasher) { return Hasher(KeyText); });
+}

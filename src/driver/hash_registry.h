@@ -1,0 +1,118 @@
+//===- driver/hash_registry.h - The ten hash functions of Sec. 4 *- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One place that knows all ten hash functions of the paper's
+/// evaluation: the four synthetic families (Naive, OffXor, Aes, Pext),
+/// and the six baselines (STL/Murmur, Abseil/LowLevelHash, FNV, City,
+/// Gpt, Gperf). A HashFunctionSet instantiates the per-format functions
+/// (synthesized plans, the Gpt specialization, a Gperf function trained
+/// on 1000 random keys) and offers a static-dispatch visitor so the
+/// benchmark loops run without type erasure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_DRIVER_HASH_REGISTRY_H
+#define SEPE_DRIVER_HASH_REGISTRY_H
+
+#include "core/executor.h"
+#include "gperf/perfect_hash.h"
+#include "hashes/city.h"
+#include "hashes/fnv.h"
+#include "hashes/gpt_like.h"
+#include "hashes/low_level_hash.h"
+#include "hashes/murmur.h"
+#include "keygen/paper_formats.h"
+
+#include <array>
+
+namespace sepe {
+
+/// The ten functions of Table 1, alphabetical like the paper's tables.
+enum class HashKind {
+  Abseil,
+  Aes,
+  City,
+  Fnv,
+  Gperf,
+  Gpt,
+  Naive,
+  OffXor,
+  Pext,
+  Stl,
+};
+
+constexpr std::array<HashKind, 10> AllHashKinds = {
+    HashKind::Abseil, HashKind::Aes,    HashKind::City,  HashKind::Fnv,
+    HashKind::Gperf,  HashKind::Gpt,    HashKind::Naive, HashKind::OffXor,
+    HashKind::Pext,   HashKind::Stl};
+
+/// The four synthetic kinds, in Figure 3's constraint order.
+constexpr std::array<HashKind, 4> SyntheticHashKinds = {
+    HashKind::Naive, HashKind::OffXor, HashKind::Aes, HashKind::Pext};
+
+/// Table-heading name ("Abseil", "Aes", ..., "STL").
+const char *hashKindName(HashKind Kind);
+
+bool isSynthetic(HashKind Kind);
+
+/// All per-format hash functions, ready for benchmarking.
+class HashFunctionSet {
+public:
+  /// Builds the set for one paper key format. \p Isa selects the
+  /// executor paths; IsaLevel::NoBitExtract is the RQ4 aarch64
+  /// substitute (AES hardware, no pext).
+  static HashFunctionSet create(PaperKey Key,
+                                IsaLevel Isa = IsaLevel::Native);
+
+  PaperKey key() const { return Key; }
+
+  const SynthesizedHash &synthesized(HashFamily Family) const {
+    return Synthesized[static_cast<size_t>(Family)];
+  }
+
+  /// Hashes through a runtime-dispatched call; convenient for collision
+  /// counting, not for timing loops.
+  size_t hash(HashKind Kind, std::string_view KeyText) const;
+
+  /// Calls \p Fn with the concrete functor for \p Kind; the benchmark
+  /// loops instantiate per functor type so the hash call stays direct.
+  template <typename Fn> decltype(auto) visit(HashKind Kind, Fn &&F) const {
+    switch (Kind) {
+    case HashKind::Abseil:
+      return F(LowLevelHashFn{});
+    case HashKind::Aes:
+      return F(synthesized(HashFamily::Aes));
+    case HashKind::City:
+      return F(CityHash{});
+    case HashKind::Fnv:
+      return F(FnvHash{});
+    case HashKind::Gperf:
+      return F(Gperf);
+    case HashKind::Gpt:
+      return F(GptHash{Key});
+    case HashKind::Naive:
+      return F(synthesized(HashFamily::Naive));
+    case HashKind::OffXor:
+      return F(synthesized(HashFamily::OffXor));
+    case HashKind::Pext:
+      return F(synthesized(HashFamily::Pext));
+    case HashKind::Stl:
+      return F(MurmurStlHash{});
+    }
+    assert(false && "unreachable: all hash kinds handled");
+    return F(MurmurStlHash{});
+  }
+
+private:
+  PaperKey Key = PaperKey::SSN;
+  std::array<SynthesizedHash, 4> Synthesized;
+  PerfectHashFunction Gperf;
+};
+
+} // namespace sepe
+
+#endif // SEPE_DRIVER_HASH_REGISTRY_H

@@ -1,0 +1,116 @@
+//===- driver/report.cpp - Plain-text table / boxplot reports ------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/report.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+using namespace sepe;
+
+TextTable::TextTable(std::vector<std::string> Headers)
+    : Headers(std::move(Headers)) {}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Headers.size() && "row width mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t I = 0; I != Headers.size(); ++I)
+    Widths[I] = Headers[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I != Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  const auto RenderRow = [&](const std::vector<std::string> &Cells) {
+    std::string Line;
+    for (size_t I = 0; I != Cells.size(); ++I) {
+      if (I != 0)
+        Line += "  ";
+      const size_t Pad = Widths[I] - Cells[I].size();
+      if (I == 0) {
+        Line += Cells[I];
+        Line.append(Pad, ' ');
+      } else {
+        Line.append(Pad, ' ');
+        Line += Cells[I];
+      }
+    }
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Out = RenderRow(Headers);
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+  Out.append(Total > 2 ? Total - 2 : 0, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}
+
+std::string sepe::formatDouble(double Value, int Precision) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Precision, Value);
+  return Buffer;
+}
+
+std::string sepe::formatBox(const BoxStats &Stats, int Precision) {
+  std::string Out = formatDouble(Stats.Min, Precision);
+  Out += " [" + formatDouble(Stats.Q1, Precision);
+  Out += " | " + formatDouble(Stats.Median, Precision);
+  Out += " | " + formatDouble(Stats.Q3, Precision) + "] ";
+  Out += formatDouble(Stats.Max, Precision);
+  Out += " (mean " + formatDouble(Stats.Mean, Precision) + ")";
+  return Out;
+}
+
+std::string sepe::renderBoxplots(const std::vector<std::string> &Labels,
+                                 const std::vector<BoxStats> &Stats,
+                                 int Width) {
+  assert(Labels.size() == Stats.size() && "one label per box");
+  if (Stats.empty())
+    return "";
+  double Lo = Stats.front().Min, Hi = Stats.front().Max;
+  size_t LabelWidth = 0;
+  for (size_t I = 0; I != Stats.size(); ++I) {
+    Lo = std::min(Lo, Stats[I].Min);
+    Hi = std::max(Hi, Stats[I].Max);
+    LabelWidth = std::max(LabelWidth, Labels[I].size());
+  }
+  if (Hi <= Lo)
+    Hi = Lo + 1;
+
+  const auto Col = [&](double V) {
+    const double T = (V - Lo) / (Hi - Lo);
+    int C = static_cast<int>(T * (Width - 1) + 0.5);
+    return std::clamp(C, 0, Width - 1);
+  };
+
+  std::string Out;
+  for (size_t I = 0; I != Stats.size(); ++I) {
+    std::string Axis(static_cast<size_t>(Width), ' ');
+    const BoxStats &S = Stats[I];
+    for (int C = Col(S.Min); C <= Col(S.Max); ++C)
+      Axis[static_cast<size_t>(C)] = '-';
+    for (int C = Col(S.Q1); C <= Col(S.Q3); ++C)
+      Axis[static_cast<size_t>(C)] = '=';
+    Axis[static_cast<size_t>(Col(S.Median))] = '|';
+    Axis[static_cast<size_t>(Col(S.Mean))] = '*';
+    Out += Labels[I];
+    Out.append(LabelWidth - Labels[I].size(), ' ');
+    Out += " |";
+    Out += Axis;
+    Out += "| " + formatBox(S);
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,53 @@
+//===- driver/report.h - Plain-text table / boxplot reports ----*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal fixed-width table and text-boxplot rendering used by every
+/// bench binary to print the paper's tables and figure series.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_DRIVER_REPORT_H
+#define SEPE_DRIVER_REPORT_H
+
+#include "stats/descriptive.h"
+
+#include <string>
+#include <vector>
+
+namespace sepe {
+
+/// A fixed-width text table: set headers, add rows, print.
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> Headers);
+
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders with column alignment; first column left-aligned, the rest
+  /// right-aligned.
+  std::string str() const;
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Formats \p Value with \p Precision decimal places.
+std::string formatDouble(double Value, int Precision = 3);
+
+/// One-line textual boxplot: "min [q1 | median | q3] max (mean)".
+std::string formatBox(const BoxStats &Stats, int Precision = 3);
+
+/// Renders labelled boxplot rows scaled to a shared axis — the text
+/// equivalent of the paper's boxplot figures.
+std::string renderBoxplots(const std::vector<std::string> &Labels,
+                           const std::vector<BoxStats> &Stats,
+                           int Width = 60);
+
+} // namespace sepe
+
+#endif // SEPE_DRIVER_REPORT_H

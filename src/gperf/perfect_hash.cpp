@@ -1,0 +1,183 @@
+//===- gperf/perfect_hash.cpp - Miniature GNU gperf ----------------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gperf/perfect_hash.h"
+
+#include <algorithm>
+#include <cassert>
+#include <random>
+#include <unordered_map>
+
+using namespace sepe;
+
+namespace {
+
+/// Greedy position selection: repeatedly add the position that best
+/// splits the currently-colliding groups of training keys, mirroring
+/// gperf's -k inference.
+std::vector<uint32_t> selectPositions(const std::vector<std::string> &Keys,
+                                      unsigned MaxPositions) {
+  size_t MaxLen = 0;
+  for (const std::string &Key : Keys)
+    MaxLen = std::max(MaxLen, Key.size());
+
+  std::vector<uint32_t> Positions;
+  // Group id per key under the currently selected positions (plus
+  // length, which the hash always includes).
+  std::vector<uint32_t> Group(Keys.size());
+  {
+    std::unordered_map<size_t, uint32_t> ByLen;
+    for (size_t I = 0; I != Keys.size(); ++I) {
+      const auto [It, _] = ByLen.try_emplace(
+          Keys[I].size(), static_cast<uint32_t>(ByLen.size()));
+      Group[I] = It->second;
+    }
+  }
+
+  const auto DistinctGroups = [&](uint32_t Candidate) {
+    std::unordered_map<uint64_t, uint32_t> Refined;
+    for (size_t I = 0; I != Keys.size(); ++I) {
+      const uint8_t Byte = Candidate < Keys[I].size()
+                               ? static_cast<uint8_t>(Keys[I][Candidate])
+                               : 0;
+      const uint64_t Id = (static_cast<uint64_t>(Group[I]) << 8) | Byte;
+      Refined.try_emplace(Id, static_cast<uint32_t>(Refined.size()));
+    }
+    return Refined;
+  };
+
+  size_t CurrentGroups = 0;
+  for (uint32_t G : Group)
+    CurrentGroups = std::max<size_t>(CurrentGroups, G + 1);
+
+  while (Positions.size() < MaxPositions && CurrentGroups < Keys.size()) {
+    uint32_t Best = 0;
+    size_t BestCount = CurrentGroups;
+    for (uint32_t Candidate = 0; Candidate != MaxLen; ++Candidate) {
+      if (std::find(Positions.begin(), Positions.end(), Candidate) !=
+          Positions.end())
+        continue;
+      const size_t Count = DistinctGroups(Candidate).size();
+      if (Count > BestCount) {
+        BestCount = Count;
+        Best = Candidate;
+      }
+    }
+    if (BestCount == CurrentGroups)
+      break; // No position separates anything further.
+    std::unordered_map<uint64_t, uint32_t> Refined = DistinctGroups(Best);
+    for (size_t I = 0; I != Keys.size(); ++I) {
+      const uint8_t Byte = Best < Keys[I].size()
+                               ? static_cast<uint8_t>(Keys[I][Best])
+                               : 0;
+      Group[I] = Refined[(static_cast<uint64_t>(Group[I]) << 8) | Byte];
+    }
+    CurrentGroups = BestCount;
+    Positions.push_back(Best);
+  }
+  std::sort(Positions.begin(), Positions.end());
+  return Positions;
+}
+
+} // namespace
+
+PerfectHashFunction
+sepe::buildPerfectHash(const std::vector<std::string> &Keys,
+                       const GperfOptions &Options) {
+  assert(!Keys.empty() && "gperf requires at least one keyword");
+  auto Data = std::make_shared<PerfectHashFunction::TableData>();
+  Data->Positions = selectPositions(Keys, Options.MaxPositions);
+  Data->Asso.assign(Data->Positions.size(), {});
+
+  PerfectHashFunction Fn;
+  Fn.Tables = Data;
+
+  // Iterative association-value search (gperf's core loop): find
+  // colliding training keys and bump the association value of one of
+  // their (position, byte) pairs. Small increments keep the hash range
+  // dense, exactly like gperf's asso_values.
+  std::mt19937_64 Rng(Options.Seed);
+  size_t BestCollisions = Keys.size();
+  std::vector<std::array<uint32_t, 256>> BestAsso = Data->Asso;
+
+  // gperf bounds its association values (asso_max) so the hash range
+  // stays dense — a handful of residual training collisions is accepted
+  // over a sparse table. This narrow range is precisely why a function
+  // trained on 1000 random keys collides heavily on the full key space
+  // (Section 4.2's "imperfect lookup table").
+  const uint32_t AssoCap = static_cast<uint32_t>(
+      std::max<size_t>(Keys.size() / 2, 32));
+
+  for (unsigned Iter = 0; Iter != Options.MaxIterations; ++Iter) {
+    // Increments grow as the search ages so the association values can
+    // spread far enough to separate large keyword sets (gperf keeps
+    // raising asso_max the same way).
+    const uint32_t MaxBump = std::min<uint32_t>(2 + Iter / 4, 16);
+    std::unordered_map<uint64_t, size_t> Counts;
+    Counts.reserve(Keys.size() * 2);
+    for (const std::string &Key : Keys)
+      ++Counts[Fn(Key)];
+    size_t Collisions = 0;
+    for (const auto &[Hash, Count] : Counts)
+      Collisions += Count - 1;
+    if (Collisions < BestCollisions) {
+      BestCollisions = Collisions;
+      BestAsso = Data->Asso;
+    }
+    if (Collisions == 0)
+      break;
+
+    // Perturb: for every key in a colliding bucket (except one
+    // representative), bump one association entry.
+    std::unordered_map<uint64_t, bool> SeenHash;
+    for (const std::string &Key : Keys) {
+      const uint64_t Hash = Fn(Key);
+      auto [It, Inserted] = SeenHash.try_emplace(Hash, true);
+      (void)It;
+      if (Inserted)
+        continue;
+      if (Data->Positions.empty())
+        break;
+      const size_t Which = Rng() % Data->Positions.size();
+      const uint32_t Pos = Data->Positions[Which];
+      if (Pos >= Key.size())
+        continue;
+      uint32_t &Entry = Data->Asso[Which][static_cast<uint8_t>(Key[Pos])];
+      Entry = (Entry + 1 + Rng() % MaxBump) % AssoCap;
+    }
+  }
+
+  // Restore the best table found during the search.
+  Data->Asso = BestAsso;
+  Data->TrainingCollisions = BestCollisions;
+  return Fn;
+}
+
+std::string PerfectHashFunction::emitC(const std::string &Name) const {
+  std::string Out;
+  Out += "/* Generated by sepe mini-gperf. */\n";
+  Out += "#include <stddef.h>\n\n";
+  for (size_t I = 0; I != Tables->Asso.size(); ++I) {
+    Out += "static const unsigned asso" + std::to_string(I) + "[256] = {";
+    for (size_t B = 0; B != 256; ++B) {
+      if (B % 16 == 0)
+        Out += "\n  ";
+      Out += std::to_string(Tables->Asso[I][B]);
+      Out += ",";
+    }
+    Out += "\n};\n";
+  }
+  Out += "\nsize_t " + Name + "(const char *Key, size_t Len) {\n";
+  Out += "  size_t Hash = Len;\n";
+  for (size_t I = 0; I != Tables->Positions.size(); ++I) {
+    const std::string Pos = std::to_string(Tables->Positions[I]);
+    Out += "  if (" + Pos + " < Len)\n";
+    Out += "    Hash += asso" + std::to_string(I) +
+           "[(unsigned char)Key[" + Pos + "]];\n";
+  }
+  Out += "  return Hash;\n}\n";
+  return Out;
+}

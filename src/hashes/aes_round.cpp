@@ -1,0 +1,125 @@
+//===- hashes/aes_round.cpp - One AES encryption round -------------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hashes/aes_round.h"
+
+#include <cstring>
+
+#if defined(SEPE_HAVE_AESNI)
+#include <immintrin.h>
+#endif
+
+using namespace sepe;
+
+namespace {
+
+/// Multiplication in GF(2^8) with the AES reduction polynomial x^8 +
+/// x^4 + x^3 + x + 1 (0x11b).
+constexpr uint8_t gmul(uint8_t A, uint8_t B) {
+  uint8_t Product = 0;
+  for (int I = 0; I != 8; ++I) {
+    if (B & 1)
+      Product ^= A;
+    const bool Carry = (A & 0x80) != 0;
+    A = static_cast<uint8_t>(A << 1);
+    if (Carry)
+      A ^= 0x1b;
+    B >>= 1;
+  }
+  return Product;
+}
+
+/// Multiplicative inverse in GF(2^8): x^254 (0 maps to 0).
+constexpr uint8_t ginv(uint8_t X) {
+  // x^254 = x^(2+4+8+16+32+64+128); square-and-multiply.
+  uint8_t Result = 1;
+  uint8_t Power = X;     // x^(2^0)
+  for (int Bit = 1; Bit != 8; ++Bit) {
+    Power = gmul(Power, Power); // x^(2^Bit)
+    Result = gmul(Result, Power);
+  }
+  return Result;
+}
+
+constexpr uint8_t rotl8(uint8_t X, int Shift) {
+  return static_cast<uint8_t>((X << Shift) | (X >> (8 - Shift)));
+}
+
+constexpr std::array<uint8_t, 256> makeSBox() {
+  std::array<uint8_t, 256> Box{};
+  for (unsigned I = 0; I != 256; ++I) {
+    const uint8_t Inv = ginv(static_cast<uint8_t>(I));
+    Box[I] = static_cast<uint8_t>(Inv ^ rotl8(Inv, 1) ^ rotl8(Inv, 2) ^
+                                  rotl8(Inv, 3) ^ rotl8(Inv, 4) ^ 0x63);
+  }
+  return Box;
+}
+
+constexpr std::array<uint8_t, 256> SBoxTable = makeSBox();
+static_assert(SBoxTable[0x00] == 0x63, "AES S-box generation is wrong");
+static_assert(SBoxTable[0x01] == 0x7c, "AES S-box generation is wrong");
+static_assert(SBoxTable[0x53] == 0xed, "AES S-box generation is wrong");
+
+void toBytes(Block128 Block, uint8_t Out[16]) {
+  std::memcpy(Out, &Block.Lo, 8);
+  std::memcpy(Out + 8, &Block.Hi, 8);
+}
+
+Block128 fromBytes(const uint8_t In[16]) {
+  Block128 Block;
+  std::memcpy(&Block.Lo, In, 8);
+  std::memcpy(&Block.Hi, In + 8, 8);
+  return Block;
+}
+
+} // namespace
+
+const std::array<uint8_t, 256> sepe::AesSBox = SBoxTable;
+
+Block128 sepe::aesEncRoundSoft(Block128 State, Block128 RoundKey) {
+  // The AES state is column-major: flat byte I sits at row I%4 of
+  // column I/4.
+  uint8_t In[16];
+  toBytes(State, In);
+
+  // SubBytes + ShiftRows fused: output byte (R, C) reads the
+  // substituted byte at (R, (C + R) % 4).
+  uint8_t Shifted[16];
+  for (int Col = 0; Col != 4; ++Col)
+    for (int Row = 0; Row != 4; ++Row)
+      Shifted[Row + 4 * Col] = SBoxTable[In[Row + 4 * ((Col + Row) % 4)]];
+
+  // MixColumns: each column is multiplied by the circulant matrix
+  // [2 3 1 1; 1 2 3 1; 1 1 2 3; 3 1 1 2] over GF(2^8).
+  uint8_t Mixed[16];
+  for (int Col = 0; Col != 4; ++Col) {
+    const uint8_t *C = Shifted + 4 * Col;
+    uint8_t *M = Mixed + 4 * Col;
+    M[0] = static_cast<uint8_t>(gmul(C[0], 2) ^ gmul(C[1], 3) ^ C[2] ^ C[3]);
+    M[1] = static_cast<uint8_t>(C[0] ^ gmul(C[1], 2) ^ gmul(C[2], 3) ^ C[3]);
+    M[2] = static_cast<uint8_t>(C[0] ^ C[1] ^ gmul(C[2], 2) ^ gmul(C[3], 3));
+    M[3] = static_cast<uint8_t>(gmul(C[0], 3) ^ C[1] ^ C[2] ^ gmul(C[3], 2));
+  }
+
+  return fromBytes(Mixed) ^ RoundKey;
+}
+
+Block128 sepe::aesEncRoundHw(Block128 State, Block128 RoundKey) {
+#if defined(SEPE_HAVE_AESNI)
+  const __m128i S = _mm_set_epi64x(static_cast<long long>(State.Hi),
+                                   static_cast<long long>(State.Lo));
+  const __m128i K = _mm_set_epi64x(static_cast<long long>(RoundKey.Hi),
+                                   static_cast<long long>(RoundKey.Lo));
+  const __m128i R = _mm_aesenc_si128(S, K);
+  Block128 Result;
+  Result.Lo = static_cast<uint64_t>(_mm_cvtsi128_si64(R));
+  Result.Hi = static_cast<uint64_t>(
+      _mm_cvtsi128_si64(_mm_unpackhi_epi64(R, R)));
+  return Result;
+#else
+  return aesEncRoundSoft(State, RoundKey);
+#endif
+}

@@ -1,0 +1,63 @@
+//===- hashes/aes_round.h - One AES encryption round ------------*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A single AES encryption round with the exact semantics of x86's
+/// `aesenc` instruction: MixColumns(ShiftRows(SubBytes(state))) ^ key.
+/// The Aes family of synthesized hashes uses this as its combiner
+/// (Section 4, "Synthetic Hash Functions"). Two implementations are
+/// provided: the AES-NI instruction (when compiled in) and a bit-exact
+/// software round built from a constexpr-generated S-box — the code path
+/// a pext-less / AES-less target would execute. The test suite proves
+/// the two agree on random states.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_HASHES_AES_ROUND_H
+#define SEPE_HASHES_AES_ROUND_H
+
+#include <array>
+#include <cstdint>
+
+namespace sepe {
+
+/// A 128-bit value as two little-endian 64-bit lanes; lane 0 holds
+/// bytes 0-7.
+struct Block128 {
+  uint64_t Lo = 0;
+  uint64_t Hi = 0;
+
+  friend Block128 operator^(Block128 A, Block128 B) {
+    return Block128{A.Lo ^ B.Lo, A.Hi ^ B.Hi};
+  }
+  friend bool operator==(Block128 A, Block128 B) {
+    return A.Lo == B.Lo && A.Hi == B.Hi;
+  }
+};
+
+/// The AES forward S-box, generated at compile time from the GF(2^8)
+/// inverse and the affine transform.
+extern const std::array<uint8_t, 256> AesSBox;
+
+/// Software `aesenc`: one full AES encryption round.
+Block128 aesEncRoundSoft(Block128 State, Block128 RoundKey);
+
+/// Hardware `aesenc` when compiled with AES-NI; falls back to the
+/// software round otherwise.
+Block128 aesEncRoundHw(Block128 State, Block128 RoundKey);
+
+/// True when aesEncRoundHw executes the AES-NI instruction.
+constexpr bool hasHardwareAes() {
+#if defined(SEPE_HAVE_AESNI)
+  return true;
+#else
+  return false;
+#endif
+}
+
+} // namespace sepe
+
+#endif // SEPE_HASHES_AES_ROUND_H

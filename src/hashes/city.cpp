@@ -1,0 +1,155 @@
+//===- hashes/city.cpp - CityHash64 reimplementation ---------------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hashes/city.h"
+
+#include "support/bit_ops.h"
+
+#include <utility>
+
+using namespace sepe;
+
+namespace {
+
+constexpr uint64_t K0 = 0xc3a5c85c97cb3127ULL;
+constexpr uint64_t K1 = 0xb492b66fbe98f273ULL;
+constexpr uint64_t K2 = 0x9ae16a3b2f90404fULL;
+
+uint64_t fetch64(const char *P) { return loadU64Le(P); }
+uint64_t fetch32(const char *P) { return loadU32Le(P); }
+
+uint64_t rotate(uint64_t Val, int Shift) {
+  return Shift == 0 ? Val : (Val >> Shift) | (Val << (64 - Shift));
+}
+
+uint64_t shiftMix(uint64_t Val) { return Val ^ (Val >> 47); }
+
+uint64_t bswap64(uint64_t Val) { return __builtin_bswap64(Val); }
+
+uint64_t hashLen16(uint64_t U, uint64_t V, uint64_t Mul) {
+  uint64_t A = (U ^ V) * Mul;
+  A ^= A >> 47;
+  uint64_t B = (V ^ A) * Mul;
+  B ^= B >> 47;
+  B *= Mul;
+  return B;
+}
+
+uint64_t hashLen16(uint64_t U, uint64_t V) {
+  constexpr uint64_t KMul = 0x9ddfea08eb382d69ULL;
+  return hashLen16(U, V, KMul);
+}
+
+uint64_t hashLen0to16(const char *S, size_t Len) {
+  if (Len >= 8) {
+    const uint64_t Mul = K2 + Len * 2;
+    const uint64_t A = fetch64(S) + K2;
+    const uint64_t B = fetch64(S + Len - 8);
+    const uint64_t C = rotate(B, 37) * Mul + A;
+    const uint64_t D = (rotate(A, 25) + B) * Mul;
+    return hashLen16(C, D, Mul);
+  }
+  if (Len >= 4) {
+    const uint64_t Mul = K2 + Len * 2;
+    const uint64_t A = fetch32(S);
+    return hashLen16(Len + (A << 3), fetch32(S + Len - 4), Mul);
+  }
+  if (Len > 0) {
+    const uint8_t A = static_cast<uint8_t>(S[0]);
+    const uint8_t B = static_cast<uint8_t>(S[Len >> 1]);
+    const uint8_t C = static_cast<uint8_t>(S[Len - 1]);
+    const uint32_t Y = A + (static_cast<uint32_t>(B) << 8);
+    const uint32_t Z = static_cast<uint32_t>(Len) +
+                       (static_cast<uint32_t>(C) << 2);
+    return shiftMix(Y * K2 ^ Z * K0) * K2;
+  }
+  return K2;
+}
+
+uint64_t hashLen17to32(const char *S, size_t Len) {
+  const uint64_t Mul = K2 + Len * 2;
+  const uint64_t A = fetch64(S) * K1;
+  const uint64_t B = fetch64(S + 8);
+  const uint64_t C = fetch64(S + Len - 8) * Mul;
+  const uint64_t D = fetch64(S + Len - 16) * K2;
+  return hashLen16(rotate(A + B, 43) + rotate(C, 30) + D,
+                   A + rotate(B + K2, 18) + C, Mul);
+}
+
+std::pair<uint64_t, uint64_t>
+weakHashLen32WithSeeds(uint64_t W, uint64_t X, uint64_t Y, uint64_t Z,
+                       uint64_t A, uint64_t B) {
+  A += W;
+  B = rotate(B + A + Z, 21);
+  const uint64_t C = A;
+  A += X;
+  A += Y;
+  B += rotate(A, 44);
+  return {A + Z, B + C};
+}
+
+std::pair<uint64_t, uint64_t>
+weakHashLen32WithSeeds(const char *S, uint64_t A, uint64_t B) {
+  return weakHashLen32WithSeeds(fetch64(S), fetch64(S + 8), fetch64(S + 16),
+                                fetch64(S + 24), A, B);
+}
+
+uint64_t hashLen33to64(const char *S, size_t Len) {
+  const uint64_t Mul = K2 + Len * 2;
+  uint64_t A = fetch64(S) * K2;
+  uint64_t B = fetch64(S + 8);
+  const uint64_t C = fetch64(S + Len - 24);
+  const uint64_t D = fetch64(S + Len - 32);
+  const uint64_t E = fetch64(S + 16) * K2;
+  const uint64_t F = fetch64(S + 24) * 9;
+  const uint64_t G = fetch64(S + Len - 8);
+  const uint64_t H = fetch64(S + Len - 16) * Mul;
+  const uint64_t U = rotate(A + G, 43) + (rotate(B, 30) + C) * 9;
+  const uint64_t V = ((A + G) ^ D) + F + 1;
+  const uint64_t W = bswap64((U + V) * Mul) + H;
+  const uint64_t X = rotate(E + F, 42) + C;
+  const uint64_t Y = (bswap64((V + W) * Mul) + G) * Mul;
+  const uint64_t Z = E + F + C;
+  A = bswap64((X + Z) * Mul + Y) + B;
+  B = shiftMix((Z + A) * Mul + D + H) * Mul;
+  return B + X;
+}
+
+} // namespace
+
+uint64_t sepe::cityHash64(const char *S, size_t Len) {
+  if (Len <= 32)
+    return Len <= 16 ? hashLen0to16(S, Len) : hashLen17to32(S, Len);
+  if (Len <= 64)
+    return hashLen33to64(S, Len);
+
+  // For long strings: a 56-byte rolling state updated in 64-byte chunks.
+  uint64_t X = fetch64(S + Len - 40);
+  uint64_t Y = fetch64(S + Len - 16) + fetch64(S + Len - 56);
+  uint64_t Z = hashLen16(fetch64(S + Len - 48) + Len, fetch64(S + Len - 24));
+  std::pair<uint64_t, uint64_t> V =
+      weakHashLen32WithSeeds(S + Len - 64, Len, Z);
+  std::pair<uint64_t, uint64_t> W =
+      weakHashLen32WithSeeds(S + Len - 32, Y + K1, X);
+  X = X * K1 + fetch64(S);
+
+  Len = (Len - 1) & ~static_cast<size_t>(63);
+  do {
+    X = rotate(X + Y + V.first + fetch64(S + 8), 37) * K1;
+    Y = rotate(Y + V.second + fetch64(S + 48), 42) * K1;
+    X ^= W.second;
+    Y += V.first + fetch64(S + 40);
+    Z = rotate(Z + W.first, 33) * K1;
+    V = weakHashLen32WithSeeds(S, V.second * K1, X + W.first);
+    W = weakHashLen32WithSeeds(S + 32, Z + W.second, Y + fetch64(S + 16));
+    std::swap(Z, X);
+    S += 64;
+    Len -= 64;
+  } while (Len != 0);
+
+  return hashLen16(hashLen16(V.first, W.first) + shiftMix(Y) * K1 + Z,
+                   hashLen16(V.second, W.second) + X);
+}

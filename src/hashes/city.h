@@ -1,0 +1,39 @@
+//===- hashes/city.h - CityHash64 reimplementation --------------*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Re-implementation of Google's CityHash64 (Pike & Alakuijala), the
+/// paper's "City" baseline — the string-specialized hash that Abseil
+/// bundles as absl/hash/internal/city.cc. Written from the published
+/// algorithm description; the test suite checks structural invariants
+/// (determinism, avalanche, length sensitivity) rather than external
+/// vectors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_HASHES_CITY_H
+#define SEPE_HASHES_CITY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sepe {
+
+/// CityHash64 of \p Len bytes at \p Ptr.
+uint64_t cityHash64(const char *Ptr, size_t Len);
+
+/// The paper's City baseline as a container-ready functor.
+struct CityHash {
+  size_t operator()(std::string_view Key) const {
+    return static_cast<size_t>(cityHash64(Key.data(), Key.size()));
+  }
+};
+
+} // namespace sepe
+
+#endif // SEPE_HASHES_CITY_H

@@ -1,0 +1,19 @@
+//===- hashes/fnv.cpp - Fowler-Noll-Vo hashes ----------------------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hashes/fnv.h"
+
+using namespace sepe;
+
+uint64_t sepe::fnv1aHashBytes(const void *Ptr, size_t Len, uint64_t Seed) {
+  const auto *Bytes = static_cast<const unsigned char *>(Ptr);
+  uint64_t Hash = Seed;
+  for (size_t I = 0; I != Len; ++I) {
+    Hash ^= Bytes[I];
+    Hash *= FnvPrime64;
+  }
+  return Hash;
+}

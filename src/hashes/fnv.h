@@ -1,0 +1,45 @@
+//===- hashes/fnv.h - Fowler-Noll-Vo hashes ---------------------*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FNV-1a, the paper's "FNV" baseline, in two flavors: the standard
+/// 64-bit FNV-1a (validated against published test vectors) and the
+/// seeded byte-at-a-time variant that libstdc++ ships as
+/// _Fnv_hash_bytes (hash_bytes.cc:123).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_HASHES_FNV_H
+#define SEPE_HASHES_FNV_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sepe {
+
+/// 64-bit FNV prime.
+constexpr uint64_t FnvPrime64 = 1099511628211ULL;
+
+/// 64-bit FNV offset basis.
+constexpr uint64_t FnvOffsetBasis64 = 14695981039346656037ULL;
+
+/// Standard FNV-1a over \p Len bytes starting from \p Seed (pass
+/// FnvOffsetBasis64 for the canonical hash).
+uint64_t fnv1aHashBytes(const void *Ptr, size_t Len, uint64_t Seed);
+
+/// The paper's FNV baseline as a container-ready functor.
+struct FnvHash {
+  size_t operator()(std::string_view Key) const {
+    return static_cast<size_t>(
+        fnv1aHashBytes(Key.data(), Key.size(), FnvOffsetBasis64));
+  }
+};
+
+} // namespace sepe
+
+#endif // SEPE_HASHES_FNV_H

@@ -1,0 +1,120 @@
+//===- hashes/gpt_like.cpp - Simulated LLM-written hashes ----------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hashes/gpt_like.h"
+
+#include <cassert>
+#include <cstdint>
+
+using namespace sepe;
+
+namespace {
+
+uint64_t digitAt(std::string_view Key, size_t I) {
+  return static_cast<uint64_t>(Key[I] - '0');
+}
+
+uint64_t hexAt(std::string_view Key, size_t I) {
+  const char C = Key[I];
+  if (C >= '0' && C <= '9')
+    return static_cast<uint64_t>(C - '0');
+  if (C >= 'a' && C <= 'f')
+    return static_cast<uint64_t>(C - 'a' + 10);
+  return static_cast<uint64_t>(C - 'A' + 10);
+}
+
+/// "ddd-dd-dddd": the nine digits as one integer.
+uint64_t hashSsn(std::string_view Key) {
+  uint64_t Value = 0;
+  for (size_t I : {0, 1, 2, 4, 5, 7, 8, 9, 10})
+    Value = Value * 10 + digitAt(Key, I);
+  return Value;
+}
+
+/// "ddd.ddd.ddd-dd": the eleven digits as one integer.
+uint64_t hashCpf(std::string_view Key) {
+  uint64_t Value = 0;
+  for (size_t I : {0, 1, 2, 4, 5, 6, 8, 9, 10, 12, 13})
+    Value = Value * 10 + digitAt(Key, I);
+  return Value;
+}
+
+/// "XX-XX-XX-XX-XX-XX": the 48-bit address itself.
+uint64_t hashMac(std::string_view Key) {
+  uint64_t Value = 0;
+  for (size_t I : {0, 1, 3, 4, 6, 7, 9, 10, 12, 13, 15, 16})
+    Value = (Value << 4) | hexAt(Key, I);
+  return Value;
+}
+
+/// "ddd.ddd.ddd.ddd": octets summed then scaled — the commutative
+/// mistake that dominates the Gpt baseline's collision count.
+uint64_t hashIpv4(std::string_view Key) {
+  uint64_t Sum = 0;
+  for (size_t Group = 0; Group != 4; ++Group) {
+    const size_t Base = Group * 4;
+    const uint64_t Octet = digitAt(Key, Base) * 100 +
+                           digitAt(Key, Base + 1) * 10 +
+                           digitAt(Key, Base + 2);
+    Sum += Octet;
+  }
+  return Sum * 2654435761ULL;
+}
+
+/// "hhhh:hhhh:...": 31-polynomial over the eight 16-bit groups.
+uint64_t hashIpv6(std::string_view Key) {
+  uint64_t Hash = 0;
+  for (size_t Group = 0; Group != 8; ++Group) {
+    const size_t Base = Group * 5;
+    uint64_t Word = 0;
+    for (size_t I = 0; I != 4; ++I)
+      Word = (Word << 4) | hexAt(Key, Base + I);
+    Hash = Hash * 31 + Word;
+  }
+  return Hash;
+}
+
+/// 131-polynomial over a character range.
+uint64_t hashPoly(std::string_view Key, size_t Begin, size_t End) {
+  uint64_t Hash = 0;
+  for (size_t I = Begin; I != End; ++I)
+    Hash = Hash * 131 + static_cast<uint8_t>(Key[I]);
+  return Hash;
+}
+
+} // namespace
+
+size_t sepe::gptLikeHash(PaperKey Format, std::string_view Key) {
+  switch (Format) {
+  case PaperKey::SSN:
+    assert(Key.size() == 11 && "malformed SSN key");
+    return hashSsn(Key);
+  case PaperKey::CPF:
+    assert(Key.size() == 14 && "malformed CPF key");
+    return hashCpf(Key);
+  case PaperKey::MAC:
+    assert(Key.size() == 17 && "malformed MAC key");
+    return hashMac(Key);
+  case PaperKey::IPv4:
+    assert(Key.size() == 15 && "malformed IPv4 key");
+    return hashIpv4(Key);
+  case PaperKey::IPv6:
+    assert(Key.size() == 39 && "malformed IPv6 key");
+    return hashIpv6(Key);
+  case PaperKey::INTS:
+    assert(Key.size() == 100 && "malformed INTS key");
+    return hashPoly(Key, 0, Key.size());
+  case PaperKey::URL1:
+    // Skip the 23 constant prefix characters; hash the slug and suffix.
+    assert(Key.size() == 48 && "malformed URL1 key");
+    return hashPoly(Key, 23, 43);
+  case PaperKey::URL2:
+    assert(Key.size() == 61 && "malformed URL2 key");
+    return hashPoly(Key, 36, 56);
+  }
+  assert(false && "unreachable: all formats handled");
+  return 0;
+}

@@ -1,0 +1,43 @@
+//===- hashes/gpt_like.h - Simulated LLM-written hashes ---------*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's "Gpt" baseline: per-format hash functions in the style
+/// ChatGPT-3.5 produces for the paper's prompts — unrolled, skipping the
+/// constant separators, no std::hash. With no LLM available offline,
+/// these are handwritten to the same brief (see DESIGN.md,
+/// "Substitutions"), including the commutative octet mixing that makes
+/// the paper's Gpt function collide heavily on IPv4 keys (Section 4.2:
+/// 7,857 of its 7,865 collisions are IPv4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_HASHES_GPT_LIKE_H
+#define SEPE_HASHES_GPT_LIKE_H
+
+#include "keygen/paper_formats.h"
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace sepe {
+
+/// Hashes \p Key, which must conform to \p Format.
+size_t gptLikeHash(PaperKey Format, std::string_view Key);
+
+/// Container-ready functor for one paper key format.
+struct GptHash {
+  PaperKey Format = PaperKey::SSN;
+
+  size_t operator()(std::string_view Key) const {
+    return gptLikeHash(Format, Key);
+  }
+};
+
+} // namespace sepe
+
+#endif // SEPE_HASHES_GPT_LIKE_H

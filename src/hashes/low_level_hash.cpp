@@ -1,0 +1,82 @@
+//===- hashes/low_level_hash.cpp - Abseil-style LowLevelHash -------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hashes/low_level_hash.h"
+
+#include "support/bit_ops.h"
+
+using namespace sepe;
+
+namespace {
+
+/// The salt constants of Abseil's LowLevelHash (originally the wyhash
+/// primes).
+constexpr uint64_t Salt[5] = {
+    0xa0761d6478bd642fULL, 0xe7037ed1a0b428dbULL, 0x8ebc6af09c88c6e3ULL,
+    0x589965cc75374cc3ULL, 0x1d8e4e27c47d124fULL};
+
+uint64_t mix(uint64_t V0, uint64_t V1) { return mulFold(V0, V1); }
+
+} // namespace
+
+uint64_t sepe::lowLevelHash(const void *Data, size_t Len, uint64_t Seed) {
+  const auto *Ptr = static_cast<const unsigned char *>(Data);
+  const uint64_t StartingLength = Len;
+  uint64_t State = Seed ^ Salt[0];
+
+  if (Len > 64) {
+    // Two interleaved 64-byte lanes to extract instruction parallelism.
+    uint64_t DuplicatedState = State;
+    do {
+      const uint64_t A = loadU64Le(Ptr);
+      const uint64_t B = loadU64Le(Ptr + 8);
+      const uint64_t C = loadU64Le(Ptr + 16);
+      const uint64_t D = loadU64Le(Ptr + 24);
+      const uint64_t E = loadU64Le(Ptr + 32);
+      const uint64_t F = loadU64Le(Ptr + 40);
+      const uint64_t G = loadU64Le(Ptr + 48);
+      const uint64_t H = loadU64Le(Ptr + 56);
+
+      const uint64_t Cs0 = mix(A ^ Salt[1], B ^ State);
+      const uint64_t Cs1 = mix(C ^ Salt[2], D ^ State);
+      State = Cs0 ^ Cs1;
+
+      const uint64_t Ds0 = mix(E ^ Salt[3], F ^ DuplicatedState);
+      const uint64_t Ds1 = mix(G ^ Salt[4], H ^ DuplicatedState);
+      DuplicatedState = Ds0 ^ Ds1;
+
+      Ptr += 64;
+      Len -= 64;
+    } while (Len > 64);
+    State ^= DuplicatedState;
+  }
+
+  while (Len > 16) {
+    const uint64_t A = loadU64Le(Ptr);
+    const uint64_t B = loadU64Le(Ptr + 8);
+    State = mix(A ^ Salt[1], B ^ State);
+    Ptr += 16;
+    Len -= 16;
+  }
+
+  uint64_t A = 0;
+  uint64_t B = 0;
+  if (Len > 8) {
+    A = loadU64Le(Ptr);
+    B = loadU64Le(Ptr + Len - 8);
+  } else if (Len > 3) {
+    A = loadU32Le(Ptr);
+    B = loadU32Le(Ptr + Len - 4);
+  } else if (Len > 0) {
+    A = (static_cast<uint64_t>(Ptr[0]) << 16) |
+        (static_cast<uint64_t>(Ptr[Len >> 1]) << 8) |
+        static_cast<uint64_t>(Ptr[Len - 1]);
+  }
+
+  const uint64_t W = mix(A ^ Salt[1], B ^ State);
+  const uint64_t Z = Salt[1] ^ StartingLength;
+  return mix(W, Z);
+}

@@ -1,0 +1,37 @@
+//===- hashes/low_level_hash.h - Abseil-style LowLevelHash ------*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Re-implementation of Abseil's LowLevelHash (the wyhash-derived mixer
+/// behind absl::Hash, absl/hash/internal/low_level_hash.cc) — the
+/// paper's "Abseil" baseline. The core primitive is a 128-bit multiply
+/// folded by xor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_HASHES_LOW_LEVEL_HASH_H
+#define SEPE_HASHES_LOW_LEVEL_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sepe {
+
+/// LowLevelHash of \p Len bytes at \p Ptr under \p Seed.
+uint64_t lowLevelHash(const void *Ptr, size_t Len, uint64_t Seed);
+
+/// The paper's Abseil baseline as a container-ready functor.
+struct LowLevelHashFn {
+  size_t operator()(std::string_view Key) const {
+    return static_cast<size_t>(lowLevelHash(Key.data(), Key.size(), 0));
+  }
+};
+
+} // namespace sepe
+
+#endif // SEPE_HASHES_LOW_LEVEL_HASH_H

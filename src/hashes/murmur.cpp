@@ -1,0 +1,43 @@
+//===- hashes/murmur.cpp - libstdc++ Murmur (Figure 1) -------------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hashes/murmur.h"
+
+#include "support/bit_ops.h"
+
+using namespace sepe;
+
+namespace {
+
+inline size_t shiftMix(size_t V) { return V ^ (V >> 47); }
+
+} // namespace
+
+size_t sepe::murmurHashBytes(const void *Ptr, size_t Len, size_t Seed) {
+  static_assert(sizeof(size_t) == 8, "this port targets 64-bit size_t");
+  constexpr size_t Mul =
+      (size_t{0xc6a4a793UL} << 32UL) + size_t{0x5bd1e995UL};
+  const char *Buf = static_cast<const char *>(Ptr);
+
+  // Remove the bytes not divisible by the word size so the main loop
+  // processes the data as 64-bit integers.
+  const size_t LenAligned = Len & ~size_t{0x7};
+  const char *End = Buf + LenAligned;
+  size_t Hash = Seed ^ (Len * Mul);
+  for (const char *P = Buf; P != End; P += 8) {
+    const size_t Data = shiftMix(loadU64Le(P) * Mul) * Mul;
+    Hash ^= Data;
+    Hash *= Mul;
+  }
+  if ((Len & 0x7) != 0) {
+    const size_t Data = loadBytesLe(End, Len & 0x7);
+    Hash ^= Data;
+    Hash *= Mul;
+  }
+  Hash = shiftMix(Hash) * Mul;
+  Hash = shiftMix(Hash);
+  return Hash;
+}

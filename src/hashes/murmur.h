@@ -1,0 +1,41 @@
+//===- hashes/murmur.h - libstdc++ Murmur (Figure 1) ------------*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// From-scratch implementation of the Murmur-derived hash used by
+/// libstdc++'s std::hash for strings (_Hash_bytes, hash_bytes.cc:138;
+/// Figure 1 of the paper). This is the paper's "STL" baseline. The test
+/// suite verifies bit-exact agreement with this platform's
+/// std::hash<std::string>.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_HASHES_MURMUR_H
+#define SEPE_HASHES_MURMUR_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace sepe {
+
+/// The seed libstdc++ passes to _Hash_bytes for std::hash.
+constexpr size_t StlHashSeed = 0xc70f6907UL;
+
+/// Murmur-style hash of \p Len bytes at \p Ptr (Figure 1).
+size_t murmurHashBytes(const void *Ptr, size_t Len, size_t Seed);
+
+/// Drop-in functor equivalent to std::hash<std::string> on platforms
+/// using libstdc++; the paper's "STL" baseline.
+struct MurmurStlHash {
+  size_t operator()(std::string_view Key) const {
+    return murmurHashBytes(Key.data(), Key.size(), StlHashSeed);
+  }
+};
+
+} // namespace sepe
+
+#endif // SEPE_HASHES_MURMUR_H

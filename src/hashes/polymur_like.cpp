@@ -1,0 +1,112 @@
+//===- hashes/polymur_like.cpp - Length-specialized universal hash -------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hashes/polymur_like.h"
+
+#include "support/bit_ops.h"
+
+using namespace sepe;
+
+namespace {
+
+/// The Mersenne prime 2^61 - 1.
+constexpr uint64_t P61 = 0x1FFFFFFFFFFFFFFFULL;
+
+/// Reduces a 128-bit product modulo 2^61 - 1 (lazy: result < 2^62).
+uint64_t mulmodP61(uint64_t A, uint64_t B) {
+  uint64_t Lo, Hi;
+  mul128(A, B, Lo, Hi);
+  // x = Hi * 2^64 + Lo; 2^64 = 8 mod (2^61 - 1), folded in two steps.
+  const uint64_t Folded = (Lo & P61) + (Lo >> 61) + (Hi << 3 & P61) +
+                          (Hi >> 58);
+  return (Folded & P61) + (Folded >> 61);
+}
+
+uint64_t addmodP61(uint64_t A, uint64_t B) {
+  const uint64_t Sum = A + B;
+  return (Sum & P61) + (Sum >> 61);
+}
+
+/// Polynomial accumulate: Acc = Acc * K + Term (mod 2^61 - 1, lazy).
+uint64_t polyStep(uint64_t Acc, uint64_t K, uint64_t Term) {
+  return addmodP61(mulmodP61(Acc, K), Term);
+}
+
+/// Final whitening: xor-shift the field element over the full 64-bit
+/// range.
+uint64_t finalize(uint64_t X, uint64_t Tweak) {
+  X ^= Tweak;
+  X ^= X >> 32;
+  X *= 0xd6e8feb86659fd93ULL;
+  X ^= X >> 32;
+  return X;
+}
+
+} // namespace
+
+PolymurParams PolymurParams::fromSeed(uint64_t Seed) {
+  PolymurParams Params;
+  // Scramble the seed and clamp into the field, avoiding 0 and 1.
+  uint64_t X = Seed ^ 0x2545F4914F6CDD1DULL;
+  X ^= X >> 33;
+  X *= 0xff51afd7ed558ccdULL;
+  X ^= X >> 33;
+  Params.K = (X & P61) | 0x2; // >= 2, < 2^61
+  if (Params.K >= P61 - 1)
+    Params.K = 0x1b873593;
+  Params.Tweak = X * 0xc2b2ae3d27d4eb4fULL;
+  return Params;
+}
+
+uint64_t sepe::polymurLikeHash(const void *Data, size_t Len,
+                               const PolymurParams &Params) {
+  const char *Ptr = static_cast<const char *>(Data);
+  const uint64_t K = Params.K;
+
+  // Figure 2, first specialization: len <= 7 — a single partial word,
+  // one multiply.
+  if (Len <= 7) [[likely]] {
+    const uint64_t Word = loadBytesLe(Ptr, Len) | (uint64_t{Len} << 56);
+    return finalize(mulmodP61(Word & P61, K) + (Word >> 61),
+                    Params.Tweak);
+  }
+
+  // Third specialization (checked second, as in Figure 2): long keys,
+  // len >= 50 — a wider-stride loop over 16-byte blocks, two field
+  // elements per block.
+  if (Len >= 50) [[unlikely]] {
+    uint64_t Acc = Len;
+    const char *End = Ptr + Len - 16;
+    const char *P = Ptr;
+    for (; P <= End; P += 16) {
+      const uint64_t A = loadU64Le(P);
+      const uint64_t B = loadU64Le(P + 8);
+      Acc = polyStep(Acc, K, A & P61);
+      Acc = polyStep(Acc, K, ((A >> 61) | (B << 3)) & P61);
+      Acc = polyStep(Acc, K, B >> 58);
+    }
+    // Final (possibly overlapping) block covers the tail.
+    const uint64_t A = loadU64Le(Ptr + Len - 16);
+    const uint64_t B = loadU64Le(Ptr + Len - 8);
+    Acc = polyStep(Acc, K, A & P61);
+    Acc = polyStep(Acc, K, B & P61);
+    return finalize(Acc, Params.Tweak);
+  }
+
+  // Middle specialization: 8 <= len < 50 — word-at-a-time polynomial
+  // with an overlapping final load. Each word contributes two field
+  // elements (low 61 bits, high 3 bits) so no input bit is dropped.
+  uint64_t Acc = Len;
+  const char *End = Ptr + Len - 8;
+  for (const char *P = Ptr; P < End; P += 8) {
+    const uint64_t A = loadU64Le(P);
+    Acc = polyStep(Acc, K, A & P61);
+    Acc = polyStep(Acc, K, A >> 61);
+  }
+  Acc = polyStep(Acc, K, loadU64Le(End) & P61);
+  Acc = polyStep(Acc, K, loadU64Le(End) >> 61);
+  return finalize(Acc, Params.Tweak);
+}

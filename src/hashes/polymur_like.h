@@ -1,0 +1,55 @@
+//===- hashes/polymur_like.h - Length-specialized universal hash *- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A PolymurHash-style 64-bit universal hash with the three length
+/// specializations the paper's Example 2.2 highlights (Figure 2):
+/// short inputs (len <= 7), the common mid range (8 <= len < 50), and
+/// long inputs (len >= 50). The core is polynomial evaluation over the
+/// Mersenne prime 2^61 - 1, which gives an almost-universal family —
+/// the "industrial-quality hand specialization" the paper contrasts
+/// its synthesized functions against. Included as an additional
+/// baseline for the microbenchmarks; not part of the paper's ten-way
+/// comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_HASHES_POLYMUR_LIKE_H
+#define SEPE_HASHES_POLYMUR_LIKE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sepe {
+
+/// Parameters of one polymur-style function (the random polynomial
+/// point and tweak, reduced into the field).
+struct PolymurParams {
+  uint64_t K = 0;     // polynomial evaluation point, in [2, 2^61 - 2]
+  uint64_t Tweak = 0; // output whitening
+
+  /// Derives usable parameters from an arbitrary 64-bit seed.
+  static PolymurParams fromSeed(uint64_t Seed);
+};
+
+/// Hashes \p Len bytes at \p Ptr. Dispatches on length like Figure 2.
+uint64_t polymurLikeHash(const void *Ptr, size_t Len,
+                         const PolymurParams &Params);
+
+/// Container-ready functor with fixed default parameters.
+struct PolymurLikeHash {
+  PolymurParams Params = PolymurParams::fromSeed(0x9e3779b97f4a7c15ULL);
+
+  size_t operator()(std::string_view Key) const {
+    return static_cast<size_t>(
+        polymurLikeHash(Key.data(), Key.size(), Params));
+  }
+};
+
+} // namespace sepe
+
+#endif // SEPE_HASHES_POLYMUR_LIKE_H

@@ -1,0 +1,156 @@
+//===- keygen/distributions.cpp - Key streams per distribution -----------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "keygen/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+using namespace sepe;
+
+const char *sepe::distributionName(KeyDistribution D) {
+  switch (D) {
+  case KeyDistribution::Incremental:
+    return "Inc";
+  case KeyDistribution::Uniform:
+    return "Uniform";
+  case KeyDistribution::Normal:
+    return "Normal";
+  }
+  return "<invalid>";
+}
+
+KeyGenerator::KeyGenerator(const FormatSpec &Format,
+                           KeyDistribution Distribution, uint64_t Seed)
+    : Format(Format), Distribution(Distribution), Rng(Seed) {
+  assert(Format.isFixedLength() &&
+         "the paper's driver generates fixed-length keys");
+  Base.resize(Format.maxLength());
+  for (size_t I = 0; I != Format.maxLength(); ++I)
+    Base[I] = static_cast<char>(Format.classAt(I).min());
+  VarPositions = Format.variablePositions();
+  Radices.reserve(VarPositions.size());
+  for (size_t P : VarPositions)
+    Radices.push_back(static_cast<uint32_t>(Format.classAt(P).size()));
+
+  // Capped product of radices; saturates at 2^127 - 1.
+  constexpr Value Cap = (~Value{0}) >> 1;
+  Space = 1;
+  for (uint32_t R : Radices) {
+    if (Space > Cap / R) {
+      Space = Cap;
+      break;
+    }
+    Space *= R;
+  }
+  constexpr uint64_t Cap62 = uint64_t{1} << 62;
+  SpaceCapped = Space > Cap62 ? Cap62 : static_cast<uint64_t>(Space);
+
+  // A bell curve centered in the (capped) space, wide enough that large
+  // spreads still find distinct keys, narrow enough to be visibly
+  // non-uniform.
+  NormalMean = static_cast<double>(SpaceCapped) / 2.0;
+  NormalSigma = static_cast<double>(SpaceCapped) / 8.0;
+}
+
+std::string KeyGenerator::keyForValue(Value V) const {
+  std::string Key = Base;
+  // Least significant digit at the last variable position, so ascending
+  // values sort ascending as strings.
+  for (size_t I = VarPositions.size(); I-- > 0;) {
+    const uint32_t Radix = Radices[I];
+    const auto Digit = static_cast<size_t>(V % Radix);
+    V /= Radix;
+    Key[VarPositions[I]] =
+        static_cast<char>(Format.classAt(VarPositions[I]).nth(Digit));
+  }
+  return Key;
+}
+
+KeyGenerator::Value KeyGenerator::valueForKey(const std::string &Key) const {
+  assert(Format.matches(Key) && "key does not belong to the format");
+  Value V = 0;
+  for (size_t I = 0; I != VarPositions.size(); ++I) {
+    const size_t P = VarPositions[I];
+    V = V * Radices[I] +
+        Format.classAt(P).rankOf(static_cast<uint8_t>(Key[P]));
+  }
+  return V;
+}
+
+KeyGenerator::Value KeyGenerator::nextValue() {
+  switch (Distribution) {
+  case KeyDistribution::Incremental:
+    return Counter++;
+  case KeyDistribution::Uniform: {
+    // Every variable position drawn independently: uniform over the
+    // whole space even when it exceeds 2^64.
+    Value V = 0;
+    for (uint32_t Radix : Radices)
+      V = V * Radix + (Rng() % Radix);
+    return V;
+  }
+  case KeyDistribution::Normal: {
+    std::normal_distribution<double> Dist(NormalMean, NormalSigma);
+    double Draw = Dist(Rng);
+    if (Draw < 0)
+      Draw = 0;
+    const double Max = static_cast<double>(SpaceCapped) - 1;
+    if (Draw > Max)
+      Draw = Max;
+    return static_cast<Value>(static_cast<uint64_t>(Draw));
+  }
+  }
+  assert(false && "unreachable: all distributions handled");
+  return 0;
+}
+
+std::string KeyGenerator::next() { return keyForValue(nextValue()); }
+
+std::vector<std::string> KeyGenerator::distinct(size_t N) {
+  assert(Space >= N && "format space too small for the requested spread");
+  std::vector<std::string> Keys;
+  Keys.reserve(N);
+
+  if (Distribution == KeyDistribution::Incremental) {
+    for (size_t I = 0; I != N; ++I)
+      Keys.push_back(keyForValue(Counter++));
+    return Keys;
+  }
+
+  // When the request covers most of a small space, rejection sampling
+  // stalls; enumerate and shuffle instead (uniform) or take the densest
+  // slots around the mean (normal).
+  const bool SmallSpace = Space <= static_cast<Value>(N) * 4;
+  if (SmallSpace) {
+    std::vector<uint64_t> All(static_cast<size_t>(Space));
+    for (size_t I = 0; I != All.size(); ++I)
+      All[I] = I;
+    if (Distribution == KeyDistribution::Uniform) {
+      std::shuffle(All.begin(), All.end(), Rng);
+    } else {
+      const double Mean = NormalMean;
+      std::sort(All.begin(), All.end(), [Mean](uint64_t A, uint64_t B) {
+        return std::abs(static_cast<double>(A) - Mean) <
+               std::abs(static_cast<double>(B) - Mean);
+      });
+    }
+    for (size_t I = 0; I != N; ++I)
+      Keys.push_back(keyForValue(All[I]));
+    return Keys;
+  }
+
+  std::unordered_set<std::string> Seen;
+  Seen.reserve(N * 2);
+  while (Keys.size() != N) {
+    std::string Key = next();
+    if (Seen.insert(Key).second)
+      Keys.push_back(std::move(Key));
+  }
+  return Keys;
+}

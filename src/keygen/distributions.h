@@ -1,0 +1,88 @@
+//===- keygen/distributions.h - Key streams per distribution ---*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic key generation for the three distributions of the
+/// paper's driver (Section 4, "Benchmarks"): incremental/ascending,
+/// uniform and normal. A fixed-length FormatSpec induces a mixed-radix
+/// value space over its variable positions; the incremental distribution
+/// walks it in ascending ASCII order (exactly the '000-00-0000',
+/// '000-00-0001', ... sequence of RQ3), uniform draws every variable
+/// position independently, and normal draws a value from a bell curve
+/// centered in the (capped) value space.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_KEYGEN_DISTRIBUTIONS_H
+#define SEPE_KEYGEN_DISTRIBUTIONS_H
+
+#include "core/format_spec.h"
+
+#include <array>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace sepe {
+
+/// Key-value distributions of the paper's driver.
+enum class KeyDistribution { Incremental, Uniform, Normal };
+
+constexpr std::array<KeyDistribution, 3> AllKeyDistributions = {
+    KeyDistribution::Incremental, KeyDistribution::Uniform,
+    KeyDistribution::Normal};
+
+/// "Inc", "Uniform", "Normal" (the paper's table headings).
+const char *distributionName(KeyDistribution D);
+
+/// Generates keys of one fixed-length format under one distribution.
+/// Deterministic for a given (format, distribution, seed) triple.
+class KeyGenerator {
+public:
+  using Value = unsigned __int128;
+
+  KeyGenerator(const FormatSpec &Format, KeyDistribution Distribution,
+               uint64_t Seed = 0x5eed5eed);
+
+  /// Number of keys in the format (capped at 2^127 - 1).
+  Value spaceSize() const { return Space; }
+
+  /// The key whose mixed-radix index is \p V (indices wrap modulo the
+  /// space). Ascending V yields keys in ascending ASCII order.
+  std::string keyForValue(Value V) const;
+
+  /// The mixed-radix index of \p Key; inverse of keyForValue.
+  /// Precondition: the key belongs to the format.
+  Value valueForKey(const std::string &Key) const;
+
+  /// The next key in the stream (may repeat under uniform/normal).
+  std::string next();
+
+  /// \p N distinct keys of the distribution. Requires N <= spaceSize().
+  /// For uniform/normal this rejects duplicates; when the space is
+  /// small it falls back to enumerating and shuffling so the call always
+  /// terminates.
+  std::vector<std::string> distinct(size_t N);
+
+private:
+  Value nextValue();
+
+  FormatSpec Format; // Owned copy: generators outlive their spec source.
+  KeyDistribution Distribution;
+  std::mt19937_64 Rng;
+  std::string Base;                 // constant positions pre-filled
+  std::vector<size_t> VarPositions; // ascending
+  std::vector<uint32_t> Radices;    // alphabet size per variable position
+  Value Space;                      // capped product of radices
+  uint64_t SpaceCapped;             // min(space, 2^62), drives normal/inc
+  Value Counter = 0;                // incremental cursor
+  double NormalMean, NormalSigma;
+};
+
+} // namespace sepe
+
+#endif // SEPE_KEYGEN_DISTRIBUTIONS_H

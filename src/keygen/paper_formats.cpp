@@ -1,0 +1,77 @@
+//===- keygen/paper_formats.cpp - The eight key formats of Sec. 4 --------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "keygen/paper_formats.h"
+
+#include "core/regex_parser.h"
+
+#include <cstdlib>
+
+using namespace sepe;
+
+const char *sepe::paperKeyName(PaperKey Key) {
+  switch (Key) {
+  case PaperKey::SSN:
+    return "SSN";
+  case PaperKey::CPF:
+    return "CPF";
+  case PaperKey::MAC:
+    return "MAC";
+  case PaperKey::IPv4:
+    return "IPv4";
+  case PaperKey::IPv6:
+    return "IPv6";
+  case PaperKey::INTS:
+    return "INTS";
+  case PaperKey::URL1:
+    return "URL1";
+  case PaperKey::URL2:
+    return "URL2";
+  }
+  return "<invalid>";
+}
+
+const char *sepe::paperKeyRegex(PaperKey Key) {
+  switch (Key) {
+  case PaperKey::SSN:
+    return R"(\d{3}-\d{2}-\d{4})";
+  case PaperKey::CPF:
+    return R"(\d{3}\.\d{3}\.\d{3}-\d{2})";
+  case PaperKey::MAC:
+    return R"(([0-9a-fA-F]{2}-){5}[0-9a-fA-F]{2})";
+  case PaperKey::IPv4:
+    // The paper's fixed-width dotted-decimal form: ddd.ddd.ddd.ddd.
+    return R"((([0-9]{3})\.){3}[0-9]{3})";
+  case PaperKey::IPv6:
+    return R"(([0-9a-f]{4}:){7}[0-9a-f]{4})";
+  case PaperKey::INTS:
+    return R"([0-9]{100})";
+  case PaperKey::URL1:
+    // 23 constant characters plus a 20-character [a-z0-9] slug and the
+    // ".html" suffix (Section 4).
+    return R"(https://example\.com/go/[a-z0-9]{20}\.html)";
+  case PaperKey::URL2:
+    // 36 constant characters plus the same suffix.
+    return R"(https://www\.example\.com/en/articles/[a-z0-9]{20}\.html)";
+  }
+  return "";
+}
+
+const FormatSpec &sepe::paperKeyFormat(PaperKey Key) {
+  static const std::array<FormatSpec, 8> Formats = [] {
+    std::array<FormatSpec, 8> Result;
+    for (PaperKey K : AllPaperKeys) {
+      Expected<FormatSpec> Parsed = parseRegex(paperKeyRegex(K));
+      if (!Parsed) {
+        // The built-in regexes are fixed; a parse failure is a bug.
+        std::abort();
+      }
+      Result[static_cast<size_t>(K)] = Parsed.take();
+    }
+    return Result;
+  }();
+  return Formats[static_cast<size_t>(Key)];
+}

@@ -1,0 +1,42 @@
+//===- keygen/paper_formats.h - The eight key formats of Sec. 4 -*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The eight key types of the paper's evaluation (Section 4,
+/// "Benchmarks"): SSN, CPF, MAC, IPv4, IPv6, INTS, URL1 and URL2, each
+/// defined by the regex the paper gives and exposed as a parsed
+/// FormatSpec.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_KEYGEN_PAPER_FORMATS_H
+#define SEPE_KEYGEN_PAPER_FORMATS_H
+
+#include "core/format_spec.h"
+
+#include <array>
+
+namespace sepe {
+
+/// The paper's key types, in the order of Section 4.
+enum class PaperKey { SSN, CPF, MAC, IPv4, IPv6, INTS, URL1, URL2 };
+
+constexpr std::array<PaperKey, 8> AllPaperKeys = {
+    PaperKey::SSN,  PaperKey::CPF,  PaperKey::MAC,  PaperKey::IPv4,
+    PaperKey::IPv6, PaperKey::INTS, PaperKey::URL1, PaperKey::URL2};
+
+/// "SSN", "CPF", ...
+const char *paperKeyName(PaperKey Key);
+
+/// The regex of Section 4, in this library's restricted dialect.
+const char *paperKeyRegex(PaperKey Key);
+
+/// The parsed format (cached; parsing the fixed regexes cannot fail).
+const FormatSpec &paperKeyFormat(PaperKey Key);
+
+} // namespace sepe
+
+#endif // SEPE_KEYGEN_PAPER_FORMATS_H

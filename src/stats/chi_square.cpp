@@ -1,0 +1,59 @@
+//===- stats/chi_square.cpp - Chi-square goodness of fit -----------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/chi_square.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace sepe;
+
+double sepe::chiSquareUniform(const std::vector<uint64_t> &Observed) {
+  assert(!Observed.empty() && "chi-square needs at least one bin");
+  uint64_t Total = 0;
+  for (uint64_t Count : Observed)
+    Total += Count;
+  assert(Total > 0 && "chi-square needs at least one observation");
+  const double Expected =
+      static_cast<double>(Total) / static_cast<double>(Observed.size());
+  double Statistic = 0;
+  for (uint64_t Count : Observed) {
+    const double Diff = static_cast<double>(Count) - Expected;
+    Statistic += Diff * Diff / Expected;
+  }
+  return Statistic;
+}
+
+std::vector<uint64_t> sepe::histogram64(const std::vector<uint64_t> &Hashes,
+                                        size_t Bins) {
+  assert(Bins > 0 && "histogram needs at least one bin");
+  std::vector<uint64_t> Counts(Bins, 0);
+  // Map the full 64-bit range onto bins by the high bits, which is both
+  // fast and exact when Bins divides 2^64.
+  for (uint64_t Hash : Hashes) {
+    const auto Bin = static_cast<size_t>(
+        (static_cast<unsigned __int128>(Hash) * Bins) >> 64);
+    ++Counts[Bin];
+  }
+  return Counts;
+}
+
+double sepe::hashUniformityChi2(const std::vector<uint64_t> &Hashes,
+                                size_t Bins) {
+  return chiSquareUniform(histogram64(Hashes, Bins));
+}
+
+double sepe::chiSquarePValue(double Statistic, size_t Dof) {
+  assert(Dof > 0 && "degrees of freedom must be positive");
+  // Wilson-Hilferty: (X/k)^(1/3) is approximately normal with mean
+  // 1 - 2/(9k) and variance 2/(9k).
+  const double K = static_cast<double>(Dof);
+  const double Cube = std::cbrt(Statistic / K);
+  const double Mean = 1.0 - 2.0 / (9.0 * K);
+  const double Sd = std::sqrt(2.0 / (9.0 * K));
+  const double Z = (Cube - Mean) / Sd;
+  return 0.5 * std::erfc(Z / std::sqrt(2.0));
+}

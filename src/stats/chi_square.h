@@ -1,0 +1,44 @@
+//===- stats/chi_square.h - Chi-square goodness of fit ----------*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chi-square goodness-of-fit against the uniform distribution — the
+/// hash-uniformity metric of RQ3 (Table 2). Hash values are histogrammed
+/// over the full 64-bit range and the statistic is compared to a
+/// perfectly uniform histogram; the paper reports values normalized by
+/// the STL hash's statistic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_STATS_CHI_SQUARE_H
+#define SEPE_STATS_CHI_SQUARE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sepe {
+
+/// Chi-square statistic of \p Observed against equal expected counts.
+/// Requires at least one observation overall.
+double chiSquareUniform(const std::vector<uint64_t> &Observed);
+
+/// Histograms \p Hashes into \p Bins equal slices of the 64-bit range.
+std::vector<uint64_t> histogram64(const std::vector<uint64_t> &Hashes,
+                                  size_t Bins);
+
+/// Convenience: histogram + statistic (the RQ3 methodology, steps 2-4).
+double hashUniformityChi2(const std::vector<uint64_t> &Hashes,
+                          size_t Bins = 64);
+
+/// Upper-tail p-value of the chi-square distribution with \p Dof degrees
+/// of freedom (Wilson-Hilferty normal approximation; adequate for the
+/// Dof >= 30 regimes the benchmarks use).
+double chiSquarePValue(double Statistic, size_t Dof);
+
+} // namespace sepe
+
+#endif // SEPE_STATS_CHI_SQUARE_H

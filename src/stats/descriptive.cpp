@@ -1,0 +1,71 @@
+//===- stats/descriptive.cpp - Descriptive statistics --------------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace sepe;
+
+double sepe::mean(const std::vector<double> &Sample) {
+  if (Sample.empty())
+    return 0;
+  double Sum = 0;
+  for (double V : Sample)
+    Sum += V;
+  return Sum / static_cast<double>(Sample.size());
+}
+
+double sepe::geometricMean(const std::vector<double> &Sample) {
+  if (Sample.empty())
+    return 0;
+  double LogSum = 0;
+  for (double V : Sample) {
+    assert(V > 0 && "geometric mean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Sample.size()));
+}
+
+double sepe::stddev(const std::vector<double> &Sample) {
+  if (Sample.size() < 2)
+    return 0;
+  const double M = mean(Sample);
+  double SumSq = 0;
+  for (double V : Sample)
+    SumSq += (V - M) * (V - M);
+  return std::sqrt(SumSq / static_cast<double>(Sample.size() - 1));
+}
+
+double sepe::quantile(std::vector<double> Sample, double Q) {
+  assert(Q >= 0 && Q <= 1 && "quantile requires Q in [0, 1]");
+  if (Sample.empty())
+    return 0;
+  std::sort(Sample.begin(), Sample.end());
+  const double Index = Q * static_cast<double>(Sample.size() - 1);
+  const size_t Lo = static_cast<size_t>(Index);
+  const size_t Hi = std::min(Lo + 1, Sample.size() - 1);
+  const double Frac = Index - static_cast<double>(Lo);
+  return Sample[Lo] * (1 - Frac) + Sample[Hi] * Frac;
+}
+
+BoxStats sepe::boxStats(const std::vector<double> &Sample) {
+  BoxStats Stats;
+  if (Sample.empty())
+    return Stats;
+  std::vector<double> Sorted = Sample;
+  std::sort(Sorted.begin(), Sorted.end());
+  Stats.Min = Sorted.front();
+  Stats.Max = Sorted.back();
+  Stats.Q1 = quantile(Sorted, 0.25);
+  Stats.Median = quantile(Sorted, 0.5);
+  Stats.Q3 = quantile(Sorted, 0.75);
+  Stats.Mean = mean(Sample);
+  Stats.Count = Sample.size();
+  return Stats;
+}

@@ -1,0 +1,51 @@
+//===- stats/descriptive.h - Descriptive statistics -------------*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Means, geometric means, quantiles and five-number summaries — the
+/// aggregations behind every table and boxplot figure in the paper's
+/// evaluation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_STATS_DESCRIPTIVE_H
+#define SEPE_STATS_DESCRIPTIVE_H
+
+#include <cstddef>
+#include <vector>
+
+namespace sepe {
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(const std::vector<double> &Sample);
+
+/// Geometric mean (the paper's aggregate of choice). All values must be
+/// positive; 0 for an empty sample.
+double geometricMean(const std::vector<double> &Sample);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than two
+/// observations.
+double stddev(const std::vector<double> &Sample);
+
+/// Linear-interpolation quantile, \p Q in [0, 1]. Sorts a copy.
+double quantile(std::vector<double> Sample, double Q);
+
+/// Five-number summary plus mean: everything a boxplot needs.
+struct BoxStats {
+  double Min = 0;
+  double Q1 = 0;
+  double Median = 0;
+  double Q3 = 0;
+  double Max = 0;
+  double Mean = 0;
+  size_t Count = 0;
+};
+
+BoxStats boxStats(const std::vector<double> &Sample);
+
+} // namespace sepe
+
+#endif // SEPE_STATS_DESCRIPTIVE_H

@@ -1,0 +1,82 @@
+//===- stats/mann_whitney.cpp - Mann-Whitney U test ----------------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/mann_whitney.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace sepe;
+
+namespace {
+
+/// Standard normal survival function via erfc.
+double normalSf(double Z) { return 0.5 * std::erfc(Z / std::sqrt(2.0)); }
+
+} // namespace
+
+MannWhitneyResult sepe::mannWhitneyU(const std::vector<double> &A,
+                                     const std::vector<double> &B) {
+  assert(!A.empty() && !B.empty() && "both samples must be non-empty");
+  const size_t N1 = A.size(), N2 = B.size();
+
+  // Pool, sort, and assign mid-ranks to ties.
+  struct Tagged {
+    double Value;
+    bool FromA;
+  };
+  std::vector<Tagged> Pool;
+  Pool.reserve(N1 + N2);
+  for (double V : A)
+    Pool.push_back({V, true});
+  for (double V : B)
+    Pool.push_back({V, false});
+  std::sort(Pool.begin(), Pool.end(),
+            [](const Tagged &X, const Tagged &Y) { return X.Value < Y.Value; });
+
+  double RankSumA = 0;
+  double TieCorrection = 0;
+  size_t I = 0;
+  while (I != Pool.size()) {
+    size_t J = I + 1;
+    while (J != Pool.size() && Pool[J].Value == Pool[I].Value)
+      ++J;
+    const double MidRank =
+        (static_cast<double>(I + 1) + static_cast<double>(J)) / 2.0;
+    const double TieSize = static_cast<double>(J - I);
+    if (J - I > 1)
+      TieCorrection += TieSize * TieSize * TieSize - TieSize;
+    for (size_t K = I; K != J; ++K)
+      if (Pool[K].FromA)
+        RankSumA += MidRank;
+    I = J;
+  }
+
+  MannWhitneyResult Result;
+  const double DN1 = static_cast<double>(N1), DN2 = static_cast<double>(N2);
+  Result.U = RankSumA - DN1 * (DN1 + 1) / 2.0;
+
+  const double MeanU = DN1 * DN2 / 2.0;
+  const double N = DN1 + DN2;
+  const double VarU =
+      DN1 * DN2 / 12.0 * ((N + 1) - TieCorrection / (N * (N - 1)));
+  if (VarU <= 0) {
+    // All observations tied: no evidence of a difference.
+    Result.Z = 0;
+    Result.PValue = 1;
+    return Result;
+  }
+  // Continuity correction toward the mean.
+  const double Diff = Result.U - MeanU;
+  const double Corrected =
+      Diff > 0.5 ? Diff - 0.5 : (Diff < -0.5 ? Diff + 0.5 : 0.0);
+  Result.Z = Corrected / std::sqrt(VarU);
+  Result.PValue = 2.0 * normalSf(std::abs(Result.Z));
+  if (Result.PValue > 1)
+    Result.PValue = 1;
+  return Result;
+}

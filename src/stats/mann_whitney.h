@@ -1,0 +1,42 @@
+//===- stats/mann_whitney.h - Mann-Whitney U test ---------------*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two-sided Mann-Whitney U test with the normal approximation and tie
+/// correction — the significance test the paper uses to compare hash
+/// functions ("Mann-Whitney U tests show that there is a significant
+/// statistical difference...").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_STATS_MANN_WHITNEY_H
+#define SEPE_STATS_MANN_WHITNEY_H
+
+#include <vector>
+
+namespace sepe {
+
+struct MannWhitneyResult {
+  /// The U statistic of the first sample.
+  double U = 0;
+  /// Standard normal score of U (0 when the approximation degenerates).
+  double Z = 0;
+  /// Two-sided p-value under the normal approximation.
+  double PValue = 1;
+
+  /// True when the two samples differ at the given significance level.
+  bool significantAt(double Alpha = 0.05) const { return PValue < Alpha; }
+};
+
+/// Runs the test on two independent samples. Requires both samples to be
+/// non-empty; samples of fewer than ~8 observations make the normal
+/// approximation coarse (the paper uses 10 per experiment).
+MannWhitneyResult mannWhitneyU(const std::vector<double> &A,
+                               const std::vector<double> &B);
+
+} // namespace sepe
+
+#endif // SEPE_STATS_MANN_WHITNEY_H

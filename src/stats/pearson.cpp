@@ -1,0 +1,35 @@
+//===- stats/pearson.cpp - Pearson correlation ---------------------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/pearson.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace sepe;
+
+double sepe::pearsonCorrelation(const std::vector<double> &X,
+                                const std::vector<double> &Y) {
+  assert(X.size() == Y.size() && "samples must pair up");
+  assert(X.size() >= 2 && "correlation needs at least two observations");
+  const double N = static_cast<double>(X.size());
+  double SumX = 0, SumY = 0;
+  for (size_t I = 0; I != X.size(); ++I) {
+    SumX += X[I];
+    SumY += Y[I];
+  }
+  const double MeanX = SumX / N, MeanY = SumY / N;
+  double Cov = 0, VarX = 0, VarY = 0;
+  for (size_t I = 0; I != X.size(); ++I) {
+    const double Dx = X[I] - MeanX, Dy = Y[I] - MeanY;
+    Cov += Dx * Dy;
+    VarX += Dx * Dx;
+    VarY += Dy * Dy;
+  }
+  if (VarX == 0 || VarY == 0)
+    return 0;
+  return Cov / std::sqrt(VarX * VarY);
+}

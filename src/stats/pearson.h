@@ -1,0 +1,28 @@
+//===- stats/pearson.h - Pearson correlation --------------------*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pearson product-moment correlation — the linearity evidence of RQ6
+/// ("the smallest Pearson correlation between synthesis time and problem
+/// size is 0.993") and RQ8.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_STATS_PEARSON_H
+#define SEPE_STATS_PEARSON_H
+
+#include <vector>
+
+namespace sepe {
+
+/// Pearson correlation of two equally sized samples with at least two
+/// observations; 0 when either sample has zero variance.
+double pearsonCorrelation(const std::vector<double> &X,
+                          const std::vector<double> &Y);
+
+} // namespace sepe
+
+#endif // SEPE_STATS_PEARSON_H

@@ -1,0 +1,127 @@
+//===- support/bit_ops.h - Low-level bit utilities --------------*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Endian-safe unaligned loads, parallel bit extraction (hardware pext when
+/// compiled for BMI2 plus a bit-exact software fallback), and 128-bit
+/// multiply folding. Every synthesized hash function bottoms out in these
+/// primitives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_SUPPORT_BIT_OPS_H
+#define SEPE_SUPPORT_BIT_OPS_H
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+
+#if defined(SEPE_HAVE_BMI2)
+#include <immintrin.h>
+#endif
+
+namespace sepe {
+
+/// Loads a 64-bit little-endian word from \p Ptr without alignment
+/// requirements.
+inline uint64_t loadU64Le(const void *Ptr) {
+  uint64_t Value;
+  std::memcpy(&Value, Ptr, sizeof(Value));
+  if constexpr (std::endian::native == std::endian::big)
+    Value = __builtin_bswap64(Value);
+  return Value;
+}
+
+/// Loads a 32-bit little-endian word from \p Ptr.
+inline uint32_t loadU32Le(const void *Ptr) {
+  uint32_t Value;
+  std::memcpy(&Value, Ptr, sizeof(Value));
+  if constexpr (std::endian::native == std::endian::big)
+    Value = __builtin_bswap32(Value);
+  return Value;
+}
+
+/// Loads the \p Len least significant bytes (0 <= Len <= 8) starting at
+/// \p Ptr, zero-extending the rest. Mirrors libstdc++'s load_bytes helper.
+inline uint64_t loadBytesLe(const void *Ptr, size_t Len) {
+  assert(Len <= 8 && "loadBytesLe only handles up to one machine word");
+  uint64_t Value = 0;
+  const auto *Bytes = static_cast<const unsigned char *>(Ptr);
+  for (size_t I = 0; I != Len; ++I)
+    Value |= static_cast<uint64_t>(Bytes[I]) << (8 * I);
+  return Value;
+}
+
+/// Software parallel bit extraction with the exact semantics of x86's
+/// pext instruction (Figure 11 of the paper): every bit of \p Src selected
+/// by \p Mask is compressed into the contiguous low-order bits of the
+/// result.
+inline uint64_t pextSoft(uint64_t Src, uint64_t Mask) {
+  uint64_t Result = 0;
+  for (unsigned K = 0; Mask != 0; Mask &= Mask - 1, ++K) {
+    const uint64_t LowBit = Mask & -Mask;
+    if (Src & LowBit)
+      Result |= uint64_t{1} << K;
+  }
+  return Result;
+}
+
+/// Hardware pext when available; falls back to the software routine.
+inline uint64_t pextHw(uint64_t Src, uint64_t Mask) {
+#if defined(SEPE_HAVE_BMI2)
+  return _pext_u64(Src, Mask);
+#else
+  return pextSoft(Src, Mask);
+#endif
+}
+
+/// True when this binary was compiled with BMI2 enabled, i.e. pextHw maps
+/// onto a single instruction.
+constexpr bool hasHardwarePext() {
+#if defined(SEPE_HAVE_BMI2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Software parallel bit deposit (inverse of pext); used by tests to prove
+/// that Pext plans are bijections.
+inline uint64_t pdepSoft(uint64_t Src, uint64_t Mask) {
+  uint64_t Result = 0;
+  for (unsigned K = 0; Mask != 0; Mask &= Mask - 1, ++K) {
+    const uint64_t LowBit = Mask & -Mask;
+    if (Src & (uint64_t{1} << K))
+      Result |= LowBit;
+  }
+  return Result;
+}
+
+/// 128-bit multiply returning (low, high); the mixing primitive of
+/// wyhash-style hashes such as Abseil's LowLevelHash.
+inline void mul128(uint64_t A, uint64_t B, uint64_t &Lo, uint64_t &Hi) {
+  const unsigned __int128 Product =
+      static_cast<unsigned __int128>(A) * static_cast<unsigned __int128>(B);
+  Lo = static_cast<uint64_t>(Product);
+  Hi = static_cast<uint64_t>(Product >> 64);
+}
+
+/// Folds a 128-bit product into 64 bits by xoring its halves.
+inline uint64_t mulFold(uint64_t A, uint64_t B) {
+  uint64_t Lo, Hi;
+  mul128(A, B, Lo, Hi);
+  return Lo ^ Hi;
+}
+
+/// Rotates \p Value right by \p Shift bits.
+inline uint64_t rotr64(uint64_t Value, unsigned Shift) {
+  return std::rotr(Value, static_cast<int>(Shift));
+}
+
+} // namespace sepe
+
+#endif // SEPE_SUPPORT_BIT_OPS_H

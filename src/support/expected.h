@@ -1,0 +1,72 @@
+//===- support/expected.h - Lightweight error-or-value type -----*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal Expected<T> in the spirit of llvm::Expected, used by the
+/// regex parser and the synthesizer to report recoverable user errors
+/// (malformed regexes, unsupported constructs) without exceptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_SUPPORT_EXPECTED_H
+#define SEPE_SUPPORT_EXPECTED_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sepe {
+
+/// A recoverable error: a human-readable message plus the input position
+/// it refers to (or npos when not applicable).
+struct Error {
+  std::string Message;
+  size_t Pos = std::string::npos;
+
+  static Error at(size_t Pos, std::string Message) {
+    return Error{std::move(Message), Pos};
+  }
+};
+
+/// Either a value of type T or an Error. Callers must test before
+/// dereferencing.
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Storage(std::move(Value)) {}
+  Expected(Error Err) : Storage(std::move(Err)) {}
+
+  explicit operator bool() const { return std::holds_alternative<T>(Storage); }
+
+  T &operator*() {
+    assert(*this && "dereferencing an Expected in error state");
+    return std::get<T>(Storage);
+  }
+  const T &operator*() const {
+    assert(*this && "dereferencing an Expected in error state");
+    return std::get<T>(Storage);
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  const Error &error() const {
+    assert(!*this && "no error stored");
+    return std::get<Error>(Storage);
+  }
+
+  /// Moves the value out; only valid in the success state.
+  T take() {
+    assert(*this && "taking from an Expected in error state");
+    return std::move(std::get<T>(Storage));
+  }
+
+private:
+  std::variant<T, Error> Storage;
+};
+
+} // namespace sepe
+
+#endif // SEPE_SUPPORT_EXPECTED_H

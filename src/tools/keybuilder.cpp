@@ -1,0 +1,78 @@
+//===- tools/keybuilder.cpp - Infer a regex from example keys ------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's keybuilder tool (Figure 5a): reads one key per line from
+/// stdin (or a file argument), folds the quad-semilattice join over the
+/// examples, and prints the inferred regular expression — ready to pipe
+/// into keysynth.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/inference.h"
+#include "core/regex_printer.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+namespace {
+
+void printUsage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [file_with_keys]\n"
+               "  Reads one example key per line (stdin when no file is\n"
+               "  given) and prints a regular expression recognizing the\n"
+               "  keys' byte format.\n"
+               "  options:\n"
+               "    --pattern   also print the quad-lattice pattern\n",
+               Argv0);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool ShowPattern = false;
+  std::string FileName;
+  for (int I = 1; I != Argc; ++I) {
+    const std::string Arg = Argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage(Argv[0]);
+      return 0;
+    }
+    if (Arg == "--pattern") {
+      ShowPattern = true;
+      continue;
+    }
+    if (!FileName.empty()) {
+      std::fprintf(stderr, "error: multiple input files\n");
+      return 1;
+    }
+    FileName = Arg;
+  }
+
+  sepe::KeyPattern Pattern;
+  if (FileName.empty()) {
+    Pattern = sepe::inferPatternFromStream(std::cin);
+  } else {
+    std::ifstream In(FileName);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", FileName.c_str());
+      return 1;
+    }
+    Pattern = sepe::inferPatternFromStream(In);
+  }
+
+  if (Pattern.empty()) {
+    std::fprintf(stderr, "error: no example keys provided\n");
+    return 1;
+  }
+  if (ShowPattern)
+    std::fprintf(stderr, "pattern: %s\n", Pattern.str().c_str());
+  std::printf("%s\n", sepe::printRegex(Pattern).c_str());
+  return 0;
+}

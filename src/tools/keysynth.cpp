@@ -1,0 +1,184 @@
+//===- tools/keysynth.cpp - Synthesize hash functions from a regex -------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's keysynth tool (Figure 5): takes the key format as a
+/// regular expression and prints C++ hash functors specialized for it.
+///
+///   keysynth '(([0-9]{3})\.){3}[0-9]{3}'
+///   keysynth --family=pext --target=aarch64 '\d{3}-\d{2}-\d{4}'
+///   keysynth "$(keybuilder < keys.txt)"
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/codegen.h"
+#include "core/plan_io.h"
+#include "core/regex_parser.h"
+#include "core/synthesizer.h"
+
+#include <fstream>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace sepe;
+
+namespace {
+
+void printUsage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] <regex>\n"
+      "  Prints C++ hash functors specialized for the key format.\n"
+      "  options:\n"
+      "    --family=all|naive|offxor|aes|pext   (default: all)\n"
+      "    --target=x86|aarch64|portable        (default: x86)\n"
+      "    --name=<StructName>                  (default: Sepe<Family>Hash)\n"
+      "    --c-wrapper    emit extern \"C\" entry points\n"
+      "    --allow-short  specialize keys shorter than 8 bytes\n"
+      "    --plan         dump the hash plan IR to stderr\n"
+      "    --plan-out=<file>  also write serialized plans (one per\n"
+      "                       family, '.family' suffixed)\n"
+      "    --plan-in=<file>   skip synthesis; generate code from a\n"
+      "                       serialized plan (regex not required)\n",
+      Argv0);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string FamilyArg = "all";
+  std::string TargetArg = "x86";
+  std::string Regex;
+  CodegenOptions Codegen;
+  SynthesisOptions Synthesis;
+  bool DumpPlan = false;
+  std::string PlanOut;
+  std::string PlanIn;
+
+  for (int I = 1; I != Argc; ++I) {
+    const std::string Arg = Argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage(Argv[0]);
+      return 0;
+    }
+    if (Arg.rfind("--family=", 0) == 0) {
+      FamilyArg = Arg.substr(9);
+    } else if (Arg.rfind("--target=", 0) == 0) {
+      TargetArg = Arg.substr(9);
+    } else if (Arg.rfind("--name=", 0) == 0) {
+      Codegen.StructName = Arg.substr(7);
+    } else if (Arg == "--c-wrapper") {
+      Codegen.EmitCWrapper = true;
+    } else if (Arg == "--allow-short") {
+      Synthesis.AllowShortKeys = true;
+    } else if (Arg == "--plan") {
+      DumpPlan = true;
+    } else if (Arg.rfind("--plan-out=", 0) == 0) {
+      PlanOut = Arg.substr(11);
+    } else if (Arg.rfind("--plan-in=", 0) == 0) {
+      PlanIn = Arg.substr(10);
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return 1;
+    } else if (Regex.empty()) {
+      Regex = Arg;
+    } else {
+      std::fprintf(stderr, "error: multiple regex arguments\n");
+      return 1;
+    }
+  }
+  if (Regex.empty() && PlanIn.empty()) {
+    printUsage(Argv[0]);
+    return 1;
+  }
+
+  if (TargetArg == "x86")
+    Codegen.Isa = Target::X86;
+  else if (TargetArg == "aarch64")
+    Codegen.Isa = Target::AArch64;
+  else if (TargetArg == "portable")
+    Codegen.Isa = Target::Portable;
+  else {
+    std::fprintf(stderr, "error: unknown target '%s'\n", TargetArg.c_str());
+    return 1;
+  }
+
+  // --plan-in: bypass regex parsing and synthesis entirely.
+  if (!PlanIn.empty()) {
+    std::ifstream In(PlanIn);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", PlanIn.c_str());
+      return 1;
+    }
+    std::string Text((std::istreambuf_iterator<char>(In)),
+                     std::istreambuf_iterator<char>());
+    Expected<HashPlan> Plan = deserializePlan(Text);
+    if (!Plan) {
+      std::fprintf(stderr, "error: %s\n", Plan.error().Message.c_str());
+      return 1;
+    }
+    if (DumpPlan)
+      std::fputs(Plan->str().c_str(), stderr);
+    std::fputs(emitTranslationUnit({Plan.take()}, Codegen).c_str(),
+               stdout);
+    return 0;
+  }
+
+  Expected<FormatSpec> Format = parseRegex(Regex);
+  if (!Format) {
+    std::fprintf(stderr, "error: %s", Format.error().Message.c_str());
+    if (Format.error().Pos != std::string::npos)
+      std::fprintf(stderr, " (at position %zu)", Format.error().Pos);
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+  const KeyPattern Pattern = Format->abstract();
+
+  std::vector<HashFamily> Families;
+  if (FamilyArg == "all")
+    Families = {HashFamily::Naive, HashFamily::OffXor, HashFamily::Aes,
+                HashFamily::Pext};
+  else if (FamilyArg == "naive")
+    Families = {HashFamily::Naive};
+  else if (FamilyArg == "offxor")
+    Families = {HashFamily::OffXor};
+  else if (FamilyArg == "aes")
+    Families = {HashFamily::Aes};
+  else if (FamilyArg == "pext")
+    Families = {HashFamily::Pext};
+  else {
+    std::fprintf(stderr, "error: unknown family '%s'\n", FamilyArg.c_str());
+    return 1;
+  }
+
+  std::vector<HashPlan> Plans;
+  for (HashFamily Family : Families) {
+    Expected<HashPlan> Plan = synthesize(Pattern, Family, Synthesis);
+    if (!Plan) {
+      std::fprintf(stderr, "error: %s\n", Plan.error().Message.c_str());
+      return 1;
+    }
+    if (DumpPlan)
+      std::fputs(Plan->str().c_str(), stderr);
+    if (!PlanOut.empty()) {
+      const std::string Path =
+          PlanOut + "." + familyName(Family);
+      std::ofstream Out(Path);
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+        return 1;
+      }
+      Out << serializePlan(*Plan);
+    }
+    Plans.push_back(Plan.take());
+  }
+
+  std::fputs(emitTranslationUnit(Plans, Codegen).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,165 @@
+//===- tools/sepedriver.cpp - The Section-4 benchmark driver CLI ----------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's benchmark "driver" as a standalone tool: one
+/// parameterization of Section 4's experiment space per invocation.
+///
+///   sepedriver --key=SSN --container=map --distribution=normal
+///              --spread=10000 --mode=batched --affectations=10000
+///
+/// Prints B-Time, H-Time, B-Coll and T-Coll for all ten hash functions
+/// under that parameterization.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/experiment.h"
+#include "driver/report.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace sepe;
+
+namespace {
+
+void printUsage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --key=SSN|CPF|MAC|IPv4|IPv6|INTS|URL1|URL2   (default SSN)\n"
+      "  --container=map|set|multimap|multiset        (default map)\n"
+      "  --distribution=inc|uniform|normal            (default normal)\n"
+      "  --spread=N                                   (default 10000)\n"
+      "  --mode=batched|inter70|inter60|inter40       (default batched)\n"
+      "  --affectations=N                             (default 10000)\n"
+      "  --seed=N                                     (default 0x5e9e)\n"
+      "  --isa=native|nobext|portable                 (default native)\n",
+      Argv0);
+}
+
+bool parseValue(const std::string &Arg, const char *Name,
+                std::string &Out) {
+  const std::string Prefix = std::string("--") + Name + "=";
+  if (Arg.rfind(Prefix, 0) != 0)
+    return false;
+  Out = Arg.substr(Prefix.size());
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  PaperKey Key = PaperKey::SSN;
+  ExperimentConfig Config;
+  IsaLevel Isa = IsaLevel::Native;
+
+  for (int I = 1; I != Argc; ++I) {
+    const std::string Arg = Argv[I];
+    std::string Value;
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage(Argv[0]);
+      return 0;
+    }
+    if (parseValue(Arg, "key", Value)) {
+      bool Found = false;
+      for (PaperKey Candidate : AllPaperKeys)
+        if (Value == paperKeyName(Candidate)) {
+          Key = Candidate;
+          Found = true;
+        }
+      if (!Found) {
+        std::fprintf(stderr, "error: unknown key type '%s'\n",
+                     Value.c_str());
+        return 1;
+      }
+    } else if (parseValue(Arg, "container", Value)) {
+      if (Value == "map")
+        Config.Container = ContainerKind::Map;
+      else if (Value == "set")
+        Config.Container = ContainerKind::Set;
+      else if (Value == "multimap")
+        Config.Container = ContainerKind::MultiMap;
+      else if (Value == "multiset")
+        Config.Container = ContainerKind::MultiSet;
+      else {
+        std::fprintf(stderr, "error: unknown container '%s'\n",
+                     Value.c_str());
+        return 1;
+      }
+    } else if (parseValue(Arg, "distribution", Value)) {
+      if (Value == "inc")
+        Config.Distribution = KeyDistribution::Incremental;
+      else if (Value == "uniform")
+        Config.Distribution = KeyDistribution::Uniform;
+      else if (Value == "normal")
+        Config.Distribution = KeyDistribution::Normal;
+      else {
+        std::fprintf(stderr, "error: unknown distribution '%s'\n",
+                     Value.c_str());
+        return 1;
+      }
+    } else if (parseValue(Arg, "spread", Value)) {
+      Config.Spread = std::stoul(Value);
+    } else if (parseValue(Arg, "mode", Value)) {
+      if (Value == "batched")
+        Config.Mode = ExecMode::Batched;
+      else if (Value == "inter70")
+        Config.Mode = ExecMode::Inter70_20;
+      else if (Value == "inter60")
+        Config.Mode = ExecMode::Inter60_20;
+      else if (Value == "inter40")
+        Config.Mode = ExecMode::Inter40_30;
+      else {
+        std::fprintf(stderr, "error: unknown mode '%s'\n", Value.c_str());
+        return 1;
+      }
+    } else if (parseValue(Arg, "affectations", Value)) {
+      Config.Affectations = std::stoul(Value);
+    } else if (parseValue(Arg, "seed", Value)) {
+      Config.Seed = std::stoull(Value);
+    } else if (parseValue(Arg, "isa", Value)) {
+      if (Value == "native")
+        Isa = IsaLevel::Native;
+      else if (Value == "nobext")
+        Isa = IsaLevel::NoBitExtract;
+      else if (Value == "portable")
+        Isa = IsaLevel::Portable;
+      else {
+        std::fprintf(stderr, "error: unknown isa '%s'\n", Value.c_str());
+        return 1;
+      }
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      printUsage(Argv[0]);
+      return 1;
+    }
+  }
+
+  std::printf("experiment: key=%s container=%s distribution=%s spread=%zu "
+              "mode=%s affectations=%zu\n\n",
+              paperKeyName(Key), containerKindName(Config.Container),
+              distributionName(Config.Distribution), Config.Spread,
+              execModeName(Config.Mode), Config.Affectations);
+
+  const HashFunctionSet Set = HashFunctionSet::create(Key, Isa);
+  const Workload Work = makeWorkload(Key, Config);
+
+  TextTable Table(
+      {"Function", "B-Time (ms)", "H-Time (ms)", "B-Coll", "T-Coll"});
+  for (HashKind Kind : AllHashKinds) {
+    if (Isa != IsaLevel::Native && Kind == HashKind::Pext)
+      continue; // No bext on this target (RQ4).
+    const ExperimentResult Result = runExperiment(Work, Config, Kind, Set);
+    Table.addRow({hashKindName(Kind), formatDouble(Result.BTimeMs),
+                  formatDouble(Result.HTimeMs, 4),
+                  std::to_string(Result.BucketCollisions),
+                  std::to_string(Result.TrueCollisions)});
+  }
+  std::printf("%s", Table.str().c_str());
+  return 0;
+}

@@ -1,0 +1,93 @@
+//===- tests/test_aes_round.cpp - AES round correctness -------------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hashes/aes_round.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace sepe;
+
+namespace {
+
+TEST(AesRoundTest, SBoxMatchesKnownEntries) {
+  // Spot-check the constexpr-generated S-box against the published
+  // table.
+  EXPECT_EQ(AesSBox[0x00], 0x63);
+  EXPECT_EQ(AesSBox[0x01], 0x7c);
+  EXPECT_EQ(AesSBox[0x02], 0x77);
+  EXPECT_EQ(AesSBox[0x10], 0xca);
+  EXPECT_EQ(AesSBox[0x53], 0xed);
+  EXPECT_EQ(AesSBox[0xff], 0x16);
+}
+
+TEST(AesRoundTest, SBoxIsAPermutation) {
+  std::array<bool, 256> Seen{};
+  for (unsigned I = 0; I != 256; ++I) {
+    EXPECT_FALSE(Seen[AesSBox[I]]) << "duplicate S-box value";
+    Seen[AesSBox[I]] = true;
+  }
+}
+
+TEST(AesRoundTest, ZeroKeyRoundIsDeterministic) {
+  const Block128 State{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  const Block128 Key{0, 0};
+  EXPECT_EQ(aesEncRoundSoft(State, Key), aesEncRoundSoft(State, Key));
+}
+
+TEST(AesRoundTest, RoundKeyIsXoredLast) {
+  const Block128 State{42, 99};
+  const Block128 KeyA{0x1111, 0x2222};
+  const Block128 Zero{0, 0};
+  const Block128 WithKey = aesEncRoundSoft(State, KeyA);
+  const Block128 NoKey = aesEncRoundSoft(State, Zero);
+  EXPECT_EQ(WithKey, NoKey ^ KeyA);
+}
+
+TEST(AesRoundTest, SoftwareMatchesHardware) {
+  if (!hasHardwareAes())
+    GTEST_SKIP() << "AES-NI not compiled in";
+  std::mt19937_64 Rng(7);
+  for (int I = 0; I != 200; ++I) {
+    const Block128 State{Rng(), Rng()};
+    const Block128 Key{Rng(), Rng()};
+    EXPECT_EQ(aesEncRoundSoft(State, Key), aesEncRoundHw(State, Key))
+        << "iteration " << I;
+  }
+}
+
+TEST(AesRoundTest, KnownAesencVector) {
+  // aesenc of the all-zero state with a zero key: SubBytes maps 0x00 to
+  // 0x63 everywhere; ShiftRows is a no-op on a uniform state; MixColumns
+  // of a uniform column is the same byte (2x ^ 3x ^ x ^ x = x since
+  // 2 ^ 3 = 1 in GF(2)). Result: all bytes 0x63.
+  const Block128 Zero{0, 0};
+  const Block128 Result = aesEncRoundSoft(Zero, Zero);
+  EXPECT_EQ(Result.Lo, 0x6363636363636363ULL);
+  EXPECT_EQ(Result.Hi, 0x6363636363636363ULL);
+}
+
+TEST(AesRoundTest, SingleByteChangeDiffuses) {
+  const Block128 A{1, 0};
+  const Block128 B{2, 0};
+  const Block128 Zero{0, 0};
+  const Block128 Ra = aesEncRoundSoft(A, Zero);
+  const Block128 Rb = aesEncRoundSoft(B, Zero);
+  // One round diffuses one byte into a full column (4 bytes).
+  const uint64_t DiffLo = Ra.Lo ^ Rb.Lo;
+  const uint64_t DiffHi = Ra.Hi ^ Rb.Hi;
+  int Bytes = 0;
+  for (int I = 0; I != 8; ++I) {
+    if ((DiffLo >> (8 * I)) & 0xFF)
+      ++Bytes;
+    if ((DiffHi >> (8 * I)) & 0xFF)
+      ++Bytes;
+  }
+  EXPECT_GE(Bytes, 4) << "MixColumns spreads one byte across its column";
+}
+
+} // namespace

@@ -1,0 +1,187 @@
+//===- tests/test_analysis.cpp - Load layout and skip tables --------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/analysis.h"
+
+#include "core/regex_parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace sepe;
+
+namespace {
+
+KeyPattern patternOf(const std::string &Regex) {
+  Expected<FormatSpec> Spec = parseRegex(Regex);
+  EXPECT_TRUE(Spec) << Regex;
+  return Spec->abstract();
+}
+
+TEST(AnalysisTest, ParseRangesSplitsConstAndFree) {
+  // "abc" then two digits then "xy": three runs.
+  const KeyPattern P = patternOf(R"(abc\d\dxy)");
+  const std::vector<ByteRun> Runs = parseRanges(P);
+  ASSERT_EQ(Runs.size(), 3u);
+  EXPECT_EQ(Runs[0], (ByteRun{0, 3, true}));
+  EXPECT_EQ(Runs[1], (ByteRun{3, 5, false}));
+  EXPECT_EQ(Runs[2], (ByteRun{5, 7, true}));
+}
+
+TEST(AnalysisTest, ParseRangesAllFree) {
+  const KeyPattern P = patternOf(R"(\d{10})");
+  const std::vector<ByteRun> Runs = parseRanges(P);
+  ASSERT_EQ(Runs.size(), 1u);
+  EXPECT_FALSE(Runs[0].IsConstant);
+  EXPECT_EQ(Runs[0].size(), 10u);
+}
+
+TEST(AnalysisTest, FreeMaskHasNibblePerDigit) {
+  const KeyPattern P = patternOf(R"(\d{8})");
+  EXPECT_EQ(freeMaskAt(P, 0), 0x0f0f0f0f0f0f0f0fULL);
+}
+
+TEST(AnalysisTest, FreeMaskZeroOnConstants) {
+  const KeyPattern P = patternOf("abcdefgh");
+  EXPECT_EQ(freeMaskAt(P, 0), 0u);
+}
+
+TEST(AnalysisTest, NaiveLayoutCoversEveryByteWithOverlappingTail) {
+  // 11 bytes: loads at 0 and 3 (= 11 - 8), per Section 3.2.2.
+  const KeyPattern P = patternOf(R"(\d{3}-\d{2}-\d{4})");
+  const std::vector<LoadWord> Loads = computeLoadsAllBytes(P);
+  ASSERT_EQ(Loads.size(), 2u);
+  EXPECT_EQ(Loads[0].Offset, 0u);
+  EXPECT_EQ(Loads[1].Offset, 3u);
+}
+
+TEST(AnalysisTest, NaiveLayoutExactMultipleHasNoOverlap) {
+  const KeyPattern P = patternOf(R"(\d{16})");
+  const std::vector<LoadWord> Loads = computeLoadsAllBytes(P);
+  ASSERT_EQ(Loads.size(), 2u);
+  EXPECT_EQ(Loads[0].Offset, 0u);
+  EXPECT_EQ(Loads[1].Offset, 8u);
+}
+
+TEST(AnalysisTest, SkippingLayoutAvoidsConstantWords) {
+  // 8 constant bytes then 8 digits: a single load at offset 8.
+  const KeyPattern P = patternOf(R"(constant\d{8})");
+  const std::vector<LoadWord> Loads = computeLoadsSkippingConst(P);
+  ASSERT_EQ(Loads.size(), 1u);
+  EXPECT_EQ(Loads[0].Offset, 8u);
+  EXPECT_EQ(Loads[0].FreeMask, 0x0f0f0f0f0f0f0f0fULL);
+}
+
+TEST(AnalysisTest, SkippingLayoutCoversEveryFreeByte) {
+  const std::vector<std::string> Regexes = {
+      R"(\d{3}-\d{2}-\d{4})",
+      R"((([0-9]{3})\.){3}[0-9]{3})",
+      R"(([0-9a-f]{4}:){7}[0-9a-f]{4})",
+      R"([0-9]{100})",
+      R"(https://example\.com/go/[a-z0-9]{20}\.html)",
+      R"(prefix--\d\d--\d\d--suffixx)",
+  };
+  for (const std::string &Regex : Regexes) {
+    const KeyPattern P = patternOf(Regex);
+    const std::vector<LoadWord> Loads = computeLoadsSkippingConst(P);
+    std::vector<bool> Covered(P.maxLength(), false);
+    for (const LoadWord &Load : Loads)
+      for (size_t J = 0; J != 8; ++J)
+        Covered[Load.Offset + J] = true;
+    for (size_t I = 0; I != P.maxLength(); ++I)
+      if (!P.byteAt(I).isConstant()) {
+        EXPECT_TRUE(Covered[I]) << Regex << " byte " << I;
+      }
+  }
+}
+
+TEST(AnalysisTest, LoadsStayInBounds) {
+  const std::vector<std::string> Regexes = {
+      R"(\d{3}-\d{2}-\d{4})", R"([0-9]{100})", R"(\d{9})", R"(\d{8})"};
+  for (const std::string &Regex : Regexes) {
+    const KeyPattern P = patternOf(Regex);
+    for (const LoadWord &Load : computeLoadsSkippingConst(P))
+      EXPECT_LE(Load.Offset + 8, P.maxLength()) << Regex;
+    for (const LoadWord &Load : computeLoadsAllBytes(P))
+      EXPECT_LE(Load.Offset + 8, P.maxLength()) << Regex;
+  }
+}
+
+TEST(AnalysisTest, NewFreeMaskExcludesOverlap) {
+  // SSN: loads at 0 and 3 overlap in bytes [3, 8); the second load's
+  // NewFreeMask must only keep bytes 8-10 (word bytes 5-7), mirroring
+  // masks mk0/mk1 of Figure 12.
+  const KeyPattern P = patternOf(R"(\d{3}-\d{2}-\d{4})");
+  const std::vector<LoadWord> Loads = computeLoadsSkippingConst(P);
+  ASSERT_EQ(Loads.size(), 2u);
+  EXPECT_EQ(Loads[0].Offset, 0u);
+  EXPECT_EQ(Loads[0].NewFreeMask, Loads[0].FreeMask);
+  EXPECT_EQ(Loads[1].Offset, 3u);
+  EXPECT_EQ(Loads[1].NewFreeMask & 0xffffffffffULL, 0u)
+      << "bytes already covered by the first load must be masked out";
+  EXPECT_EQ(Loads[1].NewFreeMask, 0x0f0f0f0000000000ULL);
+}
+
+TEST(AnalysisTest, DisjointNewMasksPartitionFreeBits) {
+  // Across loads, NewFreeMask bits must never extract the same key bit
+  // twice: the total popcount equals the pattern's free-bit count.
+  const std::vector<std::string> Regexes = {
+      R"(\d{3}-\d{2}-\d{4})", R"((([0-9]{3})\.){3}[0-9]{3})",
+      R"([0-9]{100})", R"(([0-9a-f]{4}:){7}[0-9a-f]{4})"};
+  for (const std::string &Regex : Regexes) {
+    const KeyPattern P = patternOf(Regex);
+    unsigned Bits = 0;
+    for (const LoadWord &Load : computeLoadsSkippingConst(P))
+      Bits += static_cast<unsigned>(__builtin_popcountll(Load.NewFreeMask));
+    EXPECT_EQ(Bits, P.freeBitCount()) << Regex;
+  }
+}
+
+TEST(AnalysisTest, SkipTableForVariableKeys) {
+  // 8 constant bytes, 8 digits, then a variable tail.
+  Expected<FormatSpec> Spec = parseRegex(R"(constant\d{8}(.){0,4})");
+  ASSERT_TRUE(Spec);
+  const KeyPattern P = Spec->abstract();
+  ASSERT_FALSE(P.isFixedLength());
+  const SkipTable Table = buildSkipTable(P);
+  ASSERT_EQ(Table.loadCount(), 1u);
+  EXPECT_EQ(Table.Skip[0], 8u) << "initial jump over the constant prefix";
+  EXPECT_EQ(Table.Skip[1], 8u);
+  EXPECT_EQ(Table.TailStart, 16u);
+}
+
+TEST(AnalysisTest, SkipTableLoadsStayInGuaranteedPrefix) {
+  Expected<FormatSpec> Spec = parseRegex(R"(\d{12}(.){0,9})");
+  ASSERT_TRUE(Spec);
+  const SkipTable Table = buildSkipTable(Spec->abstract());
+  // Only one 8-byte load fits in the 12-byte guaranteed prefix.
+  ASSERT_EQ(Table.loadCount(), 1u);
+  EXPECT_EQ(Table.Skip[0], 0u);
+  EXPECT_EQ(Table.TailStart, 8u);
+}
+
+TEST(AnalysisTest, SkipTableEmptyForShortPrefix) {
+  Expected<FormatSpec> Spec = parseRegex(R"(\d{4}(.){0,9})");
+  ASSERT_TRUE(Spec);
+  const SkipTable Table = buildSkipTable(Spec->abstract());
+  EXPECT_EQ(Table.loadCount(), 0u);
+  EXPECT_EQ(Table.TailStart, 0u);
+}
+
+TEST(AnalysisTest, SkipTableSkipsInteriorConstantRun) {
+  // digits(8) constant(10) digits(8) tail: two loads with a skip > 8
+  // between them (Figure 9's "white tabs").
+  Expected<FormatSpec> Spec =
+      parseRegex(R"(\d{8}AAAAAAAAAA\d{8}(.){0,4})");
+  ASSERT_TRUE(Spec);
+  const SkipTable Table = buildSkipTable(Spec->abstract());
+  ASSERT_EQ(Table.loadCount(), 2u);
+  EXPECT_EQ(Table.Skip[0], 0u);
+  EXPECT_EQ(Table.Skip[1], 18u) << "jump over the constant middle";
+  EXPECT_EQ(Table.Skip[2], 8u);
+  EXPECT_EQ(Table.TailStart, 26u);
+}
+
+} // namespace

@@ -1,0 +1,86 @@
+//===- tests/test_bit_ops.cpp - Bit-level primitives ----------------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/bit_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace sepe;
+
+namespace {
+
+TEST(BitOpsTest, LoadU64LeIsLittleEndian) {
+  const unsigned char Bytes[8] = {0x01, 0x02, 0x03, 0x04,
+                                  0x05, 0x06, 0x07, 0x08};
+  EXPECT_EQ(loadU64Le(Bytes), 0x0807060504030201ULL);
+}
+
+TEST(BitOpsTest, LoadU32LeIsLittleEndian) {
+  const unsigned char Bytes[4] = {0xAA, 0xBB, 0xCC, 0xDD};
+  EXPECT_EQ(loadU32Le(Bytes), 0xDDCCBBAAu);
+}
+
+TEST(BitOpsTest, LoadBytesZeroExtends) {
+  const unsigned char Bytes[4] = {0xFF, 0x01, 0x02, 0x03};
+  EXPECT_EQ(loadBytesLe(Bytes, 0), 0u);
+  EXPECT_EQ(loadBytesLe(Bytes, 1), 0xFFu);
+  EXPECT_EQ(loadBytesLe(Bytes, 3), 0x0201FFu);
+}
+
+TEST(BitOpsTest, PextSoftMatchesFigure11Semantics) {
+  // Extracting the low nibble of every byte compresses digits.
+  EXPECT_EQ(pextSoft(0x1234567812345678ULL, 0x0F0F0F0F0F0F0F0FULL),
+            0x24682468u);
+  EXPECT_EQ(pextSoft(0xFFFFFFFFFFFFFFFFULL, 0), 0u);
+  EXPECT_EQ(pextSoft(0xFFFFFFFFFFFFFFFFULL, ~0ULL), ~0ULL);
+  EXPECT_EQ(pextSoft(0b1010, 0b1110), 0b101u);
+}
+
+TEST(BitOpsTest, PextSoftMatchesHardware) {
+  if (!hasHardwarePext())
+    GTEST_SKIP() << "BMI2 not compiled in";
+  std::mt19937_64 Rng(3);
+  for (int I = 0; I != 500; ++I) {
+    const uint64_t Src = Rng();
+    const uint64_t Mask = Rng() & Rng(); // biased toward sparse masks
+    EXPECT_EQ(pextSoft(Src, Mask), pextHw(Src, Mask));
+  }
+}
+
+TEST(BitOpsTest, PdepIsInverseOfPextOnMask) {
+  std::mt19937_64 Rng(5);
+  for (int I = 0; I != 200; ++I) {
+    const uint64_t Src = Rng();
+    const uint64_t Mask = Rng();
+    EXPECT_EQ(pdepSoft(pextSoft(Src, Mask), Mask), Src & Mask);
+  }
+}
+
+TEST(BitOpsTest, Mul128KnownProducts) {
+  uint64_t Lo, Hi;
+  mul128(~0ULL, 2, Lo, Hi);
+  EXPECT_EQ(Lo, ~0ULL - 1);
+  EXPECT_EQ(Hi, 1u);
+  mul128(0x100000000ULL, 0x100000000ULL, Lo, Hi);
+  EXPECT_EQ(Lo, 0u);
+  EXPECT_EQ(Hi, 1u);
+}
+
+TEST(BitOpsTest, MulFoldXorsHalves) {
+  uint64_t Lo, Hi;
+  mul128(0xdeadbeefULL, 0xfeedfaceULL, Lo, Hi);
+  EXPECT_EQ(mulFold(0xdeadbeefULL, 0xfeedfaceULL), Lo ^ Hi);
+}
+
+TEST(BitOpsTest, Rotr64) {
+  EXPECT_EQ(rotr64(0x1, 1), 0x8000000000000000ULL);
+  EXPECT_EQ(rotr64(0x8000000000000000ULL, 63), 0x1u);
+  EXPECT_EQ(rotr64(0xABCDULL, 0), 0xABCDULL);
+}
+
+} // namespace

@@ -1,0 +1,151 @@
+//===- tests/test_codegen.cpp - C++ source emission -----------------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/codegen.h"
+
+#include "core/regex_parser.h"
+#include "core/synthesizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace sepe;
+
+namespace {
+
+HashPlan planOf(const std::string &Regex, HashFamily Family,
+                const SynthesisOptions &Options = {}) {
+  Expected<FormatSpec> Spec = parseRegex(Regex);
+  EXPECT_TRUE(Spec) << Regex;
+  Expected<HashPlan> Plan = synthesize(Spec->abstract(), Family, Options);
+  EXPECT_TRUE(Plan);
+  return Plan.take();
+}
+
+TEST(CodegenTest, PreambleHasGuardAndHelpers) {
+  for (Target Isa : {Target::X86, Target::AArch64, Target::Portable}) {
+    const std::string Preamble = emitPreamble(Isa);
+    EXPECT_NE(Preamble.find("SEPE_GENERATED_PREAMBLE"), std::string::npos);
+    EXPECT_NE(Preamble.find("sepe_load_u64"), std::string::npos);
+    EXPECT_NE(Preamble.find("sepe_aesenc"), std::string::npos);
+  }
+}
+
+TEST(CodegenTest, X86PreambleUsesIntrinsics) {
+  const std::string Preamble = emitPreamble(Target::X86);
+  EXPECT_NE(Preamble.find("immintrin.h"), std::string::npos);
+  EXPECT_NE(Preamble.find("_mm_aesenc_si128"), std::string::npos);
+}
+
+TEST(CodegenTest, AArch64PreambleUsesNeon) {
+  const std::string Preamble = emitPreamble(Target::AArch64);
+  EXPECT_NE(Preamble.find("arm_neon.h"), std::string::npos);
+  EXPECT_NE(Preamble.find("vaeseq_u8"), std::string::npos);
+  EXPECT_NE(Preamble.find("vaesmcq_u8"), std::string::npos);
+}
+
+TEST(CodegenTest, PortablePreambleEmbedsSBox) {
+  const std::string Preamble = emitPreamble(Target::Portable);
+  EXPECT_NE(Preamble.find("SepeAesSBox[256]"), std::string::npos);
+  EXPECT_NE(Preamble.find("0x63"), std::string::npos)
+      << "S-box must start with 0x63";
+}
+
+TEST(CodegenTest, OffXorBodyIsStraightLineXors) {
+  const HashPlan Plan = planOf(R"(\d{3}-\d{2}-\d{4})", HashFamily::OffXor);
+  const std::string Code = emitHashFunction(Plan);
+  EXPECT_NE(Code.find("struct SepeOffXorHash"), std::string::npos);
+  EXPECT_NE(Code.find("Hash ^= sepe_load_u64(Ptr + 0);"), std::string::npos);
+  EXPECT_NE(Code.find("Hash ^= sepe_load_u64(Ptr + 3);"), std::string::npos);
+  EXPECT_EQ(Code.find("for ("), std::string::npos)
+      << "fixed-length code must be fully unrolled";
+}
+
+TEST(CodegenTest, PextBodyUsesPextInstructionOnX86) {
+  const HashPlan Plan = planOf(R"(\d{3}-\d{2}-\d{4})", HashFamily::Pext);
+  CodegenOptions Options;
+  Options.Isa = Target::X86;
+  const std::string Code = emitHashFunction(Plan, Options);
+  EXPECT_NE(Code.find("_pext_u64(sepe_load_u64(Ptr + 0), "
+                      "0x0f000f0f000f0f0fULL)"),
+            std::string::npos)
+      << Code;
+  EXPECT_NE(Code.find(", 52)"), std::string::npos)
+      << "Figure 12's Step-3 placement (emitted as a rotation)";
+}
+
+TEST(CodegenTest, PextBodyFallsBackToSoftGatherOffX86) {
+  const HashPlan Plan = planOf(R"(\d{3}-\d{2}-\d{4})", HashFamily::Pext);
+  for (Target Isa : {Target::AArch64, Target::Portable}) {
+    CodegenOptions Options;
+    Options.Isa = Isa;
+    const std::string Code = emitHashFunction(Plan, Options);
+    EXPECT_NE(Code.find("sepe_pext_soft"), std::string::npos);
+    EXPECT_EQ(Code.find("_pext_u64"), std::string::npos);
+  }
+}
+
+TEST(CodegenTest, AesBodyPairsLoads) {
+  const HashPlan Plan =
+      planOf(R"(https://example\.com/go/[a-z0-9]{20}\.html)",
+             HashFamily::Aes);
+  const std::string Code = emitHashFunction(Plan);
+  EXPECT_NE(Code.find("sepe_aes_init"), std::string::npos);
+  EXPECT_NE(Code.find("sepe_aesenc"), std::string::npos);
+  EXPECT_NE(Code.find("sepe_aes_fold"), std::string::npos);
+  // Three loads: one paired chunk plus a replicated trailer.
+  EXPECT_NE(Code.find("Last"), std::string::npos);
+}
+
+TEST(CodegenTest, FallbackDelegatesToStdHash) {
+  const HashPlan Plan = planOf(R"(\d{4})", HashFamily::OffXor);
+  ASSERT_TRUE(Plan.FallbackToStl);
+  const std::string Code = emitHashFunction(Plan);
+  EXPECT_NE(Code.find("std::hash<std::string>"), std::string::npos);
+}
+
+TEST(CodegenTest, VariableBodyEmitsSkipTableAndTailLoop) {
+  Expected<FormatSpec> Spec = parseRegex(R"(user-\d{10}(.){0,8})");
+  ASSERT_TRUE(Spec);
+  Expected<HashPlan> Plan =
+      synthesize(Spec->abstract(), HashFamily::OffXor);
+  ASSERT_TRUE(Plan);
+  const std::string Code = emitHashFunction(*Plan);
+  EXPECT_NE(Code.find("Skip[]"), std::string::npos);
+  EXPECT_NE(Code.find("while (Ptr < End)"), std::string::npos);
+}
+
+TEST(CodegenTest, CustomNameAndCWrapper) {
+  const HashPlan Plan = planOf(R"(\d{3}-\d{2}-\d{4})", HashFamily::Pext);
+  CodegenOptions Options;
+  Options.StructName = "MySsnHash";
+  Options.EmitCWrapper = true;
+  const std::string Code = emitHashFunction(Plan, Options);
+  EXPECT_NE(Code.find("struct MySsnHash"), std::string::npos);
+  EXPECT_NE(Code.find("extern \"C\" uint64_t MySsnHash_hash"),
+            std::string::npos);
+}
+
+TEST(CodegenTest, TranslationUnitHasAllFamilies) {
+  Expected<FormatSpec> Spec = parseRegex(R"(\d{3}-\d{2}-\d{4})");
+  ASSERT_TRUE(Spec);
+  Expected<std::array<HashPlan, 4>> Plans =
+      synthesizeAllFamilies(Spec->abstract());
+  ASSERT_TRUE(Plans);
+  const std::string Code = emitTranslationUnit(
+      std::vector<HashPlan>(Plans->begin(), Plans->end()));
+  for (const char *Name : {"SepeNaiveHash", "SepeOffXorHash", "SepeAesHash",
+                           "SepePextHash"})
+    EXPECT_NE(Code.find(Name), std::string::npos) << Name;
+}
+
+TEST(CodegenTest, DocCommentStatesFormat) {
+  const HashPlan Plan = planOf(R"(\d{3}-\d{2}-\d{4})", HashFamily::Pext);
+  const std::string Code = emitHashFunction(Plan);
+  EXPECT_NE(Code.find("keys of length 11"), std::string::npos);
+  EXPECT_NE(Code.find("36 free bits"), std::string::npos);
+}
+
+} // namespace

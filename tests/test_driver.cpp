@@ -1,0 +1,193 @@
+//===- tests/test_driver.cpp - Benchmark driver ---------------------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/experiment.h"
+
+#include "driver/report.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+using namespace sepe;
+
+namespace {
+
+ExperimentConfig smallConfig() {
+  ExperimentConfig Config;
+  Config.Spread = 200;
+  Config.Affectations = 600;
+  return Config;
+}
+
+TEST(HashRegistryTest, NamesAreStable) {
+  EXPECT_STREQ(hashKindName(HashKind::Stl), "STL");
+  EXPECT_STREQ(hashKindName(HashKind::Abseil), "Abseil");
+  EXPECT_STREQ(hashKindName(HashKind::Pext), "Pext");
+  EXPECT_TRUE(isSynthetic(HashKind::Naive));
+  EXPECT_FALSE(isSynthetic(HashKind::City));
+}
+
+TEST(HashRegistryTest, EveryKindHashesEveryFormat) {
+  for (PaperKey Key : AllPaperKeys) {
+    const HashFunctionSet Set = HashFunctionSet::create(Key);
+    KeyGenerator Gen(paperKeyFormat(Key), KeyDistribution::Uniform, 3);
+    const std::string Text = Gen.next();
+    for (HashKind Kind : AllHashKinds) {
+      const size_t H1 = Set.hash(Kind, Text);
+      const size_t H2 = Set.hash(Kind, Text);
+      EXPECT_EQ(H1, H2) << hashKindName(Kind) << "/" << paperKeyName(Key);
+    }
+  }
+}
+
+TEST(HashRegistryTest, VisitMatchesHash) {
+  const HashFunctionSet Set = HashFunctionSet::create(PaperKey::SSN);
+  const std::string Key = "123-45-6789";
+  for (HashKind Kind : AllHashKinds) {
+    const size_t Direct = Set.hash(Kind, Key);
+    const size_t Visited =
+        Set.visit(Kind, [&](const auto &H) -> size_t { return H(Key); });
+    EXPECT_EQ(Direct, Visited) << hashKindName(Kind);
+  }
+}
+
+TEST(HashRegistryTest, StlKindMatchesStdHash) {
+  const HashFunctionSet Set = HashFunctionSet::create(PaperKey::SSN);
+  const std::string Key = "321-54-9876";
+  EXPECT_EQ(Set.hash(HashKind::Stl, Key), std::hash<std::string>{}(Key));
+}
+
+TEST(WorkloadTest, BatchedScheduleHasThreePhases) {
+  ExperimentConfig Config = smallConfig();
+  Config.Mode = ExecMode::Batched;
+  const Workload Work = makeWorkload(PaperKey::SSN, Config);
+  ASSERT_EQ(Work.Schedule.size(), Config.Affectations);
+  EXPECT_EQ(Work.Keys.size(), Config.Spread);
+  const size_t Third = Config.Affectations / 3;
+  for (size_t I = 0; I != Third; ++I)
+    EXPECT_EQ(Work.Schedule[I].first, Workload::Op::Insert);
+  for (size_t I = Third; I != 2 * Third; ++I)
+    EXPECT_EQ(Work.Schedule[I].first, Workload::Op::Search);
+  EXPECT_EQ(Work.Schedule.back().first, Workload::Op::Erase);
+}
+
+TEST(WorkloadTest, InterweavedFirstHalfInserts) {
+  ExperimentConfig Config = smallConfig();
+  Config.Mode = ExecMode::Inter70_20;
+  const Workload Work = makeWorkload(PaperKey::SSN, Config);
+  for (size_t I = 0; I != Config.Affectations / 2; ++I)
+    EXPECT_EQ(Work.Schedule[I].first, Workload::Op::Insert);
+}
+
+TEST(WorkloadTest, InterweavedRespectsProbabilities) {
+  ExperimentConfig Config = smallConfig();
+  Config.Affectations = 20000;
+  Config.Mode = ExecMode::Inter40_30;
+  const Workload Work = makeWorkload(PaperKey::SSN, Config);
+  size_t Inserts = 0, Searches = 0, Erases = 0;
+  for (size_t I = Config.Affectations / 2; I != Work.Schedule.size(); ++I) {
+    switch (Work.Schedule[I].first) {
+    case Workload::Op::Insert:
+      ++Inserts;
+      break;
+    case Workload::Op::Search:
+      ++Searches;
+      break;
+    case Workload::Op::Erase:
+      ++Erases;
+      break;
+    }
+  }
+  const double Total = static_cast<double>(Inserts + Searches + Erases);
+  EXPECT_NEAR(Inserts / Total, 0.4, 0.03);
+  EXPECT_NEAR(Searches / Total, 0.3, 0.03);
+  EXPECT_NEAR(Erases / Total, 0.3, 0.03);
+}
+
+TEST(WorkloadTest, DeterministicForFixedSeed) {
+  const Workload A = makeWorkload(PaperKey::MAC, smallConfig());
+  const Workload B = makeWorkload(PaperKey::MAC, smallConfig());
+  EXPECT_EQ(A.Keys, B.Keys);
+  EXPECT_EQ(A.Schedule, B.Schedule);
+}
+
+TEST(ExperimentTest, RunsForEveryContainerKind) {
+  const HashFunctionSet Set = HashFunctionSet::create(PaperKey::SSN);
+  for (ContainerKind Container : AllContainerKinds) {
+    ExperimentConfig Config = smallConfig();
+    Config.Container = Container;
+    const Workload Work = makeWorkload(PaperKey::SSN, Config);
+    const ExperimentResult Result =
+        runExperiment(Work, Config, HashKind::Stl, Set);
+    EXPECT_GT(Result.BTimeMs, 0.0) << containerKindName(Container);
+    EXPECT_GT(Result.HTimeMs, 0.0);
+  }
+}
+
+TEST(ExperimentTest, PextHasZeroTrueCollisionsOnSsn) {
+  const HashFunctionSet Set = HashFunctionSet::create(PaperKey::SSN);
+  const ExperimentConfig Config = smallConfig();
+  const Workload Work = makeWorkload(PaperKey::SSN, Config);
+  const ExperimentResult Result =
+      runExperiment(Work, Config, HashKind::Pext, Set);
+  EXPECT_EQ(Result.TrueCollisions, 0u);
+}
+
+TEST(ExperimentTest, GperfCollidesMost) {
+  const HashFunctionSet Set = HashFunctionSet::create(PaperKey::SSN);
+  ExperimentConfig Config = smallConfig();
+  Config.Spread = 2000;
+  Config.Affectations = 2000;
+  const Workload Work = makeWorkload(PaperKey::SSN, Config);
+  const ExperimentResult Gperf =
+      runExperiment(Work, Config, HashKind::Gperf, Set);
+  const ExperimentResult Stl =
+      runExperiment(Work, Config, HashKind::Stl, Set);
+  EXPECT_GT(Gperf.TrueCollisions, Stl.TrueCollisions + 100);
+  EXPECT_GT(Gperf.BucketCollisions, Stl.BucketCollisions);
+}
+
+TEST(ExperimentTest, CountTrueCollisionsAgreesWithResult) {
+  const HashFunctionSet Set = HashFunctionSet::create(PaperKey::IPv4);
+  const ExperimentConfig Config = smallConfig();
+  const Workload Work = makeWorkload(PaperKey::IPv4, Config);
+  const ExperimentResult Result =
+      runExperiment(Work, Config, HashKind::Gpt, Set);
+  EXPECT_EQ(Result.TrueCollisions,
+            countTrueCollisions(Work.Keys, HashKind::Gpt, Set));
+}
+
+TEST(ExperimentTest, StandardGridHas144Cells) {
+  const std::vector<ExperimentConfig> Grid = standardGrid(1000);
+  EXPECT_EQ(Grid.size(), 144u);
+  // All seeds distinct so workloads differ.
+  std::unordered_set<uint64_t> Seeds;
+  for (const ExperimentConfig &Config : Grid)
+    Seeds.insert(Config.Seed);
+  EXPECT_EQ(Seeds.size(), Grid.size());
+}
+
+TEST(ReportTest, TextTableAligns) {
+  TextTable Table({"Function", "B-Time"});
+  Table.addRow({"STL", "3.19"});
+  Table.addRow({"OffXor", "3.03"});
+  const std::string Out = Table.str();
+  EXPECT_NE(Out.find("Function"), std::string::npos);
+  EXPECT_NE(Out.find("OffXor"), std::string::npos);
+  EXPECT_NE(Out.find("----"), std::string::npos);
+}
+
+TEST(ReportTest, BoxplotRendersAllBoxes) {
+  const BoxStats A = boxStats({1, 2, 3, 4, 5});
+  const BoxStats B = boxStats({2, 3, 4, 5, 6});
+  const std::string Out = renderBoxplots({"A", "B"}, {A, B});
+  EXPECT_NE(Out.find("A |"), std::string::npos);
+  EXPECT_NE(Out.find('='), std::string::npos);
+  EXPECT_NE(Out.find('*'), std::string::npos);
+}
+
+} // namespace

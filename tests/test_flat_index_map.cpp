@@ -1,0 +1,178 @@
+//===- tests/test_flat_index_map.cpp - Learned-index style map ------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "container/flat_index_map.h"
+
+#include "core/regex_parser.h"
+#include "core/synthesizer.h"
+#include "keygen/distributions.h"
+#include "keygen/paper_formats.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+using namespace sepe;
+
+namespace {
+
+SynthesizedHash bijectiveHash(const std::string &Regex) {
+  Expected<FormatSpec> Spec = parseRegex(Regex);
+  EXPECT_TRUE(Spec);
+  Expected<HashPlan> Plan = synthesize(Spec->abstract(), HashFamily::Pext);
+  EXPECT_TRUE(Plan);
+  EXPECT_TRUE(Plan->Bijective) << Regex;
+  return SynthesizedHash(Plan.take());
+}
+
+TEST(BijectionFlagTest, SetForSmallPextFormats) {
+  for (const char *Regex :
+       {R"(\d{3}-\d{2}-\d{4})", R"([0-9]{16})", R"([0-9a-f]{8}--------)"}) {
+    Expected<FormatSpec> Spec = parseRegex(Regex);
+    ASSERT_TRUE(Spec);
+    Expected<HashPlan> Plan =
+        synthesize(Spec->abstract(), HashFamily::Pext);
+    ASSERT_TRUE(Plan);
+    EXPECT_TRUE(Plan->Bijective) << Regex;
+  }
+}
+
+TEST(BijectionFlagTest, ClearForWideOrUnmixedFormats) {
+  // INTS has 400 free bits; OffXor never proves injectivity.
+  Expected<FormatSpec> Ints = parseRegex(R"([0-9]{100})");
+  ASSERT_TRUE(Ints);
+  Expected<HashPlan> IntsPlan =
+      synthesize(Ints->abstract(), HashFamily::Pext);
+  ASSERT_TRUE(IntsPlan);
+  EXPECT_FALSE(IntsPlan->Bijective);
+
+  Expected<FormatSpec> Ssn = parseRegex(R"(\d{3}-\d{2}-\d{4})");
+  ASSERT_TRUE(Ssn);
+  Expected<HashPlan> OffXorPlan =
+      synthesize(Ssn->abstract(), HashFamily::OffXor);
+  ASSERT_TRUE(OffXorPlan);
+  EXPECT_FALSE(OffXorPlan->Bijective);
+}
+
+TEST(BijectionFlagTest, PaperClaimMacAndIpv6AreNotBijections) {
+  // 96 and 256 free bits: the flag must stay off even though measured
+  // collisions are zero.
+  for (PaperKey Key : {PaperKey::MAC, PaperKey::IPv6}) {
+    Expected<HashPlan> Plan =
+        synthesize(paperKeyFormat(Key).abstract(), HashFamily::Pext);
+    ASSERT_TRUE(Plan);
+    EXPECT_FALSE(Plan->Bijective) << paperKeyName(Key);
+  }
+}
+
+TEST(FlatIndexMapTest, InsertFindEraseBasics) {
+  FlatIndexMap<int> Map(bijectiveHash(R"(\d{3}-\d{2}-\d{4})"));
+  EXPECT_TRUE(Map.empty());
+  EXPECT_TRUE(Map.insert("123-45-6789", 1));
+  EXPECT_FALSE(Map.insert("123-45-6789", 2)) << "duplicate insert";
+  EXPECT_TRUE(Map.insert("000-00-0001", 3));
+  EXPECT_EQ(Map.size(), 2u);
+
+  ASSERT_NE(Map.find("123-45-6789"), nullptr);
+  EXPECT_EQ(*Map.find("123-45-6789"), 1) << "first insert wins";
+  EXPECT_EQ(Map.find("999-99-9999"), nullptr);
+
+  EXPECT_TRUE(Map.erase("123-45-6789"));
+  EXPECT_FALSE(Map.erase("123-45-6789"));
+  EXPECT_EQ(Map.size(), 1u);
+  EXPECT_FALSE(Map.contains("123-45-6789"));
+  EXPECT_TRUE(Map.contains("000-00-0001"));
+}
+
+TEST(FlatIndexMapTest, GrowsUnderLoad) {
+  FlatIndexMap<uint64_t> Map(bijectiveHash(R"([0-9]{9})"), 16);
+  KeyGenerator Gen(*parseRegex(R"([0-9]{9})"), KeyDistribution::Uniform,
+                   91);
+  const std::vector<std::string> Keys = Gen.distinct(20000);
+  for (size_t I = 0; I != Keys.size(); ++I)
+    ASSERT_TRUE(Map.insert(Keys[I], I));
+  EXPECT_EQ(Map.size(), Keys.size());
+  for (size_t I = 0; I != Keys.size(); ++I) {
+    const uint64_t *Value = Map.find(Keys[I]);
+    ASSERT_NE(Value, nullptr) << Keys[I];
+    EXPECT_EQ(*Value, I);
+  }
+}
+
+TEST(FlatIndexMapTest, IncrementalKeysHaveShortProbes) {
+  // The pext image of consecutive keys is a bijection but not monotone
+  // (nibbles pack little-endian); the Fibonacci slot mapping must still
+  // keep probe sequences short at 50% load.
+  FlatIndexMap<int> Map(bijectiveHash(R"([0-9]{9})"), 4096);
+  KeyGenerator Gen(*parseRegex(R"([0-9]{9})"),
+                   KeyDistribution::Incremental, 0);
+  for (int I = 0; I != 2000; ++I)
+    Map.insert(Gen.next(), I);
+  EXPECT_LE(Map.maxProbeLength(), 24u)
+      << "slot mapping must break up incremental-key clusters";
+}
+
+TEST(FlatIndexMapTest, DifferentialAgainstStdMap) {
+  // Random insert/erase/find interleaving, mirrored against std::map.
+  const SynthesizedHash Hash = bijectiveHash(R"([0-9]{6}xy)");
+  FlatIndexMap<int> Map(Hash);
+  std::map<std::string, int> Reference;
+  Expected<FormatSpec> Spec = parseRegex(R"([0-9]{6}xy)");
+  ASSERT_TRUE(Spec);
+  KeyGenerator Gen(*Spec, KeyDistribution::Uniform, 555);
+  const std::vector<std::string> Pool = Gen.distinct(300);
+  std::mt19937_64 Rng(556);
+  for (int Step = 0; Step != 20000; ++Step) {
+    const std::string &Key = Pool[Rng() % Pool.size()];
+    switch (Rng() % 3) {
+    case 0: {
+      const int Value = static_cast<int>(Rng() % 1000);
+      const bool InsertedRef = Reference.emplace(Key, Value).second;
+      EXPECT_EQ(Map.insert(Key, Value), InsertedRef) << Step;
+      break;
+    }
+    case 1:
+      EXPECT_EQ(Map.erase(Key), Reference.erase(Key) == 1) << Step;
+      break;
+    default: {
+      const auto It = Reference.find(Key);
+      const int *Found = Map.find(Key);
+      EXPECT_EQ(Found != nullptr, It != Reference.end()) << Step;
+      if (Found != nullptr && It != Reference.end()) {
+        EXPECT_EQ(*Found, It->second) << Step;
+      }
+      break;
+    }
+    }
+    EXPECT_EQ(Map.size(), Reference.size());
+  }
+}
+
+TEST(FlatIndexMapTest, EraseBackwardShiftKeepsClusterReachable) {
+  // Construct a probing cluster, erase in the middle, and verify the
+  // displaced entries are still found.
+  const SynthesizedHash Hash = bijectiveHash(R"([0-9]{4}zzzz)");
+  FlatIndexMap<int> Map(Hash, 8192);
+  // Consecutive numeric keys occupy consecutive slots: a guaranteed
+  // cluster.
+  Expected<FormatSpec> Spec = parseRegex(R"([0-9]{4}zzzz)");
+  ASSERT_TRUE(Spec);
+  KeyGenerator Gen(*Spec, KeyDistribution::Incremental, 0);
+  std::vector<std::string> Keys;
+  for (int I = 0; I != 64; ++I)
+    Keys.push_back(Gen.next());
+  for (int I = 0; I != 64; ++I)
+    Map.insert(Keys[static_cast<size_t>(I)], I);
+  for (int I = 10; I != 20; ++I)
+    EXPECT_TRUE(Map.erase(Keys[static_cast<size_t>(I)]));
+  for (int I = 0; I != 64; ++I) {
+    const bool Erased = I >= 10 && I < 20;
+    EXPECT_EQ(Map.contains(Keys[static_cast<size_t>(I)]), !Erased) << I;
+  }
+}
+
+} // namespace

@@ -1,0 +1,111 @@
+//===- tests/test_gperf.cpp - Mini-gperf generator -------------------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gperf/perfect_hash.h"
+
+#include "keygen/distributions.h"
+#include "keygen/paper_formats.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+using namespace sepe;
+
+namespace {
+
+TEST(GperfTest, PerfectOnSmallKeywordSet) {
+  const std::vector<std::string> Keywords = {
+      "if",   "else",  "while", "for",    "return", "break",
+      "case", "const", "char",  "double", "float",  "int"};
+  const PerfectHashFunction Fn = buildPerfectHash(Keywords);
+  EXPECT_EQ(Fn.trainingCollisions(), 0u)
+      << "a dozen keywords must hash perfectly";
+  std::unordered_set<size_t> Hashes;
+  for (const std::string &K : Keywords)
+    EXPECT_TRUE(Hashes.insert(Fn(K)).second) << K;
+}
+
+TEST(GperfTest, DeterministicForFixedSeed) {
+  const std::vector<std::string> Keys = {"alpha", "beta", "gamma", "delta"};
+  const PerfectHashFunction A = buildPerfectHash(Keys);
+  const PerfectHashFunction B = buildPerfectHash(Keys);
+  for (const std::string &K : Keys)
+    EXPECT_EQ(A(K), B(K));
+}
+
+TEST(GperfTest, LengthParticipates) {
+  const std::vector<std::string> Keys = {"a", "aa", "aaa"};
+  const PerfectHashFunction Fn = buildPerfectHash(Keys);
+  EXPECT_EQ(Fn.trainingCollisions(), 0u)
+      << "keys differing only in length are separable via the length term";
+}
+
+TEST(GperfTest, SelectsFewDistinguishingPositions) {
+  // Keys differing only at position 4: one position should be enough.
+  const std::vector<std::string> Keys = {"key-A-pad", "key-B-pad",
+                                         "key-C-pad"};
+  const PerfectHashFunction Fn = buildPerfectHash(Keys);
+  EXPECT_EQ(Fn.trainingCollisions(), 0u);
+  EXPECT_LE(Fn.positions().size(), 2u);
+}
+
+TEST(GperfTest, ImperfectButUsefulOn1000TrainingKeys) {
+  // The paper's setup: 1000 random keys. The paper itself observes that
+  // gperf's table is *imperfect* at this scale ("the high collision
+  // rate is due to the imperfect lookup table"); what matters is that
+  // the search separates far better than the untrained table (999
+  // collisions) while keeping the hash range dense.
+  KeyGenerator Gen(paperKeyFormat(PaperKey::SSN), KeyDistribution::Uniform,
+                   77);
+  const std::vector<std::string> Keys = Gen.distinct(1000);
+  const PerfectHashFunction Fn = buildPerfectHash(Keys);
+  EXPECT_LE(Fn.trainingCollisions(), 400u);
+  EXPECT_GT(Fn.trainingCollisions(), 0u)
+      << "1000 random keys exceed what the dense asso table can separate";
+}
+
+TEST(GperfTest, CollidesHeavilyOnUnseenKeys) {
+  // The paper's central Gperf observation: perfect on the sample,
+  // catastrophic on the full key space (T-Coll 55k for 10k keys).
+  KeyGenerator Train(paperKeyFormat(PaperKey::SSN),
+                     KeyDistribution::Uniform, 78);
+  const PerfectHashFunction Fn = buildPerfectHash(Train.distinct(1000));
+  KeyGenerator Fresh(paperKeyFormat(PaperKey::SSN),
+                     KeyDistribution::Uniform, 1234);
+  std::unordered_set<size_t> Hashes;
+  const std::vector<std::string> Unseen = Fresh.distinct(10000);
+  for (const std::string &K : Unseen)
+    Hashes.insert(Fn(K));
+  const size_t Collisions = Unseen.size() - Hashes.size();
+  EXPECT_GT(Collisions, Unseen.size() / 2)
+      << "the asso tables confine unseen keys to a narrow range";
+}
+
+TEST(GperfTest, TableSizeReportsAssoEntries) {
+  const std::vector<std::string> Keys = {"one", "two", "six"};
+  const PerfectHashFunction Fn = buildPerfectHash(Keys);
+  EXPECT_EQ(Fn.tableSize(), Fn.positions().size() * 256);
+}
+
+TEST(GperfTest, EmitCContainsAssoTablesAndFunction) {
+  const std::vector<std::string> Keys = {"red", "ted", "bed"};
+  const PerfectHashFunction Fn = buildPerfectHash(Keys);
+  const std::string Code = Fn.emitC("color_hash");
+  EXPECT_NE(Code.find("asso0"), std::string::npos);
+  EXPECT_NE(Code.find("size_t color_hash(const char *Key, size_t Len)"),
+            std::string::npos);
+}
+
+TEST(GperfTest, HandlesKeysShorterThanPositions) {
+  const std::vector<std::string> Keys = {"longkey-1", "longkey-2", "ab"};
+  const PerfectHashFunction Fn = buildPerfectHash(Keys);
+  // Hashing a short key must not read out of bounds (positions beyond
+  // the key are skipped).
+  EXPECT_NO_FATAL_FAILURE((void)Fn("x"));
+}
+
+} // namespace

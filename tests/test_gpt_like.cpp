@@ -1,0 +1,122 @@
+//===- tests/test_gpt_like.cpp - The simulated Gpt baseline ---------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hashes/gpt_like.h"
+
+#include "keygen/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+using namespace sepe;
+
+namespace {
+
+TEST(GptLikeTest, SsnIsTheNumberItself) {
+  EXPECT_EQ(gptLikeHash(PaperKey::SSN, "123-45-6789"), 123456789u);
+  EXPECT_EQ(gptLikeHash(PaperKey::SSN, "000-00-0000"), 0u);
+}
+
+TEST(GptLikeTest, CpfIsTheNumberItself) {
+  EXPECT_EQ(gptLikeHash(PaperKey::CPF, "123.456.789-09"), 12345678909ULL);
+}
+
+TEST(GptLikeTest, MacIsTheAddressValue) {
+  EXPECT_EQ(gptLikeHash(PaperKey::MAC, "00-00-00-00-00-01"), 1u);
+  EXPECT_EQ(gptLikeHash(PaperKey::MAC, "ff-ff-ff-ff-ff-ff"),
+            0xffffffffffffULL);
+  EXPECT_EQ(gptLikeHash(PaperKey::MAC, "DE-AD-be-ef-00-42"),
+            0xdeadbeef0042ULL);
+}
+
+TEST(GptLikeTest, Ipv4CollidesOnOctetPermutations) {
+  // The paper's Gpt function is dominated by IPv4 collisions (7,857 of
+  // 7,865); our simulation reproduces the commutative weakness.
+  EXPECT_EQ(gptLikeHash(PaperKey::IPv4, "001.002.003.004"),
+            gptLikeHash(PaperKey::IPv4, "004.003.002.001"));
+  EXPECT_EQ(gptLikeHash(PaperKey::IPv4, "010.000.000.000"),
+            gptLikeHash(PaperKey::IPv4, "000.000.000.010"));
+}
+
+TEST(GptLikeTest, Ipv4StillSeparatesDifferentSums) {
+  EXPECT_NE(gptLikeHash(PaperKey::IPv4, "001.002.003.004"),
+            gptLikeHash(PaperKey::IPv4, "001.002.003.005"));
+}
+
+TEST(GptLikeTest, Ipv6IsInjectiveOnRandomKeys) {
+  KeyGenerator Gen(paperKeyFormat(PaperKey::IPv6), KeyDistribution::Uniform,
+                   21);
+  std::unordered_set<uint64_t> Hashes;
+  std::unordered_set<std::string> Keys;
+  for (int I = 0; I != 3000; ++I) {
+    const std::string Key = Gen.next();
+    if (!Keys.insert(Key).second)
+      continue;
+    EXPECT_TRUE(Hashes.insert(gptLikeHash(PaperKey::IPv6, Key)).second)
+        << Key;
+  }
+}
+
+TEST(GptLikeTest, UrlsIgnoreTheConstantPrefix) {
+  KeyGenerator Gen(paperKeyFormat(PaperKey::URL1), KeyDistribution::Uniform,
+                   31);
+  const std::string A = Gen.next();
+  // Mutating a prefix byte must not change the hash (the simulated
+  // prompt tells the model the prefix is constant).
+  std::string B = A;
+  B[0] = 'H';
+  EXPECT_EQ(gptLikeHash(PaperKey::URL1, A), gptLikeHash(PaperKey::URL1, B));
+  // Mutating the slug must.
+  std::string C = A;
+  C[25] = C[25] == 'a' ? 'b' : 'a';
+  EXPECT_NE(gptLikeHash(PaperKey::URL1, A), gptLikeHash(PaperKey::URL1, C));
+}
+
+TEST(GptLikeTest, IntsUsesEveryDigit) {
+  KeyGenerator Gen(paperKeyFormat(PaperKey::INTS),
+                   KeyDistribution::Incremental, 0);
+  const std::string A = Gen.keyForValue(0);
+  for (size_t Pos : {0u, 50u, 99u}) {
+    std::string B = A;
+    B[Pos] = '7';
+    EXPECT_NE(gptLikeHash(PaperKey::INTS, A), gptLikeHash(PaperKey::INTS, B))
+        << "digit " << Pos;
+  }
+}
+
+TEST(GptLikeTest, FunctorDispatchesOnFormat) {
+  const GptHash SsnHash{PaperKey::SSN};
+  EXPECT_EQ(SsnHash(std::string("123-45-6789")), 123456789u);
+}
+
+TEST(GptLikeTest, LowCollisionsOnNonIpv4Formats) {
+  // Mirrors Section 4.2's observation: the Gpt concentration is on
+  // IPv4; other formats stay (nearly) collision-free.
+  for (PaperKey Key : {PaperKey::SSN, PaperKey::CPF, PaperKey::MAC,
+                       PaperKey::URL1}) {
+    KeyGenerator Gen(paperKeyFormat(Key), KeyDistribution::Uniform, 61);
+    std::unordered_set<uint64_t> Hashes;
+    const std::vector<std::string> Keys = Gen.distinct(3000);
+    for (const std::string &K : Keys)
+      Hashes.insert(gptLikeHash(Key, K));
+    EXPECT_GE(Hashes.size() + 3, Keys.size()) << paperKeyName(Key);
+  }
+}
+
+TEST(GptLikeTest, HighCollisionsOnIpv4) {
+  KeyGenerator Gen(paperKeyFormat(PaperKey::IPv4), KeyDistribution::Uniform,
+                   62);
+  std::unordered_set<uint64_t> Hashes;
+  const std::vector<std::string> Keys = Gen.distinct(10000);
+  for (const std::string &K : Keys)
+    Hashes.insert(gptLikeHash(PaperKey::IPv4, K));
+  const size_t Collisions = Keys.size() - Hashes.size();
+  EXPECT_GT(Collisions, 5000u)
+      << "octet sums range over [0, 3996]: most keys must collide";
+}
+
+} // namespace

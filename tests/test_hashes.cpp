@@ -1,0 +1,169 @@
+//===- tests/test_hashes.cpp - Baseline hash implementations --------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hashes/city.h"
+#include "hashes/fnv.h"
+#include "hashes/low_level_hash.h"
+#include "hashes/murmur.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+#include <unordered_set>
+
+using namespace sepe;
+
+namespace {
+
+std::vector<std::string> randomStrings(size_t Count, size_t MaxLen,
+                                       uint64_t Seed) {
+  std::mt19937_64 Rng(Seed);
+  std::vector<std::string> Out;
+  Out.reserve(Count);
+  for (size_t I = 0; I != Count; ++I) {
+    const size_t Len = Rng() % (MaxLen + 1);
+    std::string S(Len, '\0');
+    for (char &C : S)
+      C = static_cast<char>(Rng() & 0xFF);
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+TEST(MurmurTest, MatchesPlatformStdHash) {
+  // Our Figure-1 clone must agree bit-for-bit with libstdc++'s
+  // std::hash<std::string> on this platform.
+  const std::hash<std::string> StdHash;
+  const MurmurStlHash Ours;
+  for (const std::string &S : randomStrings(500, 40, 1)) {
+    EXPECT_EQ(Ours(S), StdHash(S)) << "length " << S.size();
+  }
+  EXPECT_EQ(Ours(std::string()), StdHash(std::string()));
+}
+
+TEST(MurmurTest, SeedChangesResult) {
+  const std::string Key = "hello world";
+  EXPECT_NE(murmurHashBytes(Key.data(), Key.size(), 1),
+            murmurHashBytes(Key.data(), Key.size(), 2));
+}
+
+TEST(MurmurTest, TailBytesMatter) {
+  // Keys sharing the aligned prefix but differing in the tail.
+  const std::string A = "12345678abc";
+  const std::string B = "12345678abd";
+  EXPECT_NE(MurmurStlHash{}(A), MurmurStlHash{}(B));
+}
+
+TEST(FnvTest, MatchesPublishedVectors) {
+  // Canonical FNV-1a 64-bit test vectors.
+  const auto Fnv = [](const std::string &S) {
+    return fnv1aHashBytes(S.data(), S.size(), FnvOffsetBasis64);
+  };
+  EXPECT_EQ(Fnv(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv("b"), 0xaf63df4c8601f1a5ULL);
+  EXPECT_EQ(Fnv("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(FnvTest, OrderSensitive) {
+  EXPECT_NE(FnvHash{}("ab"), FnvHash{}("ba"));
+}
+
+TEST(CityTest, DeterministicAndLengthAware) {
+  const CityHash City;
+  EXPECT_EQ(City("some key"), City("some key"));
+  EXPECT_NE(City(""), City("x"));
+}
+
+TEST(CityTest, ExercisesEveryLengthBucket) {
+  // CityHash64 has distinct code paths for 0-16, 17-32, 33-64 and >64
+  // bytes; make sure each is hit and produces distinct values for
+  // near-identical inputs.
+  const CityHash City;
+  for (size_t Len : {0u, 1u, 3u, 4u, 7u, 8u, 15u, 16u, 17u, 32u, 33u, 63u,
+                     64u, 65u, 128u, 333u}) {
+    std::string A(Len, 'a');
+    EXPECT_EQ(City(A), City(A)) << Len;
+    if (Len == 0)
+      continue;
+    std::string B = A;
+    B.back() = 'b';
+    EXPECT_NE(City(A), City(B)) << Len;
+    std::string C = A;
+    C.front() = 'c';
+    EXPECT_NE(City(A), City(C)) << Len;
+  }
+}
+
+TEST(CityTest, FewCollisionsOnRandomInputs) {
+  std::unordered_set<uint64_t> Hashes;
+  std::unordered_set<std::string> Keys;
+  const CityHash City;
+  for (const std::string &S : randomStrings(5000, 64, 3)) {
+    if (!Keys.insert(S).second)
+      continue;
+    Hashes.insert(City(S));
+  }
+  EXPECT_GE(Hashes.size() + 2, Keys.size());
+}
+
+TEST(LowLevelHashTest, SeedAndLengthSensitivity) {
+  const std::string Key = "the quick brown fox";
+  EXPECT_NE(lowLevelHash(Key.data(), Key.size(), 0),
+            lowLevelHash(Key.data(), Key.size(), 1));
+  EXPECT_NE(LowLevelHashFn{}(""), LowLevelHashFn{}(std::string(1, '\0')))
+      << "length participates via the final mix";
+}
+
+TEST(LowLevelHashTest, ExercisesEveryLengthBucket) {
+  const LowLevelHashFn Hash;
+  for (size_t Len : {0u, 1u, 2u, 3u, 4u, 8u, 9u, 16u, 17u, 63u, 64u, 65u,
+                     129u, 500u}) {
+    std::string A(Len, 'q');
+    EXPECT_EQ(Hash(A), Hash(A)) << Len;
+    if (Len == 0)
+      continue;
+    std::string B = A;
+    B.back() = 'r';
+    EXPECT_NE(Hash(A), Hash(B)) << Len;
+  }
+}
+
+TEST(LowLevelHashTest, FewCollisionsOnRandomInputs) {
+  std::unordered_set<uint64_t> Hashes;
+  std::unordered_set<std::string> Keys;
+  for (const std::string &S : randomStrings(5000, 96, 9)) {
+    if (!Keys.insert(S).second)
+      continue;
+    Hashes.insert(LowLevelHashFn{}(S));
+  }
+  EXPECT_GE(Hashes.size() + 2, Keys.size());
+}
+
+TEST(BaselineAvalancheTest, SingleBitFlipsChangeManyBits) {
+  // Sanity avalanche check for the mixing baselines (not the synthetic
+  // low-mixing families): flipping one input bit should flip a healthy
+  // number of output bits on average.
+  const std::string Base = "avalanche-test-key-0123456789";
+  const auto AvgFlips = [&](auto Hash) {
+    int Flips = 0, Trials = 0;
+    for (size_t Byte = 0; Byte != Base.size(); ++Byte)
+      for (int Bit = 0; Bit != 8; ++Bit) {
+        std::string Mutated = Base;
+        Mutated[Byte] = static_cast<char>(Mutated[Byte] ^ (1 << Bit));
+        Flips += __builtin_popcountll(Hash(Base) ^ Hash(Mutated));
+        ++Trials;
+      }
+    return static_cast<double>(Flips) / Trials;
+  };
+  EXPECT_GT(AvgFlips(MurmurStlHash{}), 24.0);
+  EXPECT_GT(AvgFlips(CityHash{}), 24.0);
+  EXPECT_GT(AvgFlips(LowLevelHashFn{}), 24.0);
+  EXPECT_GT(AvgFlips(FnvHash{}), 20.0);
+}
+
+} // namespace

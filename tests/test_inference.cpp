@@ -1,0 +1,109 @@
+//===- tests/test_inference.cpp - Pattern inference (Section 3.1) ---------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/inference.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace sepe;
+
+namespace {
+
+TEST(InferenceTest, EmptySetYieldsEmptyPattern) {
+  EXPECT_TRUE(inferPattern({}).empty());
+}
+
+TEST(InferenceTest, SingleKeyIsFullyConstant) {
+  const KeyPattern P = inferPattern({"abc"});
+  EXPECT_TRUE(P.isFixedLength());
+  for (size_t I = 0; I != 3; ++I)
+    EXPECT_TRUE(P.byteAt(I).isConstant());
+}
+
+TEST(InferenceTest, IataExampleFromPaper) {
+  // Example 3.4: JFK v LaX v GRu. The first byte keeps its upper quad
+  // (0100 = upper-case letters); the second byte mixes upper and lower
+  // case, keeping only 01.
+  const KeyPattern P = inferPattern({"JFK", "LaX", "GRu"});
+  EXPECT_EQ(P.byteAt(0).quadAt(0), Quad::pair(0b01));
+  EXPECT_EQ(P.byteAt(0).quadAt(1), Quad::pair(0b00));
+  EXPECT_EQ(P.byteAt(1).quadAt(0), Quad::pair(0b01));
+  EXPECT_TRUE(P.byteAt(1).quadAt(1).isTop());
+}
+
+TEST(InferenceTest, ShorterKeysTopTheTail) {
+  // Example 3.4's ICAO case: a fourth letter missing in the IATA codes
+  // makes the tail position all-top.
+  const KeyPattern P = inferPattern({"JFK", "LaX", "GRu", "RJTT"});
+  EXPECT_EQ(P.minLength(), 3u);
+  EXPECT_EQ(P.maxLength(), 4u);
+  EXPECT_TRUE(P.byteAt(3).isTop());
+}
+
+TEST(InferenceTest, ResultCoversEveryExample) {
+  const std::vector<std::string> Keys = {"123-45-6789", "000-00-0000",
+                                         "999-99-9999"};
+  const KeyPattern P = inferPattern(Keys);
+  for (const std::string &Key : Keys)
+    EXPECT_TRUE(P.matches(Key)) << Key;
+}
+
+TEST(InferenceTest, SeparatorsStayConstant) {
+  const KeyPattern P = inferPattern({"123-45-6789", "987-65-4321"});
+  EXPECT_TRUE(P.byteAt(3).isConstant());
+  EXPECT_EQ(P.byteAt(3).constValue(), '-');
+  EXPECT_TRUE(P.byteAt(6).isConstant());
+  EXPECT_FALSE(P.byteAt(0).isConstant());
+}
+
+TEST(InferenceTest, TwoGoodExamplesExerciseDigitQuads) {
+  // Example 3.6: all-0s and all-5s suffice to free the digit nibble.
+  const KeyPattern P = inferPattern({"000.000.000.000", "555.555.555.555"});
+  for (size_t I : {0u, 1u, 2u, 4u, 5u, 6u}) {
+    EXPECT_EQ(P.byteAt(I).constMask(), 0xF0) << "digit at " << I;
+  }
+  EXPECT_TRUE(P.byteAt(3).isConstant());
+}
+
+TEST(InferenceTest, OrderIndependence) {
+  const std::vector<std::string> Keys = {"JFK", "LaX", "GRu"};
+  const KeyPattern Forward = inferPattern(Keys);
+  const KeyPattern Backward = inferPattern({"GRu", "LaX", "JFK"});
+  EXPECT_EQ(Forward, Backward);
+}
+
+TEST(InferenceTest, BuilderMatchesBatchInference) {
+  const std::vector<std::string> Keys = {"aa:bb", "00:ff", "12:34"};
+  PatternBuilder Builder;
+  for (const std::string &Key : Keys)
+    Builder.addKey(Key);
+  EXPECT_EQ(Builder.keyCount(), 3u);
+  EXPECT_EQ(Builder.pattern(), inferPattern(Keys));
+}
+
+TEST(InferenceTest, StreamSkipsBlankLinesAndCr) {
+  std::istringstream In("abc\r\n\nabd\r\n");
+  const KeyPattern P = inferPatternFromStream(In);
+  EXPECT_EQ(P.maxLength(), 3u);
+  EXPECT_TRUE(P.matches("abc"));
+  EXPECT_TRUE(P.matches("abd"));
+}
+
+TEST(InferenceTest, MoreExamplesOnlyLoosenThePattern) {
+  // Monotonicity: adding examples can only move positions up-lattice.
+  const KeyPattern Small = inferPattern({"AAA", "AAB"});
+  const KeyPattern Large = inferPattern({"AAA", "AAB", "AZz"});
+  for (size_t I = 0; I != 3; ++I) {
+    const uint8_t SmallMask = Small.byteAt(I).constMask();
+    const uint8_t LargeMask = Large.byteAt(I).constMask();
+    EXPECT_EQ(LargeMask & SmallMask, LargeMask)
+        << "constant bits must only shrink";
+  }
+}
+
+} // namespace

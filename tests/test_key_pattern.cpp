@@ -1,0 +1,78 @@
+//===- tests/test_key_pattern.cpp - Key-level quad abstraction ------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/key_pattern.h"
+
+#include <gtest/gtest.h>
+
+using namespace sepe;
+
+namespace {
+
+std::vector<BytePattern> literalBytes(const std::string &Text) {
+  std::vector<BytePattern> Bytes;
+  for (char C : Text)
+    Bytes.push_back(BytePattern::fromByte(static_cast<uint8_t>(C)));
+  return Bytes;
+}
+
+TEST(KeyPatternTest, FixedLengthBasics) {
+  const KeyPattern P = KeyPattern::fixed(literalBytes("abc"));
+  EXPECT_TRUE(P.isFixedLength());
+  EXPECT_EQ(P.minLength(), 3u);
+  EXPECT_EQ(P.maxLength(), 3u);
+  EXPECT_TRUE(P.matches("abc"));
+  EXPECT_FALSE(P.matches("abd"));
+  EXPECT_FALSE(P.matches("ab"));
+  EXPECT_FALSE(P.matches("abcd"));
+}
+
+TEST(KeyPatternTest, VariableLengthAcceptsRange) {
+  std::vector<BytePattern> Bytes = literalBytes("ab");
+  Bytes.push_back(BytePattern::top());
+  const KeyPattern P = KeyPattern::variable(std::move(Bytes), 2);
+  EXPECT_FALSE(P.isFixedLength());
+  EXPECT_TRUE(P.matches("ab"));
+  EXPECT_TRUE(P.matches("abX"));
+  EXPECT_FALSE(P.matches("a"));
+  EXPECT_FALSE(P.matches("abXY"));
+}
+
+TEST(KeyPatternTest, FreeBitCountSumsNonConstantBits) {
+  // Two constant bytes => 0 free bits; one top byte => 8.
+  std::vector<BytePattern> Bytes = literalBytes("ab");
+  Bytes.push_back(BytePattern::top());
+  const KeyPattern P = KeyPattern::fixed(std::move(Bytes));
+  EXPECT_EQ(P.freeBitCount(), 8u);
+}
+
+TEST(KeyPatternTest, JoinWidensLengthBounds) {
+  const KeyPattern A = KeyPattern::fixed(literalBytes("ab"));
+  const KeyPattern B = KeyPattern::fixed(literalBytes("abcd"));
+  const KeyPattern J = join(A, B);
+  EXPECT_EQ(J.minLength(), 2u);
+  EXPECT_EQ(J.maxLength(), 4u);
+  EXPECT_TRUE(J.matches("ab"));
+  EXPECT_TRUE(J.matches("abcd"));
+}
+
+TEST(KeyPatternTest, JoinIsPointwise) {
+  const KeyPattern A = KeyPattern::fixed(literalBytes("a0"));
+  const KeyPattern B = KeyPattern::fixed(literalBytes("a1"));
+  const KeyPattern J = join(A, B);
+  EXPECT_TRUE(J.byteAt(0).isConstant());
+  EXPECT_FALSE(J.byteAt(1).isConstant());
+  EXPECT_TRUE(J.matches("a0"));
+  EXPECT_TRUE(J.matches("a1"));
+  EXPECT_TRUE(J.matches("a2")) << "quad granularity admits nearby digits";
+}
+
+TEST(KeyPatternTest, StrSeparatesBytes) {
+  const KeyPattern P = KeyPattern::fixed(literalBytes("JF"));
+  EXPECT_EQ(P.str(), "01001010|01000110");
+}
+
+} // namespace

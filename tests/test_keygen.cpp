@@ -1,0 +1,172 @@
+//===- tests/test_keygen.cpp - Key formats and distributions --------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "keygen/distributions.h"
+
+#include "core/regex_parser.h"
+#include "keygen/paper_formats.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+using namespace sepe;
+
+namespace {
+
+TEST(PaperFormatsTest, AllRegexesParse) {
+  for (PaperKey Key : AllPaperKeys) {
+    const FormatSpec &Spec = paperKeyFormat(Key);
+    EXPECT_FALSE(Spec.empty()) << paperKeyName(Key);
+    EXPECT_TRUE(Spec.isFixedLength()) << paperKeyName(Key);
+  }
+}
+
+TEST(PaperFormatsTest, LengthsMatchThePaper) {
+  EXPECT_EQ(paperKeyFormat(PaperKey::SSN).maxLength(), 11u);
+  EXPECT_EQ(paperKeyFormat(PaperKey::CPF).maxLength(), 14u);
+  EXPECT_EQ(paperKeyFormat(PaperKey::MAC).maxLength(), 17u);
+  EXPECT_EQ(paperKeyFormat(PaperKey::IPv4).maxLength(), 15u);
+  EXPECT_EQ(paperKeyFormat(PaperKey::IPv6).maxLength(), 39u);
+  EXPECT_EQ(paperKeyFormat(PaperKey::INTS).maxLength(), 100u);
+  // URL1: 23 constant chars + 20 slug + ".html".
+  EXPECT_EQ(paperKeyFormat(PaperKey::URL1).maxLength(), 48u);
+  // URL2: 36 constant chars + 20 slug + ".html".
+  EXPECT_EQ(paperKeyFormat(PaperKey::URL2).maxLength(), 61u);
+}
+
+TEST(PaperFormatsTest, Url1PrefixIs23Constants) {
+  const FormatSpec &Spec = paperKeyFormat(PaperKey::URL1);
+  for (size_t I = 0; I != 23; ++I)
+    EXPECT_TRUE(Spec.classAt(I).isSingleton()) << I;
+  EXPECT_FALSE(Spec.classAt(23).isSingleton());
+}
+
+TEST(PaperFormatsTest, Url2PrefixIs36Constants) {
+  const FormatSpec &Spec = paperKeyFormat(PaperKey::URL2);
+  for (size_t I = 0; I != 36; ++I)
+    EXPECT_TRUE(Spec.classAt(I).isSingleton()) << I;
+  EXPECT_FALSE(Spec.classAt(36).isSingleton());
+}
+
+TEST(KeyGeneratorTest, GeneratedKeysMatchTheirFormat) {
+  for (PaperKey Key : AllPaperKeys)
+    for (KeyDistribution Dist : AllKeyDistributions) {
+      KeyGenerator Gen(paperKeyFormat(Key), Dist, 17);
+      for (int I = 0; I != 20; ++I) {
+        const std::string Text = Gen.next();
+        EXPECT_TRUE(paperKeyFormat(Key).matches(Text))
+            << paperKeyName(Key) << "/" << distributionName(Dist) << ": "
+            << Text;
+      }
+    }
+}
+
+TEST(KeyGeneratorTest, IncrementalIsAscendingAscii) {
+  // RQ3: '000-00-0000', '000-00-0001', ... in ascending order.
+  KeyGenerator Gen(paperKeyFormat(PaperKey::SSN),
+                   KeyDistribution::Incremental, 0);
+  EXPECT_EQ(Gen.next(), "000-00-0000");
+  EXPECT_EQ(Gen.next(), "000-00-0001");
+  EXPECT_EQ(Gen.next(), "000-00-0002");
+  std::string Prev = "000-00-0002";
+  for (int I = 0; I != 500; ++I) {
+    const std::string Next = Gen.next();
+    EXPECT_LT(Prev, Next);
+    Prev = Next;
+  }
+}
+
+TEST(KeyGeneratorTest, ValueKeyRoundTrip) {
+  KeyGenerator Gen(paperKeyFormat(PaperKey::MAC), KeyDistribution::Uniform,
+                   3);
+  for (uint64_t V : {0ULL, 1ULL, 255ULL, 123456789ULL}) {
+    const std::string Key = Gen.keyForValue(V);
+    EXPECT_EQ(static_cast<uint64_t>(Gen.valueForKey(Key)), V);
+  }
+}
+
+TEST(KeyGeneratorTest, SpaceSizeIsRadixProduct) {
+  // SSN: nine digit positions => 10^9 keys.
+  KeyGenerator Gen(paperKeyFormat(PaperKey::SSN),
+                   KeyDistribution::Incremental, 0);
+  EXPECT_EQ(static_cast<uint64_t>(Gen.spaceSize()), 1000000000ULL);
+}
+
+TEST(KeyGeneratorTest, DistinctProducesUniqueConformingKeys) {
+  for (KeyDistribution Dist : AllKeyDistributions) {
+    KeyGenerator Gen(paperKeyFormat(PaperKey::IPv4), Dist, 23);
+    const std::vector<std::string> Keys = Gen.distinct(2000);
+    EXPECT_EQ(Keys.size(), 2000u);
+    std::unordered_set<std::string> Unique(Keys.begin(), Keys.end());
+    EXPECT_EQ(Unique.size(), Keys.size()) << distributionName(Dist);
+    for (const std::string &Key : Keys)
+      EXPECT_TRUE(paperKeyFormat(PaperKey::IPv4).matches(Key));
+  }
+}
+
+TEST(KeyGeneratorTest, DistinctWorksWhenSpreadEqualsSpace) {
+  // 4-digit keys (RQ7's worst case): 10,000 keys total. Every
+  // distribution must deliver the full space without stalling.
+  Expected<FormatSpec> Spec = parseRegex(R"(\d{4})");
+  ASSERT_TRUE(Spec);
+  for (KeyDistribution Dist : AllKeyDistributions) {
+    KeyGenerator Gen(*Spec, Dist, 29);
+    const std::vector<std::string> Keys = Gen.distinct(10000);
+    std::unordered_set<std::string> Unique(Keys.begin(), Keys.end());
+    EXPECT_EQ(Unique.size(), 10000u) << distributionName(Dist);
+  }
+}
+
+TEST(KeyGeneratorTest, DeterministicForFixedSeed) {
+  KeyGenerator A(paperKeyFormat(PaperKey::IPv6), KeyDistribution::Uniform,
+                 99);
+  KeyGenerator B(paperKeyFormat(PaperKey::IPv6), KeyDistribution::Uniform,
+                 99);
+  for (int I = 0; I != 10; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(KeyGeneratorTest, NormalConcentratesAroundTheMean) {
+  // Values drawn from the bell curve must cluster: the middle half of
+  // the capped space should hold the vast majority of draws.
+  KeyGenerator Gen(paperKeyFormat(PaperKey::SSN), KeyDistribution::Normal,
+                   41);
+  const uint64_t Space = static_cast<uint64_t>(Gen.spaceSize());
+  size_t Middle = 0;
+  const int Draws = 2000;
+  for (int I = 0; I != Draws; ++I) {
+    const uint64_t V = static_cast<uint64_t>(
+        Gen.valueForKey(Gen.next()));
+    if (V > Space / 4 && V < 3 * (Space / 4))
+      ++Middle;
+  }
+  EXPECT_GT(Middle, Draws * 9 / 10);
+}
+
+TEST(KeyGeneratorTest, UniformSpreadsAcrossTheSpace) {
+  KeyGenerator Gen(paperKeyFormat(PaperKey::SSN), KeyDistribution::Uniform,
+                   43);
+  const uint64_t Space = static_cast<uint64_t>(Gen.spaceSize());
+  size_t Low = 0;
+  const int Draws = 2000;
+  for (int I = 0; I != Draws; ++I) {
+    if (static_cast<uint64_t>(Gen.valueForKey(Gen.next())) < Space / 2)
+      ++Low;
+  }
+  EXPECT_GT(Low, Draws / 3);
+  EXPECT_LT(Low, Draws * 2 / 3);
+}
+
+TEST(KeyGeneratorTest, IntsHugeSpaceStillWorks) {
+  KeyGenerator Gen(paperKeyFormat(PaperKey::INTS), KeyDistribution::Uniform,
+                   47);
+  const std::vector<std::string> Keys = Gen.distinct(100);
+  for (const std::string &Key : Keys)
+    EXPECT_EQ(Key.size(), 100u);
+}
+
+} // namespace

@@ -1,0 +1,126 @@
+//===- tests/test_parser_fuzz.cpp - Parser robustness sweep ---------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fuzzing of the restricted regex parser: random byte
+/// strings and random well-formed-ish strings over the metacharacter
+/// alphabet must either parse into a consistent FormatSpec or produce a
+/// positioned error — never crash, hang, or return an inconsistent
+/// spec. Every successfully parsed spec is pushed through abstraction
+/// and synthesis to make sure downstream stages tolerate whatever the
+/// parser accepts.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/regex_parser.h"
+
+#include "core/regex_printer.h"
+#include "core/synthesizer.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace sepe;
+
+namespace {
+
+void checkParseOutcome(const std::string &Input) {
+  Expected<FormatSpec> Result = parseRegex(Input);
+  if (!Result) {
+    // Errors must carry a message and an in-range (or npos) position.
+    EXPECT_FALSE(Result.error().Message.empty());
+    if (Result.error().Pos != std::string::npos) {
+      EXPECT_LE(Result.error().Pos, Input.size());
+    }
+    return;
+  }
+  const FormatSpec &Spec = *Result;
+  EXPECT_GE(Spec.maxLength(), Spec.minLength());
+  EXPECT_LE(Spec.maxLength(), MaxRegexWidth);
+  EXPECT_FALSE(Spec.empty());
+  for (const CharSet &Class : Spec.classes())
+    EXPECT_FALSE(Class.empty());
+
+  // Downstream stages must accept anything the parser accepts.
+  const KeyPattern Pattern = Spec.abstract();
+  EXPECT_EQ(Pattern.maxLength(), Spec.maxLength());
+  Expected<HashPlan> Plan = synthesize(Pattern, HashFamily::Pext);
+  if (Plan) {
+    // And the printer must produce a reparsable regex.
+    Expected<FormatSpec> Round = parseRegex(printRegex(Pattern));
+    ASSERT_TRUE(Round) << "print(" << Input << ") failed to reparse";
+    EXPECT_EQ(Round->abstract(), Pattern);
+  }
+}
+
+TEST(ParserFuzzTest, RandomByteStringsNeverCrash) {
+  std::mt19937_64 Rng(0xf22);
+  for (int Case = 0; Case != 3000; ++Case) {
+    const size_t Len = Rng() % 40;
+    std::string Input(Len, '\0');
+    for (char &C : Input)
+      C = static_cast<char>(Rng() & 0xFF);
+    checkParseOutcome(Input);
+  }
+}
+
+TEST(ParserFuzzTest, MetacharacterSoupNeverCrashes) {
+  // Strings biased toward the grammar's alphabet reach deeper parser
+  // states than raw bytes.
+  static const char Alphabet[] = R"(abc019(){}[]\.-,?*+|^dswx)";
+  std::mt19937_64 Rng(0x50b);
+  for (int Case = 0; Case != 5000; ++Case) {
+    const size_t Len = Rng() % 24;
+    std::string Input(Len, '\0');
+    for (char &C : Input)
+      C = Alphabet[Rng() % (sizeof(Alphabet) - 1)];
+    checkParseOutcome(Input);
+  }
+}
+
+TEST(ParserFuzzTest, MutatedPaperRegexes) {
+  // Single-character mutations of known-good regexes exercise the
+  // error paths adjacent to real inputs.
+  const std::vector<std::string> Bases = {
+      R"(\d{3}-\d{2}-\d{4})",
+      R"((([0-9]{3})\.){3}[0-9]{3})",
+      R"(([0-9a-fA-F]{2}-){5}[0-9a-fA-F]{2})",
+      R"(https://example\.com/go/[a-z0-9]{20}\.html)",
+  };
+  static const char Alphabet[] = R"(abc019(){}[]\.-,?*+|^)";
+  std::mt19937_64 Rng(0xbadc0de);
+  for (const std::string &Base : Bases)
+    for (int Case = 0; Case != 400; ++Case) {
+      std::string Mutated = Base;
+      const unsigned Kind = static_cast<unsigned>(Rng() % 3);
+      const size_t Pos = Rng() % Mutated.size();
+      if (Kind == 0)
+        Mutated[Pos] = Alphabet[Rng() % (sizeof(Alphabet) - 1)];
+      else if (Kind == 1)
+        Mutated.erase(Pos, 1);
+      else
+        Mutated.insert(Pos, 1,
+                       Alphabet[Rng() % (sizeof(Alphabet) - 1)]);
+      checkParseOutcome(Mutated);
+    }
+}
+
+TEST(ParserFuzzTest, DeepNestingIsBounded) {
+  // 200 nested groups must parse (or error) without stack issues.
+  std::string Deep;
+  for (int I = 0; I != 200; ++I)
+    Deep += '(';
+  Deep += 'a';
+  for (int I = 0; I != 200; ++I)
+    Deep += ')';
+  checkParseOutcome(Deep);
+
+  std::string Unbalanced(400, '(');
+  checkParseOutcome(Unbalanced);
+}
+
+} // namespace

@@ -1,0 +1,101 @@
+//===- tests/test_polymur_like.cpp - Length-specialized baseline ----------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hashes/polymur_like.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <unordered_set>
+
+using namespace sepe;
+
+namespace {
+
+std::string randomString(std::mt19937_64 &Rng, size_t Len) {
+  std::string S(Len, '\0');
+  for (char &C : S)
+    C = static_cast<char>(Rng() & 0xFF);
+  return S;
+}
+
+TEST(PolymurLikeTest, ParamsAreInField) {
+  for (uint64_t Seed : {0ULL, 1ULL, ~0ULL, 0xdeadbeefULL}) {
+    const PolymurParams P = PolymurParams::fromSeed(Seed);
+    EXPECT_GE(P.K, 2u);
+    EXPECT_LT(P.K, (uint64_t{1} << 61) - 1);
+  }
+}
+
+TEST(PolymurLikeTest, Deterministic) {
+  const PolymurLikeHash Hash;
+  for (size_t Len : {0u, 3u, 7u, 8u, 20u, 49u, 50u, 51u, 200u}) {
+    const std::string Key(Len, 'k');
+    EXPECT_EQ(Hash(Key), Hash(Key)) << Len;
+  }
+}
+
+TEST(PolymurLikeTest, AllThreeSpecializationsAreSensitive) {
+  // One representative length per Figure-2 branch; flipping any byte
+  // must change the hash.
+  const PolymurLikeHash Hash;
+  std::mt19937_64 Rng(1);
+  for (size_t Len : {1u, 4u, 7u, 8u, 16u, 31u, 49u, 50u, 80u, 200u}) {
+    const std::string Base = randomString(Rng, Len);
+    for (size_t I = 0; I != Len; ++I) {
+      std::string Mutated = Base;
+      Mutated[I] = static_cast<char>(Mutated[I] + 1);
+      EXPECT_NE(Hash(Base), Hash(Mutated)) << "len " << Len << " byte "
+                                           << I;
+    }
+  }
+}
+
+TEST(PolymurLikeTest, LengthIsPartOfTheHash) {
+  const PolymurLikeHash Hash;
+  EXPECT_NE(Hash(std::string(3, '\0')), Hash(std::string(4, '\0')));
+  EXPECT_NE(Hash(std::string(20, 'a')), Hash(std::string(21, 'a')));
+}
+
+TEST(PolymurLikeTest, SeedsProduceIndependentFunctions) {
+  const PolymurParams A = PolymurParams::fromSeed(1);
+  const PolymurParams B = PolymurParams::fromSeed(2);
+  const std::string Key = "independent-functions";
+  EXPECT_NE(polymurLikeHash(Key.data(), Key.size(), A),
+            polymurLikeHash(Key.data(), Key.size(), B));
+}
+
+TEST(PolymurLikeTest, FewCollisionsOnRandomInputs) {
+  const PolymurLikeHash Hash;
+  std::mt19937_64 Rng(7);
+  std::unordered_set<uint64_t> Hashes;
+  std::unordered_set<std::string> Keys;
+  for (int I = 0; I != 5000; ++I) {
+    const std::string Key = randomString(Rng, 1 + Rng() % 80);
+    if (!Keys.insert(Key).second)
+      continue;
+    Hashes.insert(Hash(Key));
+  }
+  EXPECT_GE(Hashes.size() + 2, Keys.size());
+}
+
+TEST(PolymurLikeTest, AvalancheOnAllBranches) {
+  const PolymurLikeHash Hash;
+  for (size_t Len : {6u, 20u, 80u}) {
+    const std::string Base(Len, 'x');
+    int Flips = 0, Trials = 0;
+    for (size_t Byte = 0; Byte != Len; ++Byte)
+      for (int Bit = 0; Bit != 8; ++Bit) {
+        std::string Mutated = Base;
+        Mutated[Byte] = static_cast<char>(Mutated[Byte] ^ (1 << Bit));
+        Flips += __builtin_popcountll(Hash(Base) ^ Hash(Mutated));
+        ++Trials;
+      }
+    EXPECT_GT(static_cast<double>(Flips) / Trials, 20.0) << "len " << Len;
+  }
+}
+
+} // namespace

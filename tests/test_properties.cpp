@@ -1,0 +1,201 @@
+//===- tests/test_properties.cpp - Parameterized property sweeps ----------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-based sweeps over (paper key format x hash family x key
+/// distribution): for every combination, the synthesized hash must be
+/// deterministic, total on the format, sensitive to every free key
+/// position, and no slower to collide than the free-bit bound allows.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/executor.h"
+#include "core/regex_parser.h"
+#include "core/regex_printer.h"
+#include "core/synthesizer.h"
+#include "keygen/distributions.h"
+#include "keygen/paper_formats.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+using namespace sepe;
+
+namespace {
+
+struct PropertyCase {
+  PaperKey Key;
+  HashFamily Family;
+};
+
+class FormatFamilyTest : public ::testing::TestWithParam<PropertyCase> {
+protected:
+  const FormatSpec &spec() const { return paperKeyFormat(GetParam().Key); }
+
+  SynthesizedHash makeHash() const {
+    Expected<HashPlan> Plan =
+        synthesize(spec().abstract(), GetParam().Family);
+    EXPECT_TRUE(Plan);
+    return SynthesizedHash(Plan.take());
+  }
+};
+
+std::string caseName(const ::testing::TestParamInfo<PropertyCase> &Info) {
+  return std::string(paperKeyName(Info.param.Key)) +
+         familyName(Info.param.Family);
+}
+
+std::vector<PropertyCase> allCases() {
+  std::vector<PropertyCase> Cases;
+  for (PaperKey Key : AllPaperKeys)
+    for (HashFamily Family : {HashFamily::Naive, HashFamily::OffXor,
+                              HashFamily::Aes, HashFamily::Pext})
+      Cases.push_back({Key, Family});
+  return Cases;
+}
+
+TEST_P(FormatFamilyTest, DeterministicOverDistributions) {
+  const SynthesizedHash Hash = makeHash();
+  for (KeyDistribution Dist : AllKeyDistributions) {
+    KeyGenerator Gen(spec(), Dist, 1001);
+    for (int I = 0; I != 10; ++I) {
+      const std::string Key = Gen.next();
+      EXPECT_EQ(Hash(Key), Hash(Key));
+    }
+  }
+}
+
+TEST_P(FormatFamilyTest, SensitiveToEveryVariablePosition) {
+  // Changing any single free position must change the hash (xor
+  // families are bijective per word; Aes diffuses). This is the
+  // correctness core: no key byte that can vary may be dropped.
+  const SynthesizedHash Hash = makeHash();
+  KeyGenerator Gen(spec(), KeyDistribution::Uniform, 2002);
+  const std::string Base = Gen.next();
+  for (size_t Pos : spec().variablePositions()) {
+    const CharSet &Class = spec().classAt(Pos);
+    std::string Mutated = Base;
+    // Pick a different admissible byte for this position.
+    const uint8_t Old = static_cast<uint8_t>(Base[Pos]);
+    const uint8_t New = Class.nth((Class.rankOf(Old) + 1) % Class.size());
+    ASSERT_NE(Old, New);
+    Mutated[Pos] = static_cast<char>(New);
+    EXPECT_NE(Hash(Base), Hash(Mutated))
+        << paperKeyName(GetParam().Key) << "/"
+        << familyName(GetParam().Family) << " ignores position " << Pos;
+  }
+}
+
+TEST_P(FormatFamilyTest, CollisionsStayLowOnUniformKeys) {
+  const SynthesizedHash Hash = makeHash();
+  KeyGenerator Gen(spec(), KeyDistribution::Uniform, 3003);
+  const std::vector<std::string> Keys = Gen.distinct(2000);
+  std::unordered_set<uint64_t> Hashes;
+  for (const std::string &Key : Keys)
+    Hashes.insert(Hash(Key));
+  // Tolerate a handful of collisions (Aes on short keys, xor folding);
+  // anything worse indicates a broken layout.
+  EXPECT_GE(Hashes.size() + 20, Keys.size())
+      << paperKeyName(GetParam().Key) << "/"
+      << familyName(GetParam().Family);
+}
+
+TEST_P(FormatFamilyTest, RegexRoundTripYieldsIdenticalHashes) {
+  // keybuilder path: abstract -> print -> parse -> abstract must give
+  // the same plan, hence the same hash function.
+  const KeyPattern Pattern = spec().abstract();
+  Expected<FormatSpec> Reparsed = parseRegex(printRegex(Pattern));
+  ASSERT_TRUE(Reparsed);
+  Expected<HashPlan> PlanA = synthesize(Pattern, GetParam().Family);
+  Expected<HashPlan> PlanB =
+      synthesize(Reparsed->abstract(), GetParam().Family);
+  ASSERT_TRUE(PlanA);
+  ASSERT_TRUE(PlanB);
+  const SynthesizedHash HashA(PlanA.take());
+  const SynthesizedHash HashB(PlanB.take());
+  KeyGenerator Gen(spec(), KeyDistribution::Uniform, 4004);
+  for (int I = 0; I != 20; ++I) {
+    const std::string Key = Gen.next();
+    EXPECT_EQ(HashA(Key), HashB(Key));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormatsAllFamilies, FormatFamilyTest,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+// --- Pext bijection sweep --------------------------------------------------
+
+class PextBijectionTest : public ::testing::TestWithParam<PaperKey> {};
+
+TEST_P(PextBijectionTest, NoCollisionsAcrossDistributions) {
+  // Section 4.2: Pext achieved zero T-Coll on every paper format, even
+  // the ones with more than 64 relevant bits.
+  Expected<HashPlan> Plan =
+      synthesize(paperKeyFormat(GetParam()).abstract(), HashFamily::Pext);
+  ASSERT_TRUE(Plan);
+  const SynthesizedHash Hash(Plan.take());
+  for (KeyDistribution Dist : AllKeyDistributions) {
+    KeyGenerator Gen(paperKeyFormat(GetParam()), Dist, 5005);
+    const std::vector<std::string> Keys = Gen.distinct(2000);
+    std::unordered_set<uint64_t> Hashes;
+    for (const std::string &Key : Keys)
+      Hashes.insert(Hash(Key));
+    EXPECT_EQ(Hashes.size(), Keys.size()) << distributionName(Dist);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormats, PextBijectionTest, ::testing::ValuesIn(AllPaperKeys),
+    [](const ::testing::TestParamInfo<PaperKey> &Info) {
+      return paperKeyName(Info.param);
+    });
+
+// --- Synthetic digit-format sweep -------------------------------------------
+
+class DigitWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DigitWidthTest, PextPacksExactlyFourBitsPerDigit) {
+  const int Width = GetParam();
+  Expected<FormatSpec> Spec =
+      parseRegex("[0-9]{" + std::to_string(Width) + "}");
+  ASSERT_TRUE(Spec);
+  Expected<HashPlan> Plan =
+      synthesize(Spec->abstract(), HashFamily::Pext);
+  ASSERT_TRUE(Plan);
+  EXPECT_EQ(Plan->FreeBits, static_cast<unsigned>(4 * Width));
+  unsigned MaskBits = 0;
+  for (const PlanStep &S : Plan->Steps)
+    MaskBits += static_cast<unsigned>(__builtin_popcountll(S.Mask));
+  EXPECT_EQ(MaskBits, Plan->FreeBits);
+}
+
+TEST_P(DigitWidthTest, ExecutorInjectiveUpTo16Digits) {
+  const int Width = GetParam();
+  if (Width > 16)
+    GTEST_SKIP() << "beyond the 64-bit bijection bound";
+  Expected<FormatSpec> Spec =
+      parseRegex("[0-9]{" + std::to_string(Width) + "}");
+  ASSERT_TRUE(Spec);
+  Expected<HashPlan> Plan =
+      synthesize(Spec->abstract(), HashFamily::Pext);
+  ASSERT_TRUE(Plan);
+  const SynthesizedHash Hash(Plan.take());
+  KeyGenerator Gen(*Spec, KeyDistribution::Uniform, 6006);
+  std::unordered_set<uint64_t> Hashes;
+  std::unordered_set<std::string> Keys;
+  for (int I = 0; I != 2000; ++I) {
+    const std::string Key = Gen.next();
+    if (!Keys.insert(Key).second)
+      continue;
+    EXPECT_TRUE(Hashes.insert(Hash(Key)).second) << Key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DigitWidthTest,
+                         ::testing::Values(8, 9, 10, 12, 16, 24, 32, 64));
+
+} // namespace

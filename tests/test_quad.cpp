@@ -1,0 +1,102 @@
+//===- tests/test_quad.cpp - Quad semilattice laws ------------------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/quad.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace sepe;
+
+namespace {
+
+std::vector<Quad> allQuads() {
+  std::vector<Quad> Quads;
+  for (uint8_t Bits = 0; Bits != 4; ++Bits)
+    Quads.push_back(Quad::pair(Bits));
+  Quads.push_back(Quad::top());
+  return Quads;
+}
+
+TEST(QuadTest, DefaultIsTop) {
+  EXPECT_TRUE(Quad().isTop());
+  EXPECT_TRUE(Quad::top().isTop());
+}
+
+TEST(QuadTest, PairRoundTripsBits) {
+  for (uint8_t Bits = 0; Bits != 4; ++Bits) {
+    const Quad Q = Quad::pair(Bits);
+    EXPECT_FALSE(Q.isTop());
+    EXPECT_EQ(Q.bits(), Bits);
+  }
+}
+
+TEST(QuadTest, JoinOfEqualPairsIsIdentity) {
+  for (uint8_t Bits = 0; Bits != 4; ++Bits)
+    EXPECT_EQ(join(Quad::pair(Bits), Quad::pair(Bits)), Quad::pair(Bits));
+}
+
+TEST(QuadTest, JoinOfDistinctPairsIsTop) {
+  for (uint8_t A = 0; A != 4; ++A)
+    for (uint8_t B = 0; B != 4; ++B) {
+      if (A == B)
+        continue;
+      EXPECT_TRUE(join(Quad::pair(A), Quad::pair(B)).isTop())
+          << "join(" << int(A) << ", " << int(B) << ")";
+    }
+}
+
+TEST(QuadTest, TopIsAbsorbing) {
+  // Theorem 3.3 (ii): b v T = T for every b.
+  for (const Quad &Q : allQuads()) {
+    EXPECT_TRUE(join(Q, Quad::top()).isTop());
+    EXPECT_TRUE(join(Quad::top(), Q).isTop());
+  }
+}
+
+TEST(QuadTest, JoinIsCommutative) {
+  for (const Quad &A : allQuads())
+    for (const Quad &B : allQuads())
+      EXPECT_EQ(join(A, B), join(B, A));
+}
+
+TEST(QuadTest, JoinIsAssociative) {
+  for (const Quad &A : allQuads())
+    for (const Quad &B : allQuads())
+      for (const Quad &C : allQuads())
+        EXPECT_EQ(join(join(A, B), C), join(A, join(B, C)));
+}
+
+TEST(QuadTest, JoinIsIdempotent) {
+  for (const Quad &Q : allQuads())
+    EXPECT_EQ(join(Q, Q), Q);
+}
+
+TEST(QuadTest, PartialOrderMatchesJoin) {
+  // Theorem 3.3 (i): b <= T always; b <= b; distinct pairs incomparable.
+  for (const Quad &Q : allQuads()) {
+    EXPECT_TRUE(Q <= Quad::top());
+    EXPECT_TRUE(Q <= Q);
+  }
+  for (uint8_t A = 0; A != 4; ++A)
+    for (uint8_t B = 0; B != 4; ++B) {
+      if (A == B)
+        continue;
+      EXPECT_FALSE(Quad::pair(A) <= Quad::pair(B));
+    }
+  EXPECT_FALSE(Quad::top() <= Quad::pair(0));
+}
+
+TEST(QuadTest, StrRendersPairsAndTop) {
+  EXPECT_EQ(Quad::pair(0).str(), "00");
+  EXPECT_EQ(Quad::pair(1).str(), "01");
+  EXPECT_EQ(Quad::pair(2).str(), "10");
+  EXPECT_EQ(Quad::pair(3).str(), "11");
+  EXPECT_EQ(Quad::top().str(), "TT");
+}
+
+} // namespace

@@ -1,0 +1,181 @@
+//===- tests/test_regex_parser.cpp - Restricted regex dialect -------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/regex_parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace sepe;
+
+namespace {
+
+FormatSpec parseOk(const std::string &Regex) {
+  Expected<FormatSpec> Result = parseRegex(Regex);
+  EXPECT_TRUE(Result) << Regex << ": "
+                      << (Result ? "" : Result.error().Message);
+  return Result ? Result.take() : FormatSpec();
+}
+
+std::string parseErr(const std::string &Regex) {
+  Expected<FormatSpec> Result = parseRegex(Regex);
+  EXPECT_FALSE(Result) << Regex << " unexpectedly parsed";
+  return Result ? "" : Result.error().Message;
+}
+
+TEST(RegexParserTest, LiteralSequence) {
+  const FormatSpec Spec = parseOk("abc");
+  EXPECT_EQ(Spec.maxLength(), 3u);
+  EXPECT_TRUE(Spec.isFixedLength());
+  EXPECT_TRUE(Spec.matches("abc"));
+  EXPECT_FALSE(Spec.matches("abd"));
+}
+
+TEST(RegexParserTest, EscapedDotIsLiteral) {
+  const FormatSpec Spec = parseOk(R"(a\.b)");
+  EXPECT_TRUE(Spec.matches("a.b"));
+  EXPECT_FALSE(Spec.matches("axb"));
+}
+
+TEST(RegexParserTest, DotMatchesAnyByte) {
+  const FormatSpec Spec = parseOk("a.c");
+  EXPECT_TRUE(Spec.matches("abc"));
+  EXPECT_TRUE(Spec.matches(std::string("a\0c", 3)));
+}
+
+TEST(RegexParserTest, DigitEscape) {
+  const FormatSpec Spec = parseOk(R"(\d\d)");
+  EXPECT_TRUE(Spec.matches("42"));
+  EXPECT_FALSE(Spec.matches("4x"));
+}
+
+TEST(RegexParserTest, WordAndSpaceEscapes) {
+  EXPECT_TRUE(parseOk(R"(\w)").matches("_"));
+  EXPECT_TRUE(parseOk(R"(\w)").matches("Z"));
+  EXPECT_FALSE(parseOk(R"(\w)").matches("-"));
+  EXPECT_TRUE(parseOk(R"(\s)").matches(" "));
+  EXPECT_TRUE(parseOk(R"(\s)").matches("\t"));
+}
+
+TEST(RegexParserTest, HexEscape) {
+  const FormatSpec Spec = parseOk(R"(\x41\x7a)");
+  EXPECT_TRUE(Spec.matches("Az"));
+}
+
+TEST(RegexParserTest, CharClassWithRanges) {
+  const FormatSpec Spec = parseOk("[0-9a-fA-F]");
+  for (char C : {'0', '9', 'a', 'f', 'A', 'F'})
+    EXPECT_TRUE(Spec.matches(std::string(1, C))) << C;
+  for (char C : {'g', 'G', '/', ':'})
+    EXPECT_FALSE(Spec.matches(std::string(1, C))) << C;
+}
+
+TEST(RegexParserTest, ClassWithLiteralDash) {
+  // Trailing '-' inside a class is a literal.
+  const FormatSpec Spec = parseOk("[a-]");
+  EXPECT_TRUE(Spec.matches("a"));
+  EXPECT_TRUE(Spec.matches("-"));
+  EXPECT_FALSE(Spec.matches("b"));
+}
+
+TEST(RegexParserTest, CountedRepetition) {
+  const FormatSpec Spec = parseOk(R"(\d{3})");
+  EXPECT_EQ(Spec.maxLength(), 3u);
+  EXPECT_TRUE(Spec.matches("123"));
+}
+
+TEST(RegexParserTest, GroupRepetition) {
+  const FormatSpec Spec = parseOk(R"((ab){3})");
+  EXPECT_EQ(Spec.maxLength(), 6u);
+  EXPECT_TRUE(Spec.matches("ababab"));
+}
+
+TEST(RegexParserTest, PaperIpv4Regex) {
+  const FormatSpec Spec = parseOk(R"((([0-9]{3})\.){3}[0-9]{3})");
+  EXPECT_EQ(Spec.maxLength(), 15u);
+  EXPECT_TRUE(Spec.isFixedLength());
+  EXPECT_TRUE(Spec.matches("192.168.001.255"));
+  EXPECT_FALSE(Spec.matches("192.168.1.255"));
+}
+
+TEST(RegexParserTest, PaperSsnRegex) {
+  const FormatSpec Spec = parseOk(R"(\d{3}-\d{2}-\d{4})");
+  EXPECT_EQ(Spec.maxLength(), 11u);
+  EXPECT_TRUE(Spec.matches("123-45-6789"));
+  EXPECT_FALSE(Spec.matches("123-456-789"));
+}
+
+TEST(RegexParserTest, PaperMacRegex) {
+  const FormatSpec Spec = parseOk(R"(([0-9a-fA-F]{2}-){5}[0-9a-fA-F]{2})");
+  EXPECT_EQ(Spec.maxLength(), 17u);
+  EXPECT_TRUE(Spec.matches("de-ad-BE-EF-00-42"));
+}
+
+TEST(RegexParserTest, BoundedRangeRepetitionInTail) {
+  const FormatSpec Spec = parseOk("ab{1,3}");
+  EXPECT_EQ(Spec.minLength(), 2u);
+  EXPECT_EQ(Spec.maxLength(), 4u);
+  EXPECT_TRUE(Spec.matches("ab"));
+  EXPECT_TRUE(Spec.matches("abbb"));
+  EXPECT_FALSE(Spec.matches("a"));
+}
+
+TEST(RegexParserTest, OptionalTail) {
+  const FormatSpec Spec = parseOk("abc?");
+  EXPECT_EQ(Spec.minLength(), 2u);
+  EXPECT_EQ(Spec.maxLength(), 3u);
+  EXPECT_TRUE(Spec.matches("ab"));
+  EXPECT_TRUE(Spec.matches("abc"));
+}
+
+TEST(RegexParserTest, ZeroRepetitionDropsAtom) {
+  const FormatSpec Spec = parseOk("a{0}bc");
+  EXPECT_TRUE(Spec.matches("bc"));
+  EXPECT_FALSE(Spec.matches("abc"));
+}
+
+TEST(RegexParserTest, RejectsUnboundedStar) {
+  EXPECT_NE(parseErr("a*").find("unbounded"), std::string::npos);
+  EXPECT_NE(parseErr("a+").find("unbounded"), std::string::npos);
+  EXPECT_NE(parseErr("a{2,}").find("unbounded"), std::string::npos);
+}
+
+TEST(RegexParserTest, RejectsAlternation) {
+  EXPECT_NE(parseErr("a|b").find("alternation"), std::string::npos);
+}
+
+TEST(RegexParserTest, RejectsVariableLengthInMiddle) {
+  EXPECT_NE(parseErr("a?b").find("end of the pattern"), std::string::npos);
+  EXPECT_NE(parseErr("a{1,2}b").find("end of the pattern"),
+            std::string::npos);
+}
+
+TEST(RegexParserTest, RejectsMalformedInputs) {
+  parseErr("");
+  parseErr("(ab");
+  parseErr("ab)");
+  parseErr("[a-");
+  parseErr("[]");
+  parseErr("[^a]");
+  parseErr("a{}");
+  parseErr("a{2");
+  parseErr("a{3,1}");
+  parseErr("\\");
+  parseErr(R"(\xZZ)");
+  parseErr(R"(\D)");
+}
+
+TEST(RegexParserTest, ErrorCarriesPosition) {
+  Expected<FormatSpec> Result = parseRegex("abc*");
+  ASSERT_FALSE(Result);
+  EXPECT_EQ(Result.error().Pos, 3u);
+}
+
+TEST(RegexParserTest, WidthLimitEnforced) {
+  parseErr("a{2000000}");
+  parseErr("(a{2000}){2000}");
+}
+
+} // namespace

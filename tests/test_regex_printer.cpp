@@ -1,0 +1,92 @@
+//===- tests/test_regex_printer.cpp - keybuilder output -------------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/regex_printer.h"
+
+#include "core/inference.h"
+#include "core/regex_parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace sepe;
+
+namespace {
+
+TEST(RegexPrinterTest, ConstantBytesPrintAsLiterals) {
+  const KeyPattern P = inferPattern({"ab"});
+  EXPECT_EQ(printRegex(P), "ab");
+}
+
+TEST(RegexPrinterTest, MetacharactersAreEscaped) {
+  const KeyPattern P = inferPattern({".(x)"});
+  const std::string Regex = printRegex(P);
+  Expected<FormatSpec> Round = parseRegex(Regex);
+  ASSERT_TRUE(Round) << Regex;
+  EXPECT_TRUE(Round->matches(".(x)"));
+}
+
+TEST(RegexPrinterTest, TopPrintsAsDot) {
+  EXPECT_EQ(printByteAtom(BytePattern::top()), ".");
+}
+
+TEST(RegexPrinterTest, DigitQuadPatternPrintsAsClass) {
+  // The quad abstraction of [0-9] admits 0x30-0x3f, i.e. "0-?" in
+  // ASCII; expect a class spanning exactly those 16 bytes.
+  const BytePattern Digits = CharSet::range('0', '9').abstraction();
+  const std::string Atom = printByteAtom(Digits);
+  EXPECT_EQ(Atom.front(), '[');
+  Expected<FormatSpec> Parsed = parseRegex(Atom);
+  ASSERT_TRUE(Parsed);
+  EXPECT_EQ(Parsed->classAt(0).size(), 16u);
+  for (char C = '0'; C <= '9'; ++C)
+    EXPECT_TRUE(Parsed->classAt(0).contains(static_cast<uint8_t>(C)));
+}
+
+TEST(RegexPrinterTest, RunsCompressWithCounts) {
+  const KeyPattern P = inferPattern({"0000000000", "9999999999"});
+  const std::string Regex = printRegex(P);
+  EXPECT_NE(Regex.find("{10}"), std::string::npos) << Regex;
+}
+
+TEST(RegexPrinterTest, RoundTripPreservesPattern) {
+  // keybuilder's core contract: parse(print(p)).abstract() == p.
+  const std::vector<std::vector<std::string>> ExampleSets = {
+      {"123-45-6789", "000-00-0000"},
+      {"JFK", "LaX", "GRu"},
+      {"de-ad-be-ef-00-42", "00-11-22-33-44-55"},
+      {"https://a.io/x", "https://b.io/y"},
+  };
+  for (const auto &Keys : ExampleSets) {
+    const KeyPattern P = inferPattern(Keys);
+    const std::string Regex = printRegex(P);
+    Expected<FormatSpec> Parsed = parseRegex(Regex);
+    ASSERT_TRUE(Parsed) << Regex;
+    EXPECT_EQ(Parsed->abstract(), P) << Regex;
+    for (const std::string &Key : Keys)
+      EXPECT_TRUE(Parsed->matches(Key)) << Regex << " vs " << Key;
+  }
+}
+
+TEST(RegexPrinterTest, RoundTripWithVariableLength) {
+  const KeyPattern P = inferPattern({"JFK", "RJTT"});
+  const std::string Regex = printRegex(P);
+  Expected<FormatSpec> Parsed = parseRegex(Regex);
+  ASSERT_TRUE(Parsed) << Regex;
+  EXPECT_EQ(Parsed->minLength(), 3u);
+  EXPECT_EQ(Parsed->maxLength(), 4u);
+  EXPECT_EQ(Parsed->abstract(), P);
+}
+
+TEST(RegexPrinterTest, NonPrintableBytesUseHexEscapes) {
+  const KeyPattern P = inferPattern({std::string("\x01\x02", 2)});
+  const std::string Regex = printRegex(P);
+  EXPECT_NE(Regex.find("\\x01"), std::string::npos) << Regex;
+  Expected<FormatSpec> Parsed = parseRegex(Regex);
+  ASSERT_TRUE(Parsed);
+  EXPECT_TRUE(Parsed->matches(std::string("\x01\x02", 2)));
+}
+
+} // namespace

@@ -1,0 +1,161 @@
+//===- tests/test_stats.cpp - Statistics substrate ------------------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/chi_square.h"
+#include "stats/descriptive.h"
+#include "stats/mann_whitney.h"
+#include "stats/pearson.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace sepe;
+
+namespace {
+
+TEST(DescriptiveTest, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(mean({2, 4, 6}), 4.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_NEAR(stddev({2, 4, 6}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stddev({5}), 0.0);
+}
+
+TEST(DescriptiveTest, GeometricMean) {
+  EXPECT_NEAR(geometricMean({1, 100}), 10.0, 1e-9);
+  EXPECT_NEAR(geometricMean({2, 2, 2}), 2.0, 1e-12);
+}
+
+TEST(DescriptiveTest, QuantileInterpolates) {
+  const std::vector<double> S = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(S, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(S, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(S, 0.5), 2.5);
+}
+
+TEST(DescriptiveTest, BoxStatsSummary) {
+  const BoxStats B = boxStats({5, 1, 3, 2, 4});
+  EXPECT_DOUBLE_EQ(B.Min, 1.0);
+  EXPECT_DOUBLE_EQ(B.Max, 5.0);
+  EXPECT_DOUBLE_EQ(B.Median, 3.0);
+  EXPECT_DOUBLE_EQ(B.Mean, 3.0);
+  EXPECT_EQ(B.Count, 5u);
+  EXPECT_LE(B.Q1, B.Median);
+  EXPECT_LE(B.Median, B.Q3);
+}
+
+TEST(MannWhitneyTest, IdenticalSamplesAreNotSignificant) {
+  const std::vector<double> S = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const MannWhitneyResult R = mannWhitneyU(S, S);
+  EXPECT_FALSE(R.significantAt(0.05));
+  EXPECT_GT(R.PValue, 0.9);
+}
+
+TEST(MannWhitneyTest, DisjointSamplesAreSignificant) {
+  const std::vector<double> A = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const std::vector<double> B = {101, 102, 103, 104, 105,
+                                 106, 107, 108, 109, 110};
+  const MannWhitneyResult R = mannWhitneyU(A, B);
+  EXPECT_TRUE(R.significantAt(0.05));
+  EXPECT_LT(R.PValue, 0.001);
+}
+
+TEST(MannWhitneyTest, SymmetricInDirection) {
+  const std::vector<double> A = {1, 3, 5, 7, 9, 11, 13, 15};
+  const std::vector<double> B = {2, 4, 6, 8, 10, 12, 14, 16};
+  const MannWhitneyResult AB = mannWhitneyU(A, B);
+  const MannWhitneyResult BA = mannWhitneyU(B, A);
+  EXPECT_NEAR(AB.PValue, BA.PValue, 1e-9);
+}
+
+TEST(MannWhitneyTest, AllTiedGivesPValueOne) {
+  const std::vector<double> A = {5, 5, 5, 5};
+  const MannWhitneyResult R = mannWhitneyU(A, A);
+  EXPECT_DOUBLE_EQ(R.PValue, 1.0);
+}
+
+TEST(MannWhitneyTest, OverlappingButShiftedSamples) {
+  std::mt19937_64 Rng(1);
+  std::normal_distribution<double> Base(100, 5), Shifted(103, 5);
+  std::vector<double> A, B;
+  for (int I = 0; I != 50; ++I) {
+    A.push_back(Base(Rng));
+    B.push_back(Shifted(Rng));
+  }
+  const MannWhitneyResult R = mannWhitneyU(A, B);
+  EXPECT_TRUE(R.significantAt(0.05)) << "p = " << R.PValue;
+}
+
+TEST(ChiSquareTest, UniformCountsScoreZero) {
+  EXPECT_DOUBLE_EQ(chiSquareUniform({10, 10, 10, 10}), 0.0);
+}
+
+TEST(ChiSquareTest, SkewScoresPositive) {
+  EXPECT_GT(chiSquareUniform({40, 0, 0, 0}), 100.0);
+}
+
+TEST(ChiSquareTest, Histogram64SpreadsBins) {
+  std::vector<uint64_t> Hashes;
+  std::mt19937_64 Rng(2);
+  for (int I = 0; I != 64000; ++I)
+    Hashes.push_back(Rng());
+  const std::vector<uint64_t> Bins = histogram64(Hashes, 64);
+  ASSERT_EQ(Bins.size(), 64u);
+  uint64_t Total = 0;
+  for (uint64_t B : Bins) {
+    EXPECT_GT(B, 700u);
+    EXPECT_LT(B, 1300u);
+    Total += B;
+  }
+  EXPECT_EQ(Total, Hashes.size());
+}
+
+TEST(ChiSquareTest, RandomHashesLookUniform) {
+  std::vector<uint64_t> Hashes;
+  std::mt19937_64 Rng(4);
+  for (int I = 0; I != 100000; ++I)
+    Hashes.push_back(Rng());
+  const double Stat = hashUniformityChi2(Hashes, 64);
+  // 63 degrees of freedom: expect a statistic near 63, p-value
+  // comfortably above rejection.
+  EXPECT_LT(Stat, 120.0);
+  EXPECT_GT(chiSquarePValue(Stat, 63), 0.01);
+}
+
+TEST(ChiSquareTest, LowBitsOnlyHashesLookSkewed) {
+  // Hashes confined to the low 16 bits land in one 64-bin slice.
+  std::vector<uint64_t> Hashes;
+  std::mt19937_64 Rng(5);
+  for (int I = 0; I != 10000; ++I)
+    Hashes.push_back(Rng() & 0xFFFF);
+  const double Stat = hashUniformityChi2(Hashes, 64);
+  EXPECT_GT(Stat, 100000.0);
+  EXPECT_LT(chiSquarePValue(Stat, 63), 1e-6);
+}
+
+TEST(PearsonTest, PerfectLinearCorrelation) {
+  EXPECT_NEAR(pearsonCorrelation({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0,
+              1e-12);
+  EXPECT_NEAR(pearsonCorrelation({1, 2, 3, 4}, {40, 30, 20, 10}), -1.0,
+              1e-12);
+}
+
+TEST(PearsonTest, ZeroVarianceGivesZero) {
+  EXPECT_DOUBLE_EQ(pearsonCorrelation({1, 2, 3}, {5, 5, 5}), 0.0);
+}
+
+TEST(PearsonTest, NoisyLinearStaysHigh) {
+  std::mt19937_64 Rng(6);
+  std::normal_distribution<double> Noise(0, 1);
+  std::vector<double> X, Y;
+  for (int I = 0; I != 200; ++I) {
+    X.push_back(I);
+    Y.push_back(3.0 * I + Noise(Rng));
+  }
+  EXPECT_GT(pearsonCorrelation(X, Y), 0.999);
+}
+
+} // namespace

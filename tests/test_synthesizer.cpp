@@ -1,0 +1,205 @@
+//===- tests/test_synthesizer.cpp - Plan synthesis (Section 3.2) ----------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/synthesizer.h"
+
+#include "core/regex_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+using namespace sepe;
+
+namespace {
+
+KeyPattern patternOf(const std::string &Regex) {
+  Expected<FormatSpec> Spec = parseRegex(Regex);
+  EXPECT_TRUE(Spec) << Regex;
+  return Spec->abstract();
+}
+
+HashPlan planOf(const std::string &Regex, HashFamily Family,
+                const SynthesisOptions &Options = {}) {
+  Expected<HashPlan> Plan = synthesize(patternOf(Regex), Family, Options);
+  EXPECT_TRUE(Plan) << Regex;
+  return Plan.take();
+}
+
+TEST(SynthesizerTest, RejectsEmptyPattern) {
+  EXPECT_FALSE(synthesize(KeyPattern(), HashFamily::OffXor));
+}
+
+TEST(SynthesizerTest, RejectsAllConstantFormat) {
+  Expected<HashPlan> Plan =
+      synthesize(patternOf("onlyone"), HashFamily::OffXor);
+  ASSERT_FALSE(Plan);
+  EXPECT_NE(Plan.error().Message.find("single key"), std::string::npos);
+}
+
+TEST(SynthesizerTest, ShortKeysFallBackToStl) {
+  // Footnote 5: keys under one machine word default to the STL hash.
+  const HashPlan Plan = planOf(R"(\d{4})", HashFamily::Pext);
+  EXPECT_TRUE(Plan.FallbackToStl);
+  EXPECT_TRUE(Plan.Steps.empty());
+}
+
+TEST(SynthesizerTest, ShortKeysCanBeForced) {
+  SynthesisOptions Options;
+  Options.AllowShortKeys = true;
+  const HashPlan Plan = planOf(R"(\d{4})", HashFamily::Pext, Options);
+  EXPECT_FALSE(Plan.FallbackToStl);
+  EXPECT_TRUE(Plan.PartialLoad);
+  ASSERT_EQ(Plan.Steps.size(), 1u);
+  EXPECT_EQ(Plan.Steps[0].Mask, 0x0f0f0f0fULL);
+}
+
+TEST(SynthesizerTest, SsnOffXorIsTwoLoads) {
+  const HashPlan Plan = planOf(R"(\d{3}-\d{2}-\d{4})", HashFamily::OffXor);
+  ASSERT_EQ(Plan.Steps.size(), 2u);
+  EXPECT_EQ(Plan.Steps[0].Offset, 0u);
+  EXPECT_EQ(Plan.Steps[1].Offset, 3u);
+  EXPECT_EQ(Plan.Steps[0].Mask, ~uint64_t{0});
+  EXPECT_EQ(Plan.Steps[0].Shift, 0);
+}
+
+TEST(SynthesizerTest, SsnPextMasksMatchFigure12) {
+  const HashPlan Plan = planOf(R"(\d{3}-\d{2}-\d{4})", HashFamily::Pext);
+  ASSERT_EQ(Plan.Steps.size(), 2u);
+  EXPECT_EQ(Plan.Steps[0].Mask, 0x0f000f0f000f0f0fULL);
+  EXPECT_EQ(Plan.Steps[1].Mask, 0x0f0f0f0000000000ULL);
+  EXPECT_EQ(Plan.Steps[0].Shift, 0);
+  // Figure 12, Step 3: the last chunk (12 bits) is hoisted to the top of
+  // the 64-bit range: 64 - 12 = 52.
+  EXPECT_EQ(Plan.Steps[1].Shift, 52);
+}
+
+TEST(SynthesizerTest, SpreadToTopCanBeDisabled) {
+  SynthesisOptions Options;
+  Options.SpreadToTopBits = false;
+  const HashPlan Plan =
+      planOf(R"(\d{3}-\d{2}-\d{4})", HashFamily::Pext, Options);
+  ASSERT_EQ(Plan.Steps.size(), 2u);
+  EXPECT_EQ(Plan.Steps[1].Shift, 24) << "sequential packing after 24 bits";
+}
+
+TEST(SynthesizerTest, NaiveLoadsEveryWordOffXorSkips) {
+  // URL1: 23 constant bytes + 20 slug + 5 constant suffix = 48 bytes.
+  const std::string Url = R"(https://example\.com/go/[a-z0-9]{20}\.html)";
+  const HashPlan Naive = planOf(Url, HashFamily::Naive);
+  const HashPlan OffXor = planOf(Url, HashFamily::OffXor);
+  EXPECT_EQ(Naive.Steps.size(), 6u) << "48 bytes = 6 words";
+  EXPECT_LT(OffXor.Steps.size(), Naive.Steps.size());
+  ASSERT_EQ(OffXor.Steps.size(), 3u) << "20 slug bytes = 3 overlapping words";
+  EXPECT_EQ(OffXor.Steps[0].Offset, 23u);
+}
+
+TEST(SynthesizerTest, AesSharesOffXorLayout) {
+  const std::string Url = R"(https://example\.com/go/[a-z0-9]{20}\.html)";
+  const HashPlan Aes = planOf(Url, HashFamily::Aes);
+  const HashPlan OffXor = planOf(Url, HashFamily::OffXor);
+  ASSERT_EQ(Aes.Steps.size(), OffXor.Steps.size());
+  for (size_t I = 0; I != Aes.Steps.size(); ++I)
+    EXPECT_EQ(Aes.Steps[I].Offset, OffXor.Steps[I].Offset);
+}
+
+TEST(SynthesizerTest, PextIsBijectiveWhenBitsFit) {
+  // Section 4.2: Pext builds a bijection for formats with <= 64 relevant
+  // bits; a 16-digit integer fits exactly.
+  const HashPlan Plan = planOf(R"([0-9]{16})", HashFamily::Pext);
+  unsigned Bits = 0;
+  for (const PlanStep &S : Plan.Steps)
+    Bits += static_cast<unsigned>(std::popcount(S.Mask));
+  EXPECT_EQ(Bits, 64u);
+  EXPECT_EQ(Plan.FreeBits, 64u);
+}
+
+TEST(SynthesizerTest, PextShiftsDoNotOverlapWhenBitsFit) {
+  const HashPlan Plan = planOf(R"([0-9]{16})", HashFamily::Pext);
+  uint64_t Occupied = 0;
+  for (const PlanStep &S : Plan.Steps) {
+    const unsigned Width = static_cast<unsigned>(std::popcount(S.Mask));
+    const uint64_t Range =
+        (Width == 64 ? ~uint64_t{0} : ((uint64_t{1} << Width) - 1))
+        << S.Shift;
+    EXPECT_EQ(Occupied & Range, 0u) << "chunks must not overlap";
+    Occupied |= Range;
+  }
+  EXPECT_EQ(Occupied, ~uint64_t{0});
+}
+
+TEST(SynthesizerTest, IntsPextWrapsShifts) {
+  // 400 free bits cannot fit in 64; shifts wrap modulo 64 and the plan
+  // still covers all 13 loads.
+  const HashPlan Plan = planOf(R"([0-9]{100})", HashFamily::Pext);
+  EXPECT_EQ(Plan.Steps.size(), 13u);
+  EXPECT_EQ(Plan.FreeBits, 400u);
+  for (const PlanStep &S : Plan.Steps)
+    EXPECT_LT(S.Shift, 64);
+}
+
+TEST(SynthesizerTest, VariableLengthPlansUseSkipTable) {
+  Expected<FormatSpec> Spec = parseRegex(R"(user-\d{10}(.){0,8})");
+  ASSERT_TRUE(Spec);
+  for (HashFamily Family : {HashFamily::OffXor, HashFamily::Pext,
+                            HashFamily::Aes, HashFamily::Naive}) {
+    Expected<HashPlan> Plan = synthesize(Spec->abstract(), Family);
+    ASSERT_TRUE(Plan);
+    EXPECT_FALSE(Plan->FixedLength);
+    EXPECT_TRUE(Plan->usesSkipTable());
+    EXPECT_EQ(Plan->Skip.Masks.size(), Plan->Skip.loadCount());
+  }
+}
+
+TEST(SynthesizerTest, VariableNaiveWalksThePrefixDensely) {
+  Expected<FormatSpec> Spec = parseRegex(R"(constant\d{8}(.){0,8})");
+  ASSERT_TRUE(Spec);
+  Expected<HashPlan> Naive = synthesize(Spec->abstract(), HashFamily::Naive);
+  Expected<HashPlan> OffXor =
+      synthesize(Spec->abstract(), HashFamily::OffXor);
+  ASSERT_TRUE(Naive);
+  ASSERT_TRUE(OffXor);
+  EXPECT_EQ(Naive->Skip.loadCount(), 2u) << "16-byte prefix = 2 words";
+  EXPECT_EQ(OffXor->Skip.loadCount(), 1u) << "constant word skipped";
+}
+
+TEST(SynthesizerTest, AllFamiliesSucceedOnEveryPaperFormat) {
+  const std::vector<std::string> Regexes = {
+      R"(\d{3}-\d{2}-\d{4})",
+      R"(\d{3}\.\d{3}\.\d{3}-\d{2})",
+      R"(([0-9a-fA-F]{2}-){5}[0-9a-fA-F]{2})",
+      R"((([0-9]{3})\.){3}[0-9]{3})",
+      R"(([0-9a-f]{4}:){7}[0-9a-f]{4})",
+      R"([0-9]{100})",
+      R"(https://example\.com/go/[a-z0-9]{20}\.html)",
+      R"(https://www\.example\.com/en/articles/[a-z0-9]{20}\.html)",
+  };
+  for (const std::string &Regex : Regexes) {
+    Expected<std::array<HashPlan, 4>> Plans =
+        synthesizeAllFamilies(patternOf(Regex));
+    ASSERT_TRUE(Plans) << Regex;
+    for (const HashPlan &Plan : *Plans) {
+      EXPECT_FALSE(Plan.FallbackToStl) << Regex;
+      EXPECT_FALSE(Plan.Steps.empty()) << Regex;
+    }
+  }
+}
+
+TEST(SynthesizerTest, PlanDumpMentionsFamilyAndLoads) {
+  const HashPlan Plan = planOf(R"(\d{3}-\d{2}-\d{4})", HashFamily::Pext);
+  const std::string Dump = Plan.str();
+  EXPECT_NE(Dump.find("Pext"), std::string::npos);
+  EXPECT_NE(Dump.find("load +0"), std::string::npos);
+  EXPECT_NE(Dump.find("load +3"), std::string::npos);
+}
+
+TEST(SynthesizerTest, CodeSizeGrowsWithKeyLength) {
+  const HashPlan Small = planOf(R"([0-9]{16})", HashFamily::Pext);
+  const HashPlan Large = planOf(R"([0-9]{100})", HashFamily::Pext);
+  EXPECT_LT(Small.codeSizeEstimate(), Large.codeSizeEstimate());
+}
+
+} // namespace
