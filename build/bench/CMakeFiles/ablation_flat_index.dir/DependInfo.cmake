@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_flat_index.cpp" "bench/CMakeFiles/ablation_flat_index.dir/ablation_flat_index.cpp.o" "gcc" "bench/CMakeFiles/ablation_flat_index.dir/ablation_flat_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sepe_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sepe_keygen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sepe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sepe_hashes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sepe_gperf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sepe_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flat_index.dir/ablation_flat_index.cpp.o"
+  "CMakeFiles/ablation_flat_index.dir/ablation_flat_index.cpp.o.d"
+  "ablation_flat_index"
+  "ablation_flat_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flat_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pext_spread.dir/ablation_pext_spread.cpp.o"
+  "CMakeFiles/ablation_pext_spread.dir/ablation_pext_spread.cpp.o.d"
+  "ablation_pext_spread"
+  "ablation_pext_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pext_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

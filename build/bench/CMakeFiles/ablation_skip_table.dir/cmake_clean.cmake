@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_skip_table.dir/ablation_skip_table.cpp.o"
+  "CMakeFiles/ablation_skip_table.dir/ablation_skip_table.cpp.o.d"
+  "ablation_skip_table"
+  "ablation_skip_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_skip_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

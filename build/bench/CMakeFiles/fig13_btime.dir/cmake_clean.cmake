@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_btime.dir/fig13_btime.cpp.o"
+  "CMakeFiles/fig13_btime.dir/fig13_btime.cpp.o.d"
+  "fig13_btime"
+  "fig13_btime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_btime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

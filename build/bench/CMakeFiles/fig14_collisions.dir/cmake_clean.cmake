@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_collisions.dir/fig14_collisions.cpp.o"
+  "CMakeFiles/fig14_collisions.dir/fig14_collisions.cpp.o.d"
+  "fig14_collisions"
+  "fig14_collisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_collisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

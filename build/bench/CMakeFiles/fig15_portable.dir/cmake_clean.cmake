@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_portable.dir/fig15_portable.cpp.o"
+  "CMakeFiles/fig15_portable.dir/fig15_portable.cpp.o.d"
+  "fig15_portable"
+  "fig15_portable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_portable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_synthesis_time.dir/fig16_synthesis_time.cpp.o"
+  "CMakeFiles/fig16_synthesis_time.dir/fig16_synthesis_time.cpp.o.d"
+  "fig16_synthesis_time"
+  "fig16_synthesis_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_synthesis_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_lowmix_buckets.dir/fig17_lowmix_buckets.cpp.o"
+  "CMakeFiles/fig17_lowmix_buckets.dir/fig17_lowmix_buckets.cpp.o.d"
+  "fig17_lowmix_buckets"
+  "fig17_lowmix_buckets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_lowmix_buckets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

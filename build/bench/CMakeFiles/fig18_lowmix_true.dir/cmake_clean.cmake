@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_lowmix_true.dir/fig18_lowmix_true.cpp.o"
+  "CMakeFiles/fig18_lowmix_true.dir/fig18_lowmix_true.cpp.o.d"
+  "fig18_lowmix_true"
+  "fig18_lowmix_true.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_lowmix_true.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

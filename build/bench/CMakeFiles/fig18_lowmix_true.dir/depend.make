@@ -1,0 +1,2 @@
+# Empty dependencies file for fig18_lowmix_true.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_hash_scaling.dir/fig19_hash_scaling.cpp.o"
+  "CMakeFiles/fig19_hash_scaling.dir/fig19_hash_scaling.cpp.o.d"
+  "fig19_hash_scaling"
+  "fig19_hash_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_hash_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_containers.dir/fig20_containers.cpp.o"
+  "CMakeFiles/fig20_containers.dir/fig20_containers.cpp.o.d"
+  "fig20_containers"
+  "fig20_containers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_containers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_hash.dir/micro_hash.cpp.o"
+  "CMakeFiles/micro_hash.dir/micro_hash.cpp.o.d"
+  "micro_hash"
+  "micro_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_uniformity.dir/table2_uniformity.cpp.o"
+  "CMakeFiles/table2_uniformity.dir/table2_uniformity.cpp.o.d"
+  "table2_uniformity"
+  "table2_uniformity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_uniformity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_distribution.dir/table3_distribution.cpp.o"
+  "CMakeFiles/table3_distribution.dir/table3_distribution.cpp.o.d"
+  "table3_distribution"
+  "table3_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

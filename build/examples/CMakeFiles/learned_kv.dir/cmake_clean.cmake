@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learned_kv.dir/learned_kv.cpp.o"
+  "CMakeFiles/learned_kv.dir/learned_kv.cpp.o.d"
+  "learned_kv"
+  "learned_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learned_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

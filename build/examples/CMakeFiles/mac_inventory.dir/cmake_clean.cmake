@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_inventory.dir/mac_inventory.cpp.o"
+  "CMakeFiles/mac_inventory.dir/mac_inventory.cpp.o.d"
+  "mac_inventory"
+  "mac_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

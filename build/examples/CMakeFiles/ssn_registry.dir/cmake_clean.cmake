@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssn_registry.dir/ssn_registry.cpp.o"
+  "CMakeFiles/ssn_registry.dir/ssn_registry.cpp.o.d"
+  "ssn_registry"
+  "ssn_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssn_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

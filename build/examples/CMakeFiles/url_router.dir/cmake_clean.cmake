@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/url_router.dir/url_router.cpp.o"
+  "CMakeFiles/url_router.dir/url_router.cpp.o.d"
+  "url_router"
+  "url_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/url_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keybuilder.dir/tools/keybuilder.cpp.o"
+  "CMakeFiles/keybuilder.dir/tools/keybuilder.cpp.o.d"
+  "keybuilder"
+  "keybuilder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keybuilder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for keybuilder.
+# This may be replaced when dependencies are built.

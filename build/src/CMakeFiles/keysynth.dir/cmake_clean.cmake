@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keysynth.dir/tools/keysynth.cpp.o"
+  "CMakeFiles/keysynth.dir/tools/keysynth.cpp.o.d"
+  "keysynth"
+  "keysynth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keysynth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

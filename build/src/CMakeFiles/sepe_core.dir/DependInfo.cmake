@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/CMakeFiles/sepe_core.dir/core/analysis.cpp.o" "gcc" "src/CMakeFiles/sepe_core.dir/core/analysis.cpp.o.d"
+  "/root/repo/src/core/codegen.cpp" "src/CMakeFiles/sepe_core.dir/core/codegen.cpp.o" "gcc" "src/CMakeFiles/sepe_core.dir/core/codegen.cpp.o.d"
+  "/root/repo/src/core/executor.cpp" "src/CMakeFiles/sepe_core.dir/core/executor.cpp.o" "gcc" "src/CMakeFiles/sepe_core.dir/core/executor.cpp.o.d"
+  "/root/repo/src/core/inference.cpp" "src/CMakeFiles/sepe_core.dir/core/inference.cpp.o" "gcc" "src/CMakeFiles/sepe_core.dir/core/inference.cpp.o.d"
+  "/root/repo/src/core/plan.cpp" "src/CMakeFiles/sepe_core.dir/core/plan.cpp.o" "gcc" "src/CMakeFiles/sepe_core.dir/core/plan.cpp.o.d"
+  "/root/repo/src/core/plan_io.cpp" "src/CMakeFiles/sepe_core.dir/core/plan_io.cpp.o" "gcc" "src/CMakeFiles/sepe_core.dir/core/plan_io.cpp.o.d"
+  "/root/repo/src/core/regex_parser.cpp" "src/CMakeFiles/sepe_core.dir/core/regex_parser.cpp.o" "gcc" "src/CMakeFiles/sepe_core.dir/core/regex_parser.cpp.o.d"
+  "/root/repo/src/core/regex_printer.cpp" "src/CMakeFiles/sepe_core.dir/core/regex_printer.cpp.o" "gcc" "src/CMakeFiles/sepe_core.dir/core/regex_printer.cpp.o.d"
+  "/root/repo/src/core/synthesizer.cpp" "src/CMakeFiles/sepe_core.dir/core/synthesizer.cpp.o" "gcc" "src/CMakeFiles/sepe_core.dir/core/synthesizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sepe_hashes.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sepe_core.dir/core/analysis.cpp.o"
+  "CMakeFiles/sepe_core.dir/core/analysis.cpp.o.d"
+  "CMakeFiles/sepe_core.dir/core/codegen.cpp.o"
+  "CMakeFiles/sepe_core.dir/core/codegen.cpp.o.d"
+  "CMakeFiles/sepe_core.dir/core/executor.cpp.o"
+  "CMakeFiles/sepe_core.dir/core/executor.cpp.o.d"
+  "CMakeFiles/sepe_core.dir/core/inference.cpp.o"
+  "CMakeFiles/sepe_core.dir/core/inference.cpp.o.d"
+  "CMakeFiles/sepe_core.dir/core/plan.cpp.o"
+  "CMakeFiles/sepe_core.dir/core/plan.cpp.o.d"
+  "CMakeFiles/sepe_core.dir/core/plan_io.cpp.o"
+  "CMakeFiles/sepe_core.dir/core/plan_io.cpp.o.d"
+  "CMakeFiles/sepe_core.dir/core/regex_parser.cpp.o"
+  "CMakeFiles/sepe_core.dir/core/regex_parser.cpp.o.d"
+  "CMakeFiles/sepe_core.dir/core/regex_printer.cpp.o"
+  "CMakeFiles/sepe_core.dir/core/regex_printer.cpp.o.d"
+  "CMakeFiles/sepe_core.dir/core/synthesizer.cpp.o"
+  "CMakeFiles/sepe_core.dir/core/synthesizer.cpp.o.d"
+  "libsepe_core.a"
+  "libsepe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sepe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

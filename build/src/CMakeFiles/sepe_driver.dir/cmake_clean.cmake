@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sepe_driver.dir/driver/experiment.cpp.o"
+  "CMakeFiles/sepe_driver.dir/driver/experiment.cpp.o.d"
+  "CMakeFiles/sepe_driver.dir/driver/hash_registry.cpp.o"
+  "CMakeFiles/sepe_driver.dir/driver/hash_registry.cpp.o.d"
+  "CMakeFiles/sepe_driver.dir/driver/report.cpp.o"
+  "CMakeFiles/sepe_driver.dir/driver/report.cpp.o.d"
+  "libsepe_driver.a"
+  "libsepe_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sepe_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

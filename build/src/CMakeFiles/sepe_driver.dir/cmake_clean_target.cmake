@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsepe_driver.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sepe_gperf.dir/gperf/perfect_hash.cpp.o"
+  "CMakeFiles/sepe_gperf.dir/gperf/perfect_hash.cpp.o.d"
+  "libsepe_gperf.a"
+  "libsepe_gperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sepe_gperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hashes/aes_round.cpp" "src/CMakeFiles/sepe_hashes.dir/hashes/aes_round.cpp.o" "gcc" "src/CMakeFiles/sepe_hashes.dir/hashes/aes_round.cpp.o.d"
+  "/root/repo/src/hashes/city.cpp" "src/CMakeFiles/sepe_hashes.dir/hashes/city.cpp.o" "gcc" "src/CMakeFiles/sepe_hashes.dir/hashes/city.cpp.o.d"
+  "/root/repo/src/hashes/fnv.cpp" "src/CMakeFiles/sepe_hashes.dir/hashes/fnv.cpp.o" "gcc" "src/CMakeFiles/sepe_hashes.dir/hashes/fnv.cpp.o.d"
+  "/root/repo/src/hashes/low_level_hash.cpp" "src/CMakeFiles/sepe_hashes.dir/hashes/low_level_hash.cpp.o" "gcc" "src/CMakeFiles/sepe_hashes.dir/hashes/low_level_hash.cpp.o.d"
+  "/root/repo/src/hashes/murmur.cpp" "src/CMakeFiles/sepe_hashes.dir/hashes/murmur.cpp.o" "gcc" "src/CMakeFiles/sepe_hashes.dir/hashes/murmur.cpp.o.d"
+  "/root/repo/src/hashes/polymur_like.cpp" "src/CMakeFiles/sepe_hashes.dir/hashes/polymur_like.cpp.o" "gcc" "src/CMakeFiles/sepe_hashes.dir/hashes/polymur_like.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

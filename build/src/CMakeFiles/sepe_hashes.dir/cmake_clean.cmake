@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sepe_hashes.dir/hashes/aes_round.cpp.o"
+  "CMakeFiles/sepe_hashes.dir/hashes/aes_round.cpp.o.d"
+  "CMakeFiles/sepe_hashes.dir/hashes/city.cpp.o"
+  "CMakeFiles/sepe_hashes.dir/hashes/city.cpp.o.d"
+  "CMakeFiles/sepe_hashes.dir/hashes/fnv.cpp.o"
+  "CMakeFiles/sepe_hashes.dir/hashes/fnv.cpp.o.d"
+  "CMakeFiles/sepe_hashes.dir/hashes/low_level_hash.cpp.o"
+  "CMakeFiles/sepe_hashes.dir/hashes/low_level_hash.cpp.o.d"
+  "CMakeFiles/sepe_hashes.dir/hashes/murmur.cpp.o"
+  "CMakeFiles/sepe_hashes.dir/hashes/murmur.cpp.o.d"
+  "CMakeFiles/sepe_hashes.dir/hashes/polymur_like.cpp.o"
+  "CMakeFiles/sepe_hashes.dir/hashes/polymur_like.cpp.o.d"
+  "libsepe_hashes.a"
+  "libsepe_hashes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sepe_hashes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hashes/gpt_like.cpp" "src/CMakeFiles/sepe_keygen.dir/hashes/gpt_like.cpp.o" "gcc" "src/CMakeFiles/sepe_keygen.dir/hashes/gpt_like.cpp.o.d"
+  "/root/repo/src/keygen/distributions.cpp" "src/CMakeFiles/sepe_keygen.dir/keygen/distributions.cpp.o" "gcc" "src/CMakeFiles/sepe_keygen.dir/keygen/distributions.cpp.o.d"
+  "/root/repo/src/keygen/paper_formats.cpp" "src/CMakeFiles/sepe_keygen.dir/keygen/paper_formats.cpp.o" "gcc" "src/CMakeFiles/sepe_keygen.dir/keygen/paper_formats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sepe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sepe_hashes.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sepe_keygen.dir/hashes/gpt_like.cpp.o"
+  "CMakeFiles/sepe_keygen.dir/hashes/gpt_like.cpp.o.d"
+  "CMakeFiles/sepe_keygen.dir/keygen/distributions.cpp.o"
+  "CMakeFiles/sepe_keygen.dir/keygen/distributions.cpp.o.d"
+  "CMakeFiles/sepe_keygen.dir/keygen/paper_formats.cpp.o"
+  "CMakeFiles/sepe_keygen.dir/keygen/paper_formats.cpp.o.d"
+  "libsepe_keygen.a"
+  "libsepe_keygen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sepe_keygen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

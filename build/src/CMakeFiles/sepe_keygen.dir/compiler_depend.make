@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sepe_keygen.
+# This may be replaced when dependencies are built.

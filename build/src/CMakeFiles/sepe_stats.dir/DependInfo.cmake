@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/chi_square.cpp" "src/CMakeFiles/sepe_stats.dir/stats/chi_square.cpp.o" "gcc" "src/CMakeFiles/sepe_stats.dir/stats/chi_square.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/CMakeFiles/sepe_stats.dir/stats/descriptive.cpp.o" "gcc" "src/CMakeFiles/sepe_stats.dir/stats/descriptive.cpp.o.d"
+  "/root/repo/src/stats/mann_whitney.cpp" "src/CMakeFiles/sepe_stats.dir/stats/mann_whitney.cpp.o" "gcc" "src/CMakeFiles/sepe_stats.dir/stats/mann_whitney.cpp.o.d"
+  "/root/repo/src/stats/pearson.cpp" "src/CMakeFiles/sepe_stats.dir/stats/pearson.cpp.o" "gcc" "src/CMakeFiles/sepe_stats.dir/stats/pearson.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

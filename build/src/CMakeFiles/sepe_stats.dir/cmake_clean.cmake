@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sepe_stats.dir/stats/chi_square.cpp.o"
+  "CMakeFiles/sepe_stats.dir/stats/chi_square.cpp.o.d"
+  "CMakeFiles/sepe_stats.dir/stats/descriptive.cpp.o"
+  "CMakeFiles/sepe_stats.dir/stats/descriptive.cpp.o.d"
+  "CMakeFiles/sepe_stats.dir/stats/mann_whitney.cpp.o"
+  "CMakeFiles/sepe_stats.dir/stats/mann_whitney.cpp.o.d"
+  "CMakeFiles/sepe_stats.dir/stats/pearson.cpp.o"
+  "CMakeFiles/sepe_stats.dir/stats/pearson.cpp.o.d"
+  "libsepe_stats.a"
+  "libsepe_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sepe_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sepedriver.dir/tools/sepedriver.cpp.o"
+  "CMakeFiles/sepedriver.dir/tools/sepedriver.cpp.o.d"
+  "sepedriver"
+  "sepedriver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sepedriver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

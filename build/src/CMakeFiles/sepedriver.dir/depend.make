@@ -1,0 +1,2 @@
+# Empty dependencies file for sepedriver.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aes_round.cpp" "tests/CMakeFiles/unit_tests.dir/test_aes_round.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_aes_round.cpp.o.d"
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/unit_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_bit_ops.cpp" "tests/CMakeFiles/unit_tests.dir/test_bit_ops.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_bit_ops.cpp.o.d"
+  "/root/repo/tests/test_byte_pattern.cpp" "tests/CMakeFiles/unit_tests.dir/test_byte_pattern.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_byte_pattern.cpp.o.d"
+  "/root/repo/tests/test_charset.cpp" "tests/CMakeFiles/unit_tests.dir/test_charset.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_charset.cpp.o.d"
+  "/root/repo/tests/test_codegen.cpp" "tests/CMakeFiles/unit_tests.dir/test_codegen.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_codegen.cpp.o.d"
+  "/root/repo/tests/test_driver.cpp" "tests/CMakeFiles/unit_tests.dir/test_driver.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_driver.cpp.o.d"
+  "/root/repo/tests/test_executor.cpp" "tests/CMakeFiles/unit_tests.dir/test_executor.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_executor.cpp.o.d"
+  "/root/repo/tests/test_flat_index_map.cpp" "tests/CMakeFiles/unit_tests.dir/test_flat_index_map.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_flat_index_map.cpp.o.d"
+  "/root/repo/tests/test_gperf.cpp" "tests/CMakeFiles/unit_tests.dir/test_gperf.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_gperf.cpp.o.d"
+  "/root/repo/tests/test_gpt_like.cpp" "tests/CMakeFiles/unit_tests.dir/test_gpt_like.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_gpt_like.cpp.o.d"
+  "/root/repo/tests/test_hashes.cpp" "tests/CMakeFiles/unit_tests.dir/test_hashes.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_hashes.cpp.o.d"
+  "/root/repo/tests/test_inference.cpp" "tests/CMakeFiles/unit_tests.dir/test_inference.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_inference.cpp.o.d"
+  "/root/repo/tests/test_key_pattern.cpp" "tests/CMakeFiles/unit_tests.dir/test_key_pattern.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_key_pattern.cpp.o.d"
+  "/root/repo/tests/test_keygen.cpp" "tests/CMakeFiles/unit_tests.dir/test_keygen.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_keygen.cpp.o.d"
+  "/root/repo/tests/test_low_mix_table.cpp" "tests/CMakeFiles/unit_tests.dir/test_low_mix_table.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_low_mix_table.cpp.o.d"
+  "/root/repo/tests/test_parser_fuzz.cpp" "tests/CMakeFiles/unit_tests.dir/test_parser_fuzz.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_parser_fuzz.cpp.o.d"
+  "/root/repo/tests/test_plan_io.cpp" "tests/CMakeFiles/unit_tests.dir/test_plan_io.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_plan_io.cpp.o.d"
+  "/root/repo/tests/test_polymur_like.cpp" "tests/CMakeFiles/unit_tests.dir/test_polymur_like.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_polymur_like.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/unit_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_quad.cpp" "tests/CMakeFiles/unit_tests.dir/test_quad.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_quad.cpp.o.d"
+  "/root/repo/tests/test_random_formats.cpp" "tests/CMakeFiles/unit_tests.dir/test_random_formats.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_random_formats.cpp.o.d"
+  "/root/repo/tests/test_regex_parser.cpp" "tests/CMakeFiles/unit_tests.dir/test_regex_parser.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_regex_parser.cpp.o.d"
+  "/root/repo/tests/test_regex_printer.cpp" "tests/CMakeFiles/unit_tests.dir/test_regex_printer.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_regex_printer.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/unit_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_synthesizer.cpp" "tests/CMakeFiles/unit_tests.dir/test_synthesizer.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_synthesizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sepe_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sepe_keygen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sepe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sepe_hashes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sepe_gperf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sepe_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
