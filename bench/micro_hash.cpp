@@ -6,23 +6,41 @@
 ///
 /// \file
 /// Raw hash-throughput microbenchmarks (the H-Time axis of Table 1) on
-/// google-benchmark: every (hash function x paper key format) pair.
+/// google-benchmark: every (hash function x paper key format) pair, on
+/// both the per-key path and the many-keys-per-call batch path.
+///
+/// Before the google-benchmark sweep, a self-timed pass writes
+/// BENCH_micro_hash.json (override with --json=PATH, or skip the sweep
+/// with --json-only): per hash and format, ns/key for the single and
+/// batch paths plus the batch speedup — the perf trajectory future PRs
+/// compare against.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "driver/hash_registry.h"
 #include "keygen/distributions.h"
+#include "keygen/paper_formats.h"
+#include "support/batch.h"
 
 #include <benchmark/benchmark.h>
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
 
 using namespace sepe;
 
 namespace {
 
+constexpr size_t BenchKeyCount = 512;
+
 std::vector<std::string> benchKeys(PaperKey Key) {
   KeyGenerator Gen(paperKeyFormat(Key), KeyDistribution::Uniform,
                    0xbe9c4 + static_cast<uint64_t>(Key));
-  return Gen.distinct(512);
+  return Gen.distinct(BenchKeyCount);
 }
 
 const HashFunctionSet &setFor(PaperKey Key) {
@@ -35,30 +53,190 @@ const HashFunctionSet &setFor(PaperKey Key) {
   return Sets[static_cast<size_t>(Key)];
 }
 
+const std::vector<std::string_view> &viewsFor(PaperKey Key) {
+  static std::array<std::vector<std::string>, 8> Text;
+  static std::array<std::vector<std::string_view>, 8> Views;
+  auto &V = Views[static_cast<size_t>(Key)];
+  if (V.empty()) {
+    auto &T = Text[static_cast<size_t>(Key)];
+    T = benchKeys(Key);
+    V.assign(T.begin(), T.end());
+  }
+  return V;
+}
+
 void hashThroughput(benchmark::State &State, PaperKey Key, HashKind Kind) {
-  const std::vector<std::string> Keys = benchKeys(Key);
+  const std::vector<std::string_view> &Keys = viewsFor(Key);
   const HashFunctionSet &Set = setFor(Key);
   size_t I = 0;
   Set.visit(Kind, [&](const auto &Hasher) {
     for (auto _ : State) {
       benchmark::DoNotOptimize(Hasher(Keys[I]));
-      I = (I + 1) & 511;
+      I = (I + 1) & (BenchKeyCount - 1);
     }
   });
   State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
                           static_cast<int64_t>(Keys.front().size()));
 }
 
+void hashThroughputBatch(benchmark::State &State, PaperKey Key,
+                         HashKind Kind) {
+  const std::vector<std::string_view> &Keys = viewsFor(Key);
+  const HashFunctionSet &Set = setFor(Key);
+  std::vector<uint64_t> Out(Keys.size());
+  Set.visit(Kind, [&](const auto &Hasher) {
+    for (auto _ : State) {
+      hashBatch(Hasher, Keys.data(), Out.data(), Keys.size());
+      benchmark::DoNotOptimize(Out.data());
+      benchmark::ClobberMemory();
+    }
+  });
+  // One iteration hashes the whole block; normalize to per-key bytes.
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Keys.size()) *
+                          static_cast<int64_t>(Keys.front().size()));
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Keys.size()));
+}
+
+// --- Self-timed JSON pass -------------------------------------------------
+
+double nowNs() {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-3 ns/key for \p Pass, where one call hashes \p KeysPerPass
+/// keys; each repetition accumulates passes for at least 2 ms.
+template <typename Fn> double nsPerKey(size_t KeysPerPass, Fn &&Pass) {
+  Pass();
+  double Best = 1e300;
+  for (int Rep = 0; Rep != 3; ++Rep) {
+    const double Start = nowNs();
+    double Elapsed = 0;
+    size_t Passes = 0;
+    do {
+      Pass();
+      ++Passes;
+      Elapsed = nowNs() - Start;
+    } while (Elapsed < 2e6);
+    const double PerKey =
+        Elapsed / (static_cast<double>(Passes) *
+                   static_cast<double>(KeysPerPass));
+    Best = Best < PerKey ? Best : PerKey;
+  }
+  return Best;
+}
+
+struct JsonRow {
+  PaperKey Key;
+  HashKind Kind;
+  double SingleNs = 0;
+  double BatchNs = 0;
+};
+
+std::vector<JsonRow> measureAll() {
+  std::vector<JsonRow> Rows;
+  for (PaperKey Key : AllPaperKeys) {
+    const std::vector<std::string_view> &Views = viewsFor(Key);
+    const HashFunctionSet &Set = setFor(Key);
+    std::vector<uint64_t> Out(Views.size());
+    for (HashKind Kind : AllHashKinds) {
+      JsonRow Row;
+      Row.Key = Key;
+      Row.Kind = Kind;
+      Set.visit(Kind, [&](const auto &Hasher) {
+        Row.SingleNs = nsPerKey(Views.size(), [&] {
+          uint64_t Sink = 0;
+          for (const std::string_view V : Views)
+            Sink += static_cast<uint64_t>(Hasher(V));
+          benchmark::DoNotOptimize(Sink);
+        });
+        Row.BatchNs = nsPerKey(Views.size(), [&] {
+          hashBatch(Hasher, Views.data(), Out.data(), Views.size());
+          benchmark::DoNotOptimize(Out.data());
+          benchmark::ClobberMemory();
+        });
+      });
+      Rows.push_back(Row);
+    }
+  }
+  return Rows;
+}
+
+bool writeJson(const std::vector<JsonRow> &Rows, const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  std::fprintf(F, "{\n  \"benchmark\": \"micro_hash\",\n");
+  std::fprintf(F, "  \"keys_per_batch\": %zu,\n", BenchKeyCount);
+  std::fprintf(F, "  \"unit\": \"ns_per_key\",\n  \"results\": [\n");
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const JsonRow &R = Rows[I];
+    std::fprintf(F,
+                 "    {\"format\": \"%s\", \"hash\": \"%s\", "
+                 "\"single_ns_per_key\": %.4f, \"batch_ns_per_key\": %.4f, "
+                 "\"batch_speedup\": %.4f}%s\n",
+                 paperKeyName(R.Key), hashKindName(R.Kind), R.SingleNs,
+                 R.BatchNs, R.BatchNs > 0 ? R.SingleNs / R.BatchNs : 0.0,
+                 I + 1 == Rows.size() ? "" : ",");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  return true;
+}
+
+void printJsonSummary(const std::vector<JsonRow> &Rows,
+                      const std::string &Path) {
+  std::printf("wrote %s (%zu rows)\n", Path.c_str(), Rows.size());
+  std::printf("batch speedup (single ns/key -> batch ns/key), synthetic "
+              "families on fixed-length formats:\n");
+  for (const JsonRow &R : Rows) {
+    if (!isSynthetic(R.Kind))
+      continue;
+    if (R.Key != PaperKey::SSN && R.Key != PaperKey::MAC &&
+        R.Key != PaperKey::IPv4)
+      continue;
+    std::printf("  %-4s %-6s %7.2f -> %6.2f  (%.2fx)\n",
+                paperKeyName(R.Key), hashKindName(R.Kind), R.SingleNs,
+                R.BatchNs, R.BatchNs > 0 ? R.SingleNs / R.BatchNs : 0.0);
+  }
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
-  // Keep the default sweep quick: 80 benchmarks at the library default
+  std::string JsonPath = "BENCH_micro_hash.json";
+  bool JsonOnly = false;
+  std::vector<char *> Args;
+  Args.reserve(static_cast<size_t>(argc) + 1);
+  Args.push_back(argv[0]);
+  for (int I = 1; I != argc; ++I) {
+    const std::string Arg = argv[I];
+    if (Arg.rfind("--json=", 0) == 0)
+      JsonPath = Arg.substr(7);
+    else if (Arg == "--json-only")
+      JsonOnly = true;
+    else
+      Args.push_back(argv[I]);
+  }
+
+  const std::vector<JsonRow> Rows = measureAll();
+  if (!writeJson(Rows, JsonPath))
+    return 1;
+  printJsonSummary(Rows, JsonPath);
+  if (JsonOnly)
+    return 0;
+
+  // Keep the default sweep quick: 160 benchmarks at the library default
   // min time would run for minutes; callers can still override.
-  std::vector<char *> Args(argv, argv + argc);
   std::string MinTime = "--benchmark_min_time=0.05s";
   bool HasMinTime = false;
-  for (int I = 1; I != argc; ++I)
-    if (std::string(argv[I]).rfind("--benchmark_min_time", 0) == 0)
+  for (char *A : Args)
+    if (std::string(A).rfind("--benchmark_min_time", 0) == 0)
       HasMinTime = true;
   if (!HasMinTime)
     Args.push_back(MinTime.data());
@@ -66,11 +244,15 @@ int main(int argc, char **argv) {
 
   for (PaperKey Key : AllPaperKeys)
     for (HashKind Kind : AllHashKinds) {
-      const std::string Name = std::string("Hash/") + paperKeyName(Key) +
+      const std::string Base = std::string("Hash/") + paperKeyName(Key) +
                                "/" + hashKindName(Kind);
       benchmark::RegisterBenchmark(
-          Name.c_str(), [Key, Kind](benchmark::State &State) {
+          Base.c_str(), [Key, Kind](benchmark::State &State) {
             hashThroughput(State, Key, Kind);
+          });
+      benchmark::RegisterBenchmark(
+          (Base + "/batch").c_str(), [Key, Kind](benchmark::State &State) {
+            hashThroughputBatch(State, Key, Kind);
           });
     }
   benchmark::Initialize(&Argc, Args.data());

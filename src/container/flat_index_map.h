@@ -59,11 +59,37 @@ public:
   bool empty() const { return Elements == 0; }
   size_t capacity() const { return Slots.size(); }
 
+  /// The bijective hash this map is keyed by; lets callers batch-hash
+  /// key blocks (SynthesizedHash::hashBatch) and then use the *Hashed
+  /// entry points below without re-hashing.
+  const SynthesizedHash &hasher() const { return Hash; }
+
   /// Inserts (key, value); returns false (and leaves the old value)
   /// when the key is already present.
   bool insert(std::string_view Key, Value V) {
+    return insertHashed(Hash(Key), std::move(V));
+  }
+
+  /// Inserts by precomputed image (== hasher()(Key)); since the plan is
+  /// a bijection the image *is* the key, so no key text is needed.
+  bool insertHashed(uint64_t Image, Value V) {
     maybeGrow();
-    return insertImage(Hash(Key), std::move(V));
+    return insertImage(Image, std::move(V));
+  }
+
+  /// Inserts \p N (key, value) pairs, hashing the keys through the
+  /// plan's batch kernel in blocks; the fast path for bulk loads.
+  size_t insertBatch(const std::string_view *Keys, const Value *Values,
+                     size_t N) {
+    uint64_t Images[BatchBlock];
+    size_t Inserted = 0;
+    for (size_t I = 0; I < N; I += BatchBlock) {
+      const size_t Count = N - I < BatchBlock ? N - I : BatchBlock;
+      Hash.hashBatch(Keys + I, Images, Count);
+      for (size_t J = 0; J != Count; ++J)
+        Inserted += insertHashed(Images[J], Values[I + J]) ? 1 : 0;
+    }
+    return Inserted;
   }
 
   /// Pointer to the value for \p Key, or nullptr.
@@ -72,12 +98,23 @@ public:
     return const_cast<FlatIndexMap *>(this)->findImage(Hash(Key));
   }
 
+  /// Lookup by precomputed image (== hasher()(Key)).
+  Value *findHashed(uint64_t Image) { return findImage(Image); }
+  const Value *findHashed(uint64_t Image) const {
+    return const_cast<FlatIndexMap *>(this)->findImage(Image);
+  }
+
   bool contains(std::string_view Key) const { return find(Key) != nullptr; }
+  bool containsHashed(uint64_t Image) const {
+    return findHashed(Image) != nullptr;
+  }
 
   /// Removes \p Key; returns false when absent. Uses backward-shift
   /// deletion, so no tombstones accumulate.
-  bool erase(std::string_view Key) {
-    const uint64_t Image = Hash(Key);
+  bool erase(std::string_view Key) { return eraseHashed(Hash(Key)); }
+
+  /// Removal by precomputed image (== hasher()(Key)).
+  bool eraseHashed(uint64_t Image) {
     const size_t Mask = Slots.size() - 1;
     size_t I = homeSlot(Image);
     while (true) {
@@ -124,6 +161,10 @@ public:
 
 private:
   enum SlotState : uint8_t { Empty = 0, Full = 1 };
+
+  /// Keys per hashBatch call in insertBatch: big enough to amortize the
+  /// dispatch, small enough to stay on the stack and in L1.
+  static constexpr size_t BatchBlock = 256;
 
   struct Slot {
     uint64_t Image = 0;

@@ -37,10 +37,15 @@ public:
   }
 
   /// Inserts \p K; returns false when already present.
-  bool insert(const Key &K) {
+  bool insert(const Key &K) { return insertHashed(K, hashOf(K)); }
+
+  /// Inserts \p K given its precomputed hash \p H (== Hasher(K)); entry
+  /// point for callers that batch-hash keys up front (support/batch.h)
+  /// and must not pay a second per-key hash here.
+  bool insertHashed(const Key &K, uint64_t H) {
     if (Elements + 1 > Buckets.size())
       rehash(Buckets.size() * 2);
-    std::vector<Key> &Bucket = bucketFor(K);
+    std::vector<Key> &Bucket = Buckets[indexForHash(H)];
     if (std::find(Bucket.begin(), Bucket.end(), K) != Bucket.end())
       return false;
     Bucket.push_back(K);
@@ -49,13 +54,21 @@ public:
   }
 
   bool contains(const Key &K) const {
-    const std::vector<Key> &Bucket = bucketFor(K);
+    return containsHashed(K, hashOf(K));
+  }
+
+  /// Membership given the precomputed hash \p H (== Hasher(K)).
+  bool containsHashed(const Key &K, uint64_t H) const {
+    const std::vector<Key> &Bucket = Buckets[indexForHash(H)];
     return std::find(Bucket.begin(), Bucket.end(), K) != Bucket.end();
   }
 
   /// Removes \p K; returns false when absent.
-  bool erase(const Key &K) {
-    std::vector<Key> &Bucket = bucketFor(K);
+  bool erase(const Key &K) { return eraseHashed(K, hashOf(K)); }
+
+  /// Removal given the precomputed hash \p H (== Hasher(K)).
+  bool eraseHashed(const Key &K, uint64_t H) {
+    std::vector<Key> &Bucket = Buckets[indexForHash(H)];
     auto It = std::find(Bucket.begin(), Bucket.end(), K);
     if (It == Bucket.end())
       return false;
@@ -106,15 +119,17 @@ public:
   }
 
 private:
-  size_t bucketIndex(const Key &K) const {
-    const uint64_t H = static_cast<uint64_t>(Hash(K));
+  uint64_t hashOf(const Key &K) const {
+    return static_cast<uint64_t>(Hash(K));
+  }
+  size_t indexForHash(uint64_t H) const {
     return static_cast<size_t>((H >> DiscardBits) % Buckets.size());
   }
   std::vector<Key> &bucketFor(const Key &K) {
-    return Buckets[bucketIndex(K)];
+    return Buckets[indexForHash(hashOf(K))];
   }
   const std::vector<Key> &bucketFor(const Key &K) const {
-    return Buckets[bucketIndex(K)];
+    return Buckets[indexForHash(hashOf(K))];
   }
 
   Hasher Hash;

@@ -9,6 +9,7 @@
 #include "hashes/aes_round.h"
 #include "hashes/murmur.h"
 #include "support/bit_ops.h"
+#include "support/unreachable.h"
 
 #include <bit>
 
@@ -26,28 +27,43 @@ namespace {
 constexpr Block128 AesInitState{0x243f6a8885a308d3ULL,
                                 0x13198a2e03707344ULL};
 
+using EvalFnT = uint64_t (*)(const HashPlan &, const char *, size_t);
+using BatchFnT = void (*)(const HashPlan &, const std::string_view *,
+                          uint64_t *, size_t);
+
 uint64_t evalFallback(const HashPlan &, const char *Data, size_t Len) {
   return murmurHashBytes(Data, Len, StlHashSeed);
 }
 
 // --- Fixed-length paths ---------------------------------------------------
+//
+// The fixed-length kernels are "fused": the step count is a template
+// parameter for the common plan sizes (NSteps != 0), so the step loop
+// unrolls away and the kernel is the same straight-line code codegen.h
+// would emit. NSteps == 0 is the generic runtime-count variant.
 
+template <size_t NSteps = 0>
 uint64_t evalFixedXor(const HashPlan &Plan, const char *Data, size_t) {
+  const PlanStep *Steps = Plan.Steps.data();
+  const size_t M = NSteps != 0 ? NSteps : Plan.Steps.size();
   uint64_t Hash = 0;
-  for (const PlanStep &S : Plan.Steps)
-    Hash ^= loadU64Le(Data + S.Offset);
+  for (size_t S = 0; S != M; ++S)
+    Hash ^= loadU64Le(Data + Steps[S].Offset);
   return Hash;
 }
 
-template <uint64_t (*Pext)(uint64_t, uint64_t)>
+template <uint64_t (*Pext)(uint64_t, uint64_t), size_t NSteps = 0>
 uint64_t evalFixedPext(const HashPlan &Plan, const char *Data, size_t) {
+  const PlanStep *Steps = Plan.Steps.data();
+  const size_t M = NSteps != 0 ? NSteps : Plan.Steps.size();
   uint64_t Hash = 0;
   // Chunks are *rotated* into place rather than shifted so formats with
   // more than 64 relevant bits wrap around without losing entropy
   // (Section 4.2: zero T-Coll even on 400-relevant-bit keys). For
   // chunks that fit, rotl is identical to the shift in Figure 12.
-  for (const PlanStep &S : Plan.Steps)
-    Hash ^= std::rotl(Pext(loadU64Le(Data + S.Offset), S.Mask), S.Shift);
+  for (size_t S = 0; S != M; ++S)
+    Hash ^= std::rotl(Pext(loadU64Le(Data + Steps[S].Offset), Steps[S].Mask),
+                      Steps[S].Shift);
   return Hash;
 }
 
@@ -218,6 +234,220 @@ uint64_t evalVarAes(const HashPlan &Plan, const char *Data, size_t Len) {
   return State.Lo ^ State.Hi;
 }
 
+// --- Batch evaluators -----------------------------------------------------
+//
+// The fixed-length batch kernels process four keys per iteration: the
+// four hash states live in registers at once, so the (independent) key
+// loads overlap instead of serializing behind each key's combine chain —
+// the memory-level parallelism a per-key call can never expose. The
+// variable-length and partial-load shapes fall back to a per-key loop
+// over the already-selected single kernel; they still amortize the
+// indirect call but keep one code path.
+
+template <EvalFnT Eval>
+void batchViaSingle(const HashPlan &Plan, const std::string_view *Keys,
+                    uint64_t *Out, size_t N) {
+  for (size_t I = 0; I != N; ++I)
+    Out[I] = Eval(Plan, Keys[I].data(), Keys[I].size());
+}
+
+template <size_t NSteps = 0>
+void batchFixedXor(const HashPlan &Plan, const std::string_view *Keys,
+                   uint64_t *Out, size_t N) {
+  const PlanStep *Steps = Plan.Steps.data();
+  const size_t M = NSteps != 0 ? NSteps : Plan.Steps.size();
+  size_t I = 0;
+  for (; I + 4 <= N; I += 4) {
+    const char *D0 = Keys[I + 0].data();
+    const char *D1 = Keys[I + 1].data();
+    const char *D2 = Keys[I + 2].data();
+    const char *D3 = Keys[I + 3].data();
+    uint64_t H0 = 0, H1 = 0, H2 = 0, H3 = 0;
+    for (size_t S = 0; S != M; ++S) {
+      const uint32_t Off = Steps[S].Offset;
+      H0 ^= loadU64Le(D0 + Off);
+      H1 ^= loadU64Le(D1 + Off);
+      H2 ^= loadU64Le(D2 + Off);
+      H3 ^= loadU64Le(D3 + Off);
+    }
+    Out[I + 0] = H0;
+    Out[I + 1] = H1;
+    Out[I + 2] = H2;
+    Out[I + 3] = H3;
+  }
+  for (; I != N; ++I)
+    Out[I] = evalFixedXor<NSteps>(Plan, Keys[I].data(), Keys[I].size());
+}
+
+template <uint64_t (*Pext)(uint64_t, uint64_t), size_t NSteps = 0>
+void batchFixedPext(const HashPlan &Plan, const std::string_view *Keys,
+                    uint64_t *Out, size_t N) {
+  const PlanStep *Steps = Plan.Steps.data();
+  const size_t M = NSteps != 0 ? NSteps : Plan.Steps.size();
+  size_t I = 0;
+  for (; I + 4 <= N; I += 4) {
+    const char *D0 = Keys[I + 0].data();
+    const char *D1 = Keys[I + 1].data();
+    const char *D2 = Keys[I + 2].data();
+    const char *D3 = Keys[I + 3].data();
+    uint64_t H0 = 0, H1 = 0, H2 = 0, H3 = 0;
+    for (size_t S = 0; S != M; ++S) {
+      const uint32_t Off = Steps[S].Offset;
+      const uint64_t Mask = Steps[S].Mask;
+      const int Shift = Steps[S].Shift;
+      H0 ^= std::rotl(Pext(loadU64Le(D0 + Off), Mask), Shift);
+      H1 ^= std::rotl(Pext(loadU64Le(D1 + Off), Mask), Shift);
+      H2 ^= std::rotl(Pext(loadU64Le(D2 + Off), Mask), Shift);
+      H3 ^= std::rotl(Pext(loadU64Le(D3 + Off), Mask), Shift);
+    }
+    Out[I + 0] = H0;
+    Out[I + 1] = H1;
+    Out[I + 2] = H2;
+    Out[I + 3] = H3;
+  }
+  for (; I != N; ++I)
+    Out[I] =
+        evalFixedPext<Pext, NSteps>(Plan, Keys[I].data(), Keys[I].size());
+}
+
+#if defined(SEPE_HAVE_AESNI)
+/// Four interleaved copies of evalFixedAesNative: the AES round has a
+/// multi-cycle latency but single-cycle throughput, so four independent
+/// states keep the AES unit busy instead of stalling on one chain.
+void batchFixedAesNative(const HashPlan &Plan, const std::string_view *Keys,
+                         uint64_t *Out, size_t N) {
+  const __m128i Init = _mm_set_epi64x(
+      static_cast<long long>(0x13198a2e03707344ULL),
+      static_cast<long long>(0x243f6a8885a308d3ULL));
+  const std::vector<PlanStep> &Steps = Plan.Steps;
+  const size_t M = Steps.size();
+  size_t I = 0;
+  for (; I + 4 <= N; I += 4) {
+    const char *D0 = Keys[I + 0].data();
+    const char *D1 = Keys[I + 1].data();
+    const char *D2 = Keys[I + 2].data();
+    const char *D3 = Keys[I + 3].data();
+    __m128i S0 = _mm_xor_si128(
+        Init, _mm_set_epi64x(0, static_cast<long long>(Keys[I + 0].size())));
+    __m128i S1 = _mm_xor_si128(
+        Init, _mm_set_epi64x(0, static_cast<long long>(Keys[I + 1].size())));
+    __m128i S2 = _mm_xor_si128(
+        Init, _mm_set_epi64x(0, static_cast<long long>(Keys[I + 2].size())));
+    __m128i S3 = _mm_xor_si128(
+        Init, _mm_set_epi64x(0, static_cast<long long>(Keys[I + 3].size())));
+    size_t S = 0;
+    for (; S + 1 < M; S += 2) {
+      const uint32_t OffLo = Steps[S].Offset;
+      const uint32_t OffHi = Steps[S + 1].Offset;
+      const auto Chunk = [OffLo, OffHi](const char *D) {
+        return _mm_set_epi64x(
+            static_cast<long long>(loadU64Le(D + OffHi)),
+            static_cast<long long>(loadU64Le(D + OffLo)));
+      };
+      S0 = _mm_aesenc_si128(S0, Chunk(D0));
+      S1 = _mm_aesenc_si128(S1, Chunk(D1));
+      S2 = _mm_aesenc_si128(S2, Chunk(D2));
+      S3 = _mm_aesenc_si128(S3, Chunk(D3));
+    }
+    if (S < M) {
+      const uint32_t Off = Steps[S].Offset;
+      const auto Last = [Off](const char *D) {
+        const long long W = static_cast<long long>(loadU64Le(D + Off));
+        return _mm_set_epi64x(W, W);
+      };
+      S0 = _mm_aesenc_si128(S0, Last(D0));
+      S1 = _mm_aesenc_si128(S1, Last(D1));
+      S2 = _mm_aesenc_si128(S2, Last(D2));
+      S3 = _mm_aesenc_si128(S3, Last(D3));
+    }
+    S0 = _mm_aesenc_si128(S0, Init);
+    S1 = _mm_aesenc_si128(S1, Init);
+    S2 = _mm_aesenc_si128(S2, Init);
+    S3 = _mm_aesenc_si128(S3, Init);
+    const auto Fold = [](__m128i State) {
+      const uint64_t Lo = static_cast<uint64_t>(_mm_cvtsi128_si64(State));
+      const uint64_t Hi = static_cast<uint64_t>(
+          _mm_cvtsi128_si64(_mm_unpackhi_epi64(State, State)));
+      return Lo ^ Hi;
+    };
+    Out[I + 0] = Fold(S0);
+    Out[I + 1] = Fold(S1);
+    Out[I + 2] = Fold(S2);
+    Out[I + 3] = Fold(S3);
+  }
+  for (; I != N; ++I)
+    Out[I] = evalFixedAesNative(Plan, Keys[I].data(), Keys[I].size());
+}
+#endif
+
+// --- Kernel selection helpers ---------------------------------------------
+//
+// The attach-time "compilation": pick the fused instantiation matching
+// the plan's step count (paper formats have 1-4 loads) or the generic
+// runtime-count kernel beyond that.
+
+EvalFnT selectFixedXorEval(size_t M) {
+  switch (M) {
+  case 1:
+    return evalFixedXor<1>;
+  case 2:
+    return evalFixedXor<2>;
+  case 3:
+    return evalFixedXor<3>;
+  case 4:
+    return evalFixedXor<4>;
+  default:
+    return evalFixedXor<>;
+  }
+}
+
+template <uint64_t (*Pext)(uint64_t, uint64_t)>
+EvalFnT selectFixedPextEval(size_t M) {
+  switch (M) {
+  case 1:
+    return evalFixedPext<Pext, 1>;
+  case 2:
+    return evalFixedPext<Pext, 2>;
+  case 3:
+    return evalFixedPext<Pext, 3>;
+  case 4:
+    return evalFixedPext<Pext, 4>;
+  default:
+    return evalFixedPext<Pext>;
+  }
+}
+
+BatchFnT selectFixedXorBatch(size_t M) {
+  switch (M) {
+  case 1:
+    return batchFixedXor<1>;
+  case 2:
+    return batchFixedXor<2>;
+  case 3:
+    return batchFixedXor<3>;
+  case 4:
+    return batchFixedXor<4>;
+  default:
+    return batchFixedXor<>;
+  }
+}
+
+template <uint64_t (*Pext)(uint64_t, uint64_t)>
+BatchFnT selectFixedPextBatch(size_t M) {
+  switch (M) {
+  case 1:
+    return batchFixedPext<Pext, 1>;
+  case 2:
+    return batchFixedPext<Pext, 2>;
+  case 3:
+    return batchFixedPext<Pext, 3>;
+  case 4:
+    return batchFixedPext<Pext, 4>;
+  default:
+    return batchFixedPext<Pext>;
+  }
+}
+
 } // namespace
 
 SynthesizedHash::EvalFn SynthesizedHash::selectEval(const HashPlan &Plan,
@@ -246,9 +476,10 @@ SynthesizedHash::EvalFn SynthesizedHash::selectEval(const HashPlan &Plan,
     switch (Plan.Family) {
     case HashFamily::Naive:
     case HashFamily::OffXor:
-      return evalFixedXor;
+      return selectFixedXorEval(Plan.Steps.size());
     case HashFamily::Pext:
-      return HwPext ? evalFixedPext<pextHw> : evalFixedPext<pextSoft>;
+      return HwPext ? selectFixedPextEval<pextHw>(Plan.Steps.size())
+                    : selectFixedPextEval<pextSoft>(Plan.Steps.size());
     case HashFamily::Aes:
 #if defined(SEPE_HAVE_AESNI)
       if (Hw)
@@ -268,8 +499,60 @@ SynthesizedHash::EvalFn SynthesizedHash::selectEval(const HashPlan &Plan,
   case HashFamily::Aes:
     return Hw ? evalVarAes<aesEncRoundHw> : evalVarAes<aesEncRoundSoft>;
   }
-  assert(false && "unreachable: all plan shapes handled above");
-  return evalFallback;
+  unreachable("all plan shapes handled above");
+}
+
+SynthesizedHash::BatchFn SynthesizedHash::selectBatch(const HashPlan &Plan,
+                                                      IsaLevel Isa) {
+  if (Plan.FallbackToStl)
+    return batchViaSingle<evalFallback>;
+
+  const bool HwPext = Isa == IsaLevel::Native;
+  const bool Hw = Isa != IsaLevel::Portable;
+  if (Plan.PartialLoad) {
+    switch (Plan.Family) {
+    case HashFamily::Naive:
+    case HashFamily::OffXor:
+      return batchViaSingle<evalPartialXor>;
+    case HashFamily::Pext:
+      return HwPext ? batchViaSingle<evalPartialPext<pextHw>>
+                    : batchViaSingle<evalPartialPext<pextSoft>>;
+    case HashFamily::Aes:
+      return Hw ? batchViaSingle<evalPartialAes<aesEncRoundHw>>
+                : batchViaSingle<evalPartialAes<aesEncRoundSoft>>;
+    }
+  }
+
+  if (Plan.FixedLength) {
+    switch (Plan.Family) {
+    case HashFamily::Naive:
+    case HashFamily::OffXor:
+      return selectFixedXorBatch(Plan.Steps.size());
+    case HashFamily::Pext:
+      return HwPext ? selectFixedPextBatch<pextHw>(Plan.Steps.size())
+                    : selectFixedPextBatch<pextSoft>(Plan.Steps.size());
+    case HashFamily::Aes:
+#if defined(SEPE_HAVE_AESNI)
+      if (Hw)
+        return batchFixedAesNative;
+#endif
+      return Hw ? batchViaSingle<evalFixedAes<aesEncRoundHw>>
+                : batchViaSingle<evalFixedAes<aesEncRoundSoft>>;
+    }
+  }
+
+  switch (Plan.Family) {
+  case HashFamily::Naive:
+  case HashFamily::OffXor:
+    return batchViaSingle<evalVarXor>;
+  case HashFamily::Pext:
+    return HwPext ? batchViaSingle<evalVarPext<pextHw>>
+                  : batchViaSingle<evalVarPext<pextSoft>>;
+  case HashFamily::Aes:
+    return Hw ? batchViaSingle<evalVarAes<aesEncRoundHw>>
+              : batchViaSingle<evalVarAes<aesEncRoundSoft>>;
+  }
+  unreachable("all plan shapes handled above");
 }
 
 SynthesizedHash::SynthesizedHash(std::shared_ptr<const HashPlan> Plan,
@@ -277,4 +560,5 @@ SynthesizedHash::SynthesizedHash(std::shared_ptr<const HashPlan> Plan,
     : Plan(std::move(Plan)) {
   assert(this->Plan && "SynthesizedHash requires a plan");
   Eval = selectEval(*this->Plan, Isa);
+  Batch = selectBatch(*this->Plan, Isa);
 }

@@ -7,10 +7,13 @@
 /// \file
 /// SynthesizedHash evaluates a HashPlan at runtime — the in-process
 /// equivalent of compiling the C++ source that core/codegen.h emits. The
-/// evaluation routine is selected once, when the plan is attached, so
-/// the per-key cost is one indirect call plus the plan's straight-line
-/// steps. A "portable" mode forces the software pext / AES paths, which
-/// is how the aarch64 experiment of RQ4 is reproduced on this host.
+/// plan is compiled once, at attach time, into a pair of fused kernels:
+/// a per-key routine (one indirect call plus the plan's straight-line
+/// steps, with the common step counts specialized so even the step loop
+/// disappears) and a batch routine that hashes many keys per call,
+/// interleaving four keys per iteration so their loads overlap. A
+/// "portable" mode forces the software pext / AES paths, which is how
+/// the aarch64 experiment of RQ4 is reproduced on this host.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -63,13 +66,29 @@ public:
     return Eval(*Plan, Key.data(), Key.size());
   }
 
+  /// Hashes \p N keys in one call: Out[i] = (*this)(Keys[i]),
+  /// bit-identical to the per-key operator. The batch kernel is selected
+  /// at attach time alongside the per-key kernel; fixed-length plans run
+  /// an evaluator that interleaves four keys per iteration so their
+  /// loads overlap. Same precondition as operator(): every key conforms
+  /// to the plan's format.
+  void hashBatch(const std::string_view *Keys, uint64_t *Out,
+                 size_t N) const {
+    assert(Plan && "hashing with an empty SynthesizedHash");
+    Batch(*Plan, Keys, Out, N);
+  }
+
 private:
   using EvalFn = uint64_t (*)(const HashPlan &, const char *, size_t);
+  using BatchFn = void (*)(const HashPlan &, const std::string_view *,
+                           uint64_t *, size_t);
 
   static EvalFn selectEval(const HashPlan &Plan, IsaLevel Isa);
+  static BatchFn selectBatch(const HashPlan &Plan, IsaLevel Isa);
 
   std::shared_ptr<const HashPlan> Plan;
   EvalFn Eval = nullptr;
+  BatchFn Batch = nullptr;
 };
 
 } // namespace sepe

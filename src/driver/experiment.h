@@ -12,7 +12,10 @@
 ///
 ///   B-Time  - wall time of the full schedule (container effects
 ///             included);
-///   H-Time  - wall time of hashing every scheduled key;
+///   H-Time  - wall time of hashing every scheduled key; the Batched
+///             execution mode hashes through the many-keys-per-call
+///             batch API (support/batch.h), interweaved modes hash one
+///             key per call as their schedules deliver them;
 ///   B-Coll  - bucket collisions after inserting the distinct keys;
 ///   T-Coll  - distinct keys sharing a 64-bit hash value.
 ///

@@ -69,3 +69,10 @@ size_t HashFunctionSet::hash(HashKind Kind, std::string_view KeyText) const {
   return visit(Kind,
                [KeyText](const auto &Hasher) { return Hasher(KeyText); });
 }
+
+void HashFunctionSet::hashBatch(HashKind Kind, const std::string_view *Keys,
+                                uint64_t *Out, size_t N) const {
+  visit(Kind, [Keys, Out, N](const auto &Hasher) {
+    sepe::hashBatch(Hasher, Keys, Out, N);
+  });
+}

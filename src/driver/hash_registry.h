@@ -26,6 +26,8 @@
 #include "hashes/low_level_hash.h"
 #include "hashes/murmur.h"
 #include "keygen/paper_formats.h"
+#include "support/batch.h"
+#include "support/unreachable.h"
 
 #include <array>
 
@@ -78,6 +80,14 @@ public:
   /// counting, not for timing loops.
   size_t hash(HashKind Kind, std::string_view KeyText) const;
 
+  /// Batch dispatch: Out[i] = hash(Kind, Keys[i]), resolved through the
+  /// static-dispatch visitor so the per-kind dispatch happens once per
+  /// call instead of once per key. Kinds with a native batch kernel
+  /// (the synthetic families, STL/Murmur, FNV, Gperf) run it; the rest
+  /// loop over the single-key functor.
+  void hashBatch(HashKind Kind, const std::string_view *Keys, uint64_t *Out,
+                 size_t N) const;
+
   /// Calls \p Fn with the concrete functor for \p Kind; the benchmark
   /// loops instantiate per functor type so the hash call stays direct.
   template <typename Fn> decltype(auto) visit(HashKind Kind, Fn &&F) const {
@@ -103,8 +113,7 @@ public:
     case HashKind::Stl:
       return F(MurmurStlHash{});
     }
-    assert(false && "unreachable: all hash kinds handled");
-    return F(MurmurStlHash{});
+    unreachable("all hash kinds handled above");
   }
 
 private:

@@ -56,6 +56,41 @@ public:
     return Hash;
   }
 
+  /// Batch evaluation: Out[i] = (*this)(Keys[i]). Four keys run
+  /// interleaved per association table so the dependent table lookups of
+  /// different keys overlap.
+  void hashBatch(const std::string_view *Keys, uint64_t *Out,
+                 size_t N) const {
+    const TableData &T = *Tables;
+    size_t I = 0;
+    for (; I + 4 <= N; I += 4) {
+      const std::string_view K0 = Keys[I + 0];
+      const std::string_view K1 = Keys[I + 1];
+      const std::string_view K2 = Keys[I + 2];
+      const std::string_view K3 = Keys[I + 3];
+      uint64_t H0 = K0.size(), H1 = K1.size(), H2 = K2.size(),
+               H3 = K3.size();
+      for (size_t P = 0; P != T.Positions.size(); ++P) {
+        const uint32_t Pos = T.Positions[P];
+        const std::array<uint32_t, 256> &Asso = T.Asso[P];
+        if (Pos < K0.size())
+          H0 += Asso[static_cast<uint8_t>(K0[Pos])];
+        if (Pos < K1.size())
+          H1 += Asso[static_cast<uint8_t>(K1[Pos])];
+        if (Pos < K2.size())
+          H2 += Asso[static_cast<uint8_t>(K2[Pos])];
+        if (Pos < K3.size())
+          H3 += Asso[static_cast<uint8_t>(K3[Pos])];
+      }
+      Out[I + 0] = H0;
+      Out[I + 1] = H1;
+      Out[I + 2] = H2;
+      Out[I + 3] = H3;
+    }
+    for (; I != N; ++I)
+      Out[I] = (*this)(Keys[I]);
+  }
+
   /// Key positions the hash inspects, ascending.
   const std::vector<uint32_t> &positions() const {
     return Tables->Positions;

@@ -17,3 +17,40 @@ uint64_t sepe::fnv1aHashBytes(const void *Ptr, size_t Len, uint64_t Seed) {
   }
   return Hash;
 }
+
+void sepe::fnv1aHashBatch(const std::string_view *Keys, uint64_t *Out,
+                          size_t N, uint64_t Seed) {
+  size_t I = 0;
+  for (; I + 4 <= N; I += 4) {
+    const std::string_view K0 = Keys[I + 0];
+    const std::string_view K1 = Keys[I + 1];
+    const std::string_view K2 = Keys[I + 2];
+    const std::string_view K3 = Keys[I + 3];
+    const size_t Len = K0.size();
+    if (K1.size() != Len || K2.size() != Len || K3.size() != Len) {
+      // Mixed lengths in this group: the interleaved loop would need
+      // per-byte bounds checks, which costs more than it overlaps.
+      for (size_t J = 0; J != 4; ++J)
+        Out[I + J] =
+            fnv1aHashBytes(Keys[I + J].data(), Keys[I + J].size(), Seed);
+      continue;
+    }
+    const auto *B0 = reinterpret_cast<const unsigned char *>(K0.data());
+    const auto *B1 = reinterpret_cast<const unsigned char *>(K1.data());
+    const auto *B2 = reinterpret_cast<const unsigned char *>(K2.data());
+    const auto *B3 = reinterpret_cast<const unsigned char *>(K3.data());
+    uint64_t H0 = Seed, H1 = Seed, H2 = Seed, H3 = Seed;
+    for (size_t J = 0; J != Len; ++J) {
+      H0 = (H0 ^ B0[J]) * FnvPrime64;
+      H1 = (H1 ^ B1[J]) * FnvPrime64;
+      H2 = (H2 ^ B2[J]) * FnvPrime64;
+      H3 = (H3 ^ B3[J]) * FnvPrime64;
+    }
+    Out[I + 0] = H0;
+    Out[I + 1] = H1;
+    Out[I + 2] = H2;
+    Out[I + 3] = H3;
+  }
+  for (; I != N; ++I)
+    Out[I] = fnv1aHashBytes(Keys[I].data(), Keys[I].size(), Seed);
+}

@@ -22,6 +22,7 @@
 
 namespace sepe {
 
+
 /// 64-bit FNV prime.
 constexpr uint64_t FnvPrime64 = 1099511628211ULL;
 
@@ -32,11 +33,23 @@ constexpr uint64_t FnvOffsetBasis64 = 14695981039346656037ULL;
 /// FnvOffsetBasis64 for the canonical hash).
 uint64_t fnv1aHashBytes(const void *Ptr, size_t Len, uint64_t Seed);
 
+/// Batch FNV-1a: Out[i] = fnv1aHashBytes(Keys[i], ..., Seed). FNV is a
+/// strict byte-serial xor-multiply chain, so groups of four equal-length
+/// keys are processed interleaved — four independent multiply chains in
+/// flight instead of one.
+void fnv1aHashBatch(const std::string_view *Keys, uint64_t *Out, size_t N,
+                    uint64_t Seed);
+
 /// The paper's FNV baseline as a container-ready functor.
 struct FnvHash {
   size_t operator()(std::string_view Key) const {
     return static_cast<size_t>(
         fnv1aHashBytes(Key.data(), Key.size(), FnvOffsetBasis64));
+  }
+
+  void hashBatch(const std::string_view *Keys, uint64_t *Out,
+                 size_t N) const {
+    fnv1aHashBatch(Keys, Out, N, FnvOffsetBasis64);
   }
 };
 

@@ -14,12 +14,14 @@ namespace {
 
 inline size_t shiftMix(size_t V) { return V ^ (V >> 47); }
 
+constexpr size_t MurmurMul =
+    (size_t{0xc6a4a793UL} << 32UL) + size_t{0x5bd1e995UL};
+
 } // namespace
 
 size_t sepe::murmurHashBytes(const void *Ptr, size_t Len, size_t Seed) {
   static_assert(sizeof(size_t) == 8, "this port targets 64-bit size_t");
-  constexpr size_t Mul =
-      (size_t{0xc6a4a793UL} << 32UL) + size_t{0x5bd1e995UL};
+  constexpr size_t Mul = MurmurMul;
   const char *Buf = static_cast<const char *>(Ptr);
 
   // Remove the bytes not divisible by the word size so the main loop
@@ -40,4 +42,51 @@ size_t sepe::murmurHashBytes(const void *Ptr, size_t Len, size_t Seed) {
   Hash = shiftMix(Hash) * Mul;
   Hash = shiftMix(Hash);
   return Hash;
+}
+
+void sepe::murmurHashBatch(const std::string_view *Keys, uint64_t *Out,
+                           size_t N, size_t Seed) {
+  constexpr size_t Mul = MurmurMul;
+  size_t I = 0;
+  for (; I + 4 <= N; I += 4) {
+    const std::string_view K0 = Keys[I + 0];
+    const std::string_view K1 = Keys[I + 1];
+    const std::string_view K2 = Keys[I + 2];
+    const std::string_view K3 = Keys[I + 3];
+    const size_t Len = K0.size();
+    if (K1.size() != Len || K2.size() != Len || K3.size() != Len) {
+      // Mixed lengths: the per-key loop already handles each tail; no
+      // interleaving is worth the bookkeeping here.
+      for (size_t J = 0; J != 4; ++J)
+        Out[I + J] =
+            murmurHashBytes(Keys[I + J].data(), Keys[I + J].size(), Seed);
+      continue;
+    }
+    const char *B0 = K0.data();
+    const char *B1 = K1.data();
+    const char *B2 = K2.data();
+    const char *B3 = K3.data();
+    const size_t LenAligned = Len & ~size_t{0x7};
+    size_t H0 = Seed ^ (Len * Mul);
+    size_t H1 = H0, H2 = H0, H3 = H0;
+    for (size_t P = 0; P != LenAligned; P += 8) {
+      H0 = (H0 ^ (shiftMix(loadU64Le(B0 + P) * Mul) * Mul)) * Mul;
+      H1 = (H1 ^ (shiftMix(loadU64Le(B1 + P) * Mul) * Mul)) * Mul;
+      H2 = (H2 ^ (shiftMix(loadU64Le(B2 + P) * Mul) * Mul)) * Mul;
+      H3 = (H3 ^ (shiftMix(loadU64Le(B3 + P) * Mul) * Mul)) * Mul;
+    }
+    if ((Len & 0x7) != 0) {
+      const size_t Tail = Len & 0x7;
+      H0 = (H0 ^ loadBytesLe(B0 + LenAligned, Tail)) * Mul;
+      H1 = (H1 ^ loadBytesLe(B1 + LenAligned, Tail)) * Mul;
+      H2 = (H2 ^ loadBytesLe(B2 + LenAligned, Tail)) * Mul;
+      H3 = (H3 ^ loadBytesLe(B3 + LenAligned, Tail)) * Mul;
+    }
+    Out[I + 0] = shiftMix(shiftMix(H0) * Mul);
+    Out[I + 1] = shiftMix(shiftMix(H1) * Mul);
+    Out[I + 2] = shiftMix(shiftMix(H2) * Mul);
+    Out[I + 3] = shiftMix(shiftMix(H3) * Mul);
+  }
+  for (; I != N; ++I)
+    Out[I] = murmurHashBytes(Keys[I].data(), Keys[I].size(), Seed);
 }

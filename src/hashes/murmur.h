@@ -28,11 +28,22 @@ constexpr size_t StlHashSeed = 0xc70f6907UL;
 /// Murmur-style hash of \p Len bytes at \p Ptr (Figure 1).
 size_t murmurHashBytes(const void *Ptr, size_t Len, size_t Seed);
 
+/// Batch Murmur: Out[i] = murmurHashBytes(Keys[i], ..., Seed). The
+/// word-serial multiply chain is latency-bound, so groups of four
+/// equal-length keys run interleaved (four independent chains).
+void murmurHashBatch(const std::string_view *Keys, uint64_t *Out, size_t N,
+                     size_t Seed);
+
 /// Drop-in functor equivalent to std::hash<std::string> on platforms
 /// using libstdc++; the paper's "STL" baseline.
 struct MurmurStlHash {
   size_t operator()(std::string_view Key) const {
     return murmurHashBytes(Key.data(), Key.size(), StlHashSeed);
+  }
+
+  void hashBatch(const std::string_view *Keys, uint64_t *Out,
+                 size_t N) const {
+    murmurHashBatch(Keys, Out, N, StlHashSeed);
   }
 };
 

@@ -1,0 +1,55 @@
+//===- support/batch.h - Many-keys-per-call hashing adapter -----*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Uniform batch entry point over every hasher in the project. Hashers
+/// that implement a native
+///
+///   void hashBatch(const std::string_view *Keys, uint64_t *Out,
+///                  size_t N) const
+///
+/// member (the synthesized executor's fused kernels, the interleaved
+/// FNV/Murmur/Gperf specializations) are dispatched to it directly;
+/// everything else gets the loop-over-single fallback, so callers can
+/// hash through one interface without caring which hashers have been
+/// specialized yet. The batch contract is always the same: Out[i] ==
+/// Hasher(Keys[i]) bit-for-bit, for every i < N.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_SUPPORT_BATCH_H
+#define SEPE_SUPPORT_BATCH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sepe {
+
+/// True for hashers carrying a native many-keys-per-call kernel.
+template <typename Hasher>
+concept HasNativeBatch = requires(const Hasher &H,
+                                  const std::string_view *Keys,
+                                  uint64_t *Out, size_t N) {
+  { H.hashBatch(Keys, Out, N) };
+};
+
+/// Hashes \p N keys in one call: Out[i] = H(Keys[i]). Uses the hasher's
+/// native batch kernel when it has one, a per-key loop otherwise.
+template <typename Hasher>
+inline void hashBatch(const Hasher &H, const std::string_view *Keys,
+                      uint64_t *Out, size_t N) {
+  if constexpr (HasNativeBatch<Hasher>) {
+    H.hashBatch(Keys, Out, N);
+  } else {
+    for (size_t I = 0; I != N; ++I)
+      Out[I] = static_cast<uint64_t>(H(Keys[I]));
+  }
+}
+
+} // namespace sepe
+
+#endif // SEPE_SUPPORT_BATCH_H

@@ -1,0 +1,38 @@
+//===- support/unreachable.h - Unreachable-path annotation ------*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// sepe::unreachable marks control paths that are impossible by
+/// construction (exhaustive switches over enums, validated invariants).
+/// Builds with assertions abort loudly with the message; NDEBUG builds
+/// tell the optimizer the path is dead instead of silently falling
+/// through to a wrong-but-plausible default such as hashing with the
+/// wrong function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_SUPPORT_UNREACHABLE_H
+#define SEPE_SUPPORT_UNREACHABLE_H
+
+#ifndef NDEBUG
+#include <cstdio>
+#include <cstdlib>
+#endif
+
+namespace sepe {
+
+[[noreturn]] inline void unreachable(const char *Msg) {
+#ifndef NDEBUG
+  std::fprintf(stderr, "unreachable executed: %s\n", Msg);
+  std::abort();
+#else
+  __builtin_unreachable();
+#endif
+}
+
+} // namespace sepe
+
+#endif // SEPE_SUPPORT_UNREACHABLE_H

@@ -175,4 +175,60 @@ TEST(FlatIndexMapTest, EraseBackwardShiftKeepsClusterReachable) {
   }
 }
 
+TEST(FlatIndexMapTest, PreHashedEntryPointsMatchPlain) {
+  // The *Hashed entry points take the bijection image directly; with
+  // Image == hasher()(Key) they must agree with the string overloads.
+  const SynthesizedHash Hash = bijectiveHash(R"([0-9]{6}xy)");
+  FlatIndexMap<int> Map(Hash);
+  Expected<FormatSpec> Spec = parseRegex(R"([0-9]{6}xy)");
+  ASSERT_TRUE(Spec);
+  KeyGenerator Gen(*Spec, KeyDistribution::Uniform, 808);
+  const std::vector<std::string> Keys = Gen.distinct(200);
+  for (size_t I = 0; I != Keys.size(); ++I) {
+    const uint64_t Image = Map.hasher()(Keys[I]);
+    EXPECT_TRUE(Map.insertHashed(Image, static_cast<int>(I)));
+    EXPECT_FALSE(Map.insertHashed(Image, -1)) << "duplicate image";
+  }
+  for (size_t I = 0; I != Keys.size(); ++I) {
+    const uint64_t Image = Map.hasher()(Keys[I]);
+    ASSERT_NE(Map.find(Keys[I]), nullptr);
+    EXPECT_EQ(*Map.find(Keys[I]), static_cast<int>(I))
+        << "string lookup sees pre-hashed insert";
+    ASSERT_NE(Map.findHashed(Image), nullptr);
+    EXPECT_EQ(Map.findHashed(Image), Map.find(Keys[I]));
+    EXPECT_TRUE(Map.containsHashed(Image));
+  }
+  for (size_t I = 0; I < Keys.size(); I += 2)
+    EXPECT_TRUE(Map.eraseHashed(Map.hasher()(Keys[I])));
+  for (size_t I = 0; I != Keys.size(); ++I)
+    EXPECT_EQ(Map.contains(Keys[I]), I % 2 == 1);
+}
+
+TEST(FlatIndexMapTest, InsertBatchHashesThroughBatchKernel) {
+  const SynthesizedHash Hash = bijectiveHash(R"([0-9]{6}xy)");
+  FlatIndexMap<int> Batched(Hash);
+  FlatIndexMap<int> Plain(Hash);
+  Expected<FormatSpec> Spec = parseRegex(R"([0-9]{6}xy)");
+  ASSERT_TRUE(Spec);
+  KeyGenerator Gen(*Spec, KeyDistribution::Uniform, 909);
+  // 517 keys: spans two 256-key batch blocks plus a remainder.
+  const std::vector<std::string> Keys = Gen.distinct(517);
+  const std::vector<std::string_view> Views(Keys.begin(), Keys.end());
+  std::vector<int> Values;
+  for (size_t I = 0; I != Keys.size(); ++I) {
+    Values.push_back(static_cast<int>(I));
+    Plain.insert(Keys[I], static_cast<int>(I));
+  }
+  EXPECT_EQ(Batched.insertBatch(Views.data(), Values.data(), Views.size()),
+            Views.size());
+  EXPECT_EQ(Batched.size(), Plain.size());
+  for (size_t I = 0; I != Keys.size(); ++I) {
+    ASSERT_NE(Batched.find(Keys[I]), nullptr) << I;
+    EXPECT_EQ(*Batched.find(Keys[I]), static_cast<int>(I));
+  }
+  // Re-inserting the same block inserts nothing.
+  EXPECT_EQ(Batched.insertBatch(Views.data(), Values.data(), Views.size()),
+            0u);
+}
+
 } // namespace

@@ -13,7 +13,9 @@
 
 #include <functional>
 #include <random>
+#include <string_view>
 #include <unordered_set>
+#include <vector>
 
 using namespace sepe;
 
@@ -164,6 +166,35 @@ TEST(BaselineAvalancheTest, SingleBitFlipsChangeManyBits) {
   EXPECT_GT(AvgFlips(CityHash{}), 24.0);
   EXPECT_GT(AvgFlips(LowLevelHashFn{}), 24.0);
   EXPECT_GT(AvgFlips(FnvHash{}), 20.0);
+}
+
+TEST(BaselineBatchTest, InterleavedKernelsHandleMixedLengths) {
+  // The FNV and Murmur batch kernels interleave groups of four
+  // equal-length keys and must fall back per key when a group mixes
+  // lengths; sweep a key set laid out to hit both paths, plus every
+  // remainder size.
+  std::vector<std::string> Text;
+  for (int I = 0; I != 23; ++I)
+    Text.push_back(std::string(static_cast<size_t>(I % 2 == 0 ? 12 : 5 + I),
+                               static_cast<char>('a' + I)));
+  // A run of equal lengths so the interleaved path actually executes.
+  for (int I = 0; I != 8; ++I)
+    Text.push_back("equal-len-" + std::to_string(I));
+  std::vector<std::string_view> Views(Text.begin(), Text.end());
+  for (size_t N = 0; N <= Views.size(); ++N) {
+    std::vector<uint64_t> Out(N + 1, 0x5a5a5a5a5a5a5a5aULL);
+    fnv1aHashBatch(Views.data(), Out.data(), N, FnvOffsetBasis64);
+    for (size_t I = 0; I != N; ++I)
+      ASSERT_EQ(Out[I], FnvHash{}(Views[I])) << "FNV N=" << N << " i=" << I;
+    EXPECT_EQ(Out[N], 0x5a5a5a5a5a5a5a5aULL) << "FNV wrote past N=" << N;
+
+    murmurHashBatch(Views.data(), Out.data(), N, StlHashSeed);
+    for (size_t I = 0; I != N; ++I)
+      ASSERT_EQ(Out[I], MurmurStlHash{}(Views[I]))
+          << "Murmur N=" << N << " i=" << I;
+    EXPECT_EQ(Out[N], 0x5a5a5a5a5a5a5a5aULL)
+        << "Murmur wrote past N=" << N;
+  }
 }
 
 } // namespace

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 using namespace sepe;
 
@@ -97,6 +98,33 @@ TEST(LowMixTableTest, FindAfterRehashWithDiscard) {
   for (int I = 0; I != 500; ++I)
     EXPECT_TRUE(Table.contains(std::to_string(I * 65536 + 7)));
   EXPECT_FALSE(Table.contains("12345"));
+}
+
+TEST(LowMixTableTest, PreHashedEntryPointsMatchPlain) {
+  // insertHashed/containsHashed/eraseHashed with H == Hasher(K) must be
+  // indistinguishable from the hashing overloads — including across the
+  // growth rehashes, which re-derive buckets from the stored keys.
+  const MurmurStlHash Hash;
+  LowMixTable<std::string, MurmurStlHash> Plain{Hash, 8, 4};
+  LowMixTable<std::string, MurmurStlHash> Pre{Hash, 8, 4};
+  std::vector<std::string> Keys;
+  for (int I = 0; I != 300; ++I)
+    Keys.push_back("key-" + std::to_string(I));
+  for (const std::string &K : Keys) {
+    EXPECT_EQ(Pre.insertHashed(K, Hash(K)), Plain.insert(K));
+    EXPECT_FALSE(Pre.insertHashed(K, Hash(K))) << "duplicate " << K;
+  }
+  EXPECT_EQ(Pre.size(), Plain.size());
+  EXPECT_EQ(Pre.bucketCollisions(), Plain.bucketCollisions());
+  for (const std::string &K : Keys) {
+    EXPECT_TRUE(Pre.containsHashed(K, Hash(K)));
+    EXPECT_TRUE(Pre.contains(K)) << "plain lookup sees pre-hashed insert";
+  }
+  EXPECT_FALSE(Pre.containsHashed("absent", Hash(std::string("absent"))));
+  for (size_t I = 0; I < Keys.size(); I += 2)
+    EXPECT_TRUE(Pre.eraseHashed(Keys[I], Hash(Keys[I])));
+  for (size_t I = 0; I != Keys.size(); ++I)
+    EXPECT_EQ(Pre.contains(Keys[I]), I % 2 == 1);
 }
 
 } // namespace
