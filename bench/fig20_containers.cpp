@@ -14,10 +14,43 @@
 
 #include "bench_common.h"
 
+#include "container/flat_index_map.h"
+
+#include <chrono>
 #include <map>
 
 using namespace sepe;
 using namespace sepe::bench;
+
+namespace {
+
+/// Replays the schedule against a FlatIndexMap (the specialized-storage
+/// extension: keyless, SwissTable group probing); comparable to the
+/// U-Map B-Time since the ops match one for one.
+double flatIndexBTime(const Workload &Work, const SynthesizedHash &Pext) {
+  FlatIndexMap<uint64_t> Map(Pext);
+  uint64_t Sink = 0;
+  const auto Start = std::chrono::steady_clock::now();
+  for (const auto &[Op, Index] : Work.Schedule) {
+    const std::string &Key = Work.Keys[Index];
+    switch (Op) {
+    case Workload::Op::Insert:
+      Map.insert(Key, 1);
+      break;
+    case Workload::Op::Search:
+      Sink += Map.contains(Key) ? 1 : 0;
+      break;
+    case Workload::Op::Erase:
+      Map.erase(Key);
+      break;
+    }
+  }
+  const auto End = std::chrono::steady_clock::now();
+  asm volatile("" : : "r"(Sink) : "memory");
+  return std::chrono::duration<double, std::milli>(End - Start).count();
+}
+
+} // namespace
 
 int main(int Argc, char **Argv) {
   const BenchOptions Options = parseBenchOptions(Argc, Argv);
@@ -28,6 +61,7 @@ int main(int Argc, char **Argv) {
   std::map<ContainerKind, MetricSamples> PerContainer;
   std::map<ContainerKind, std::map<HashKind, std::vector<double>>>
       PerContainerHash;
+  std::vector<double> FlatBTime, UMapPextBTime;
 
   const std::vector<ExperimentConfig> Grid =
       standardGrid(Options.Affectations, Options.Spreads);
@@ -48,6 +82,16 @@ int main(int Argc, char **Argv) {
           PerContainer[Config.Container].BTime.push_back(Result.BTimeMs);
           PerContainerHash[Config.Container][Kind].push_back(
               Result.BTimeMs);
+          // Fifth "container": the specialized FlatIndexMap, where the
+          // bijective Pext image replaces the key outright. Paired with
+          // the U-Map/Pext samples so the ratio isolates the storage.
+          if (Kind == HashKind::Pext &&
+              Config.Container == ContainerKind::Map &&
+              Set.synthesized(HashFamily::Pext).plan().Bijective) {
+            UMapPextBTime.push_back(Result.BTimeMs);
+            FlatBTime.push_back(
+                flatIndexBTime(Work, Set.synthesized(HashFamily::Pext)));
+          }
         }
       }
     }
@@ -70,6 +114,16 @@ int main(int Argc, char **Argv) {
     Table.addRow(std::move(Row));
   }
   std::printf("%s\n", Table.str().c_str());
+
+  if (!FlatBTime.empty()) {
+    const double Flat = geometricMean(FlatBTime);
+    const double UMap = geometricMean(UMapPextBTime);
+    std::printf("FlatIndexMap (SwissTable group probe, keyless) vs U-Map "
+                "with the same Pext hash, bijective formats only:\n"
+                "  U-Map B-Time %.3f ms  ->  FlatIndexMap %.3f ms  "
+                "(%.2fx)\n\n",
+                UMap, Flat, Flat > 0 ? UMap / Flat : 0.0);
+  }
 
   std::printf("Shape check (paper Figure 20): Multi variants slower than "
               "Map/Set; the relative ordering of hash functions is the "

@@ -29,6 +29,7 @@
 #include <cstdio>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 using namespace sepe;
@@ -134,6 +135,12 @@ struct JsonRow {
   HashKind Kind;
   double SingleNs = 0;
   double BatchNs = 0;
+  /// The kernel family the default (Auto) batch dispatch ran — what
+  /// actually executed on this host, not the compiled-in ceiling.
+  std::string BatchPath = "scalar";
+  /// For synthetic kinds: ns/key per forced dispatch rung this host can
+  /// resolve, deduplicated by resolved name.
+  std::vector<std::pair<std::string, double>> PathNs;
 };
 
 std::vector<JsonRow> measureAll() {
@@ -158,7 +165,29 @@ std::vector<JsonRow> measureAll() {
           benchmark::DoNotOptimize(Out.data());
           benchmark::ClobberMemory();
         });
+        Row.BatchPath = batchPathOf(Hasher);
       });
+      if (isSynthetic(Kind)) {
+        const SynthesizedHash &Attached =
+            Set.synthesized(syntheticFamily(Kind));
+        for (BatchPath Preferred :
+             {BatchPath::Scalar, BatchPath::Interleaved, BatchPath::Avx2}) {
+          const SynthesizedHash Forced(Attached.plan(), IsaLevel::Native,
+                                       Preferred);
+          const std::string Path = Forced.batchPathName();
+          bool Seen = false;
+          for (const auto &[Name, Ns] : Row.PathNs)
+            Seen = Seen || Name == Path;
+          if (Seen)
+            continue;
+          const double Ns = nsPerKey(Views.size(), [&] {
+            Forced.hashBatch(Views.data(), Out.data(), Views.size());
+            benchmark::DoNotOptimize(Out.data());
+            benchmark::ClobberMemory();
+          });
+          Row.PathNs.emplace_back(Path, Ns);
+        }
+      }
       Rows.push_back(Row);
     }
   }
@@ -179,10 +208,18 @@ bool writeJson(const std::vector<JsonRow> &Rows, const std::string &Path) {
     std::fprintf(F,
                  "    {\"format\": \"%s\", \"hash\": \"%s\", "
                  "\"single_ns_per_key\": %.4f, \"batch_ns_per_key\": %.4f, "
-                 "\"batch_speedup\": %.4f}%s\n",
+                 "\"batch_speedup\": %.4f, \"batch_path\": \"%s\"",
                  paperKeyName(R.Key), hashKindName(R.Kind), R.SingleNs,
                  R.BatchNs, R.BatchNs > 0 ? R.SingleNs / R.BatchNs : 0.0,
-                 I + 1 == Rows.size() ? "" : ",");
+                 R.BatchPath.c_str());
+    if (!R.PathNs.empty()) {
+      std::fprintf(F, ", \"paths_ns_per_key\": {");
+      for (size_t P = 0; P != R.PathNs.size(); ++P)
+        std::fprintf(F, "%s\"%s\": %.4f", P == 0 ? "" : ", ",
+                     R.PathNs[P].first.c_str(), R.PathNs[P].second);
+      std::fprintf(F, "}");
+    }
+    std::fprintf(F, "}%s\n", I + 1 == Rows.size() ? "" : ",");
   }
   std::fprintf(F, "  ]\n}\n");
   std::fclose(F);
@@ -200,9 +237,14 @@ void printJsonSummary(const std::vector<JsonRow> &Rows,
     if (R.Key != PaperKey::SSN && R.Key != PaperKey::MAC &&
         R.Key != PaperKey::IPv4)
       continue;
-    std::printf("  %-4s %-6s %7.2f -> %6.2f  (%.2fx)\n",
+    std::printf("  %-4s %-6s %7.2f -> %6.2f  (%.2fx, %s)\n",
                 paperKeyName(R.Key), hashKindName(R.Kind), R.SingleNs,
-                R.BatchNs, R.BatchNs > 0 ? R.SingleNs / R.BatchNs : 0.0);
+                R.BatchNs, R.BatchNs > 0 ? R.SingleNs / R.BatchNs : 0.0,
+                R.BatchPath.c_str());
+    for (const auto &[Name, Ns] : R.PathNs)
+      if (Name != R.BatchPath)
+        std::printf("  %-4s %-6s   %11s path: %6.2f\n", "", "",
+                    Name.c_str(), Ns);
   }
 }
 

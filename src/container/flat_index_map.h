@@ -14,11 +14,23 @@
 ///
 ///   - store only the 64-bit image, never the key string (no string
 ///     compares, no per-node allocation);
-///   - probe by a Fibonacci-scrambled slot of the image (open
-///     addressing with linear probing over a power-of-two table; the
-///     multiply spreads images whose entropy sits in arbitrary bit
-///     ranges, since the pext packing is not monotone in the key);
+///   - probe SwissTable-style: a separate one-byte control array holds
+///     a 7-bit tag per slot, and a probe inspects sixteen slots at a
+///     time with one SSE2 compare + movemask (a portable bit-twiddling
+///     fallback covers non-SSE2 builds), so a lookup usually touches
+///     one 16-byte control group and at most one slot;
+///   - derive both the group index and the tag from one
+///     Fibonacci-scrambled multiply of the image (the multiply spreads
+///     images whose entropy sits in arbitrary bit ranges, since the
+///     pext packing is not monotone in the key);
 ///   - rely on the bijection for exactness: equal image <=> equal key.
+///
+/// Deletion marks slots with a tombstone tag unless the group still has
+/// an empty slot (then the slot reverts straight to empty — probes for
+/// other keys never continued past a group containing an empty, so
+/// nothing can be orphaned). Tombstones count toward the 7/8 load bound
+/// and are dropped by the next rehash, which reuses the current
+/// capacity when the live elements still fit.
 ///
 /// The container refuses construction from a non-bijective plan, since
 /// dropping the key string would otherwise be unsound.
@@ -36,7 +48,77 @@
 #include <string_view>
 #include <vector>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 namespace sepe {
+
+/// SwissTable-style control-group primitives. A group is sixteen
+/// consecutive control bytes, one per slot: a full slot stores the
+/// key's 7-bit tag (values 0..127), an empty or deleted slot one of the
+/// negative sentinels. Each matcher returns a 16-bit mask with bit I
+/// set when slot I of the group matches. The *Scalar variants are the
+/// always-compiled portable reference; the unsuffixed entry points pick
+/// SSE2 when the build has it. Both are exposed so tests can pin the
+/// vector path against the scalar one on hosts that have both.
+namespace swiss {
+
+inline constexpr size_t GroupSize = 16;
+inline constexpr int8_t CtrlEmpty = -128;  // 0b10000000
+inline constexpr int8_t CtrlDeleted = -2;  // 0b11111110
+
+inline uint32_t matchTagScalar(const int8_t *Ctrl, int8_t Tag) {
+  uint32_t Mask = 0;
+  for (size_t I = 0; I != GroupSize; ++I)
+    Mask |= static_cast<uint32_t>(Ctrl[I] == Tag) << I;
+  return Mask;
+}
+
+inline uint32_t matchEmptyScalar(const int8_t *Ctrl) {
+  return matchTagScalar(Ctrl, CtrlEmpty);
+}
+
+/// Only the sentinels have the sign bit set, so "empty or deleted" is
+/// exactly "negative".
+inline uint32_t matchEmptyOrDeletedScalar(const int8_t *Ctrl) {
+  uint32_t Mask = 0;
+  for (size_t I = 0; I != GroupSize; ++I)
+    Mask |= static_cast<uint32_t>(Ctrl[I] < 0) << I;
+  return Mask;
+}
+
+#if defined(__SSE2__)
+inline uint32_t matchTag(const int8_t *Ctrl, int8_t Tag) {
+  const __m128i Group =
+      _mm_loadu_si128(reinterpret_cast<const __m128i *>(Ctrl));
+  return static_cast<uint32_t>(
+      _mm_movemask_epi8(_mm_cmpeq_epi8(Group, _mm_set1_epi8(Tag))));
+}
+
+inline uint32_t matchEmpty(const int8_t *Ctrl) {
+  return matchTag(Ctrl, CtrlEmpty);
+}
+
+inline uint32_t matchEmptyOrDeleted(const int8_t *Ctrl) {
+  // movemask collects the sign bits, which is the sentinel test.
+  const __m128i Group =
+      _mm_loadu_si128(reinterpret_cast<const __m128i *>(Ctrl));
+  return static_cast<uint32_t>(_mm_movemask_epi8(Group));
+}
+#else
+inline uint32_t matchTag(const int8_t *Ctrl, int8_t Tag) {
+  return matchTagScalar(Ctrl, Tag);
+}
+inline uint32_t matchEmpty(const int8_t *Ctrl) {
+  return matchEmptyScalar(Ctrl);
+}
+inline uint32_t matchEmptyOrDeleted(const int8_t *Ctrl) {
+  return matchEmptyOrDeletedScalar(Ctrl);
+}
+#endif
+
+} // namespace swiss
 
 /// Open-addressed map from format keys to \p Value, keyed by the image
 /// of a bijective synthesized hash.
@@ -51,7 +133,7 @@ public:
     size_t Capacity = 16;
     while (Capacity < InitialCapacity * 2)
       Capacity *= 2;
-    States.assign(Capacity, Empty);
+    Ctrl.assign(Capacity, swiss::CtrlEmpty);
     Slots.resize(Capacity);
   }
 
@@ -109,59 +191,74 @@ public:
     return findHashed(Image) != nullptr;
   }
 
-  /// Removes \p Key; returns false when absent. Uses backward-shift
-  /// deletion, so no tombstones accumulate.
+  /// Removes \p Key; returns false when absent.
   bool erase(std::string_view Key) { return eraseHashed(Hash(Key)); }
 
-  /// Removal by precomputed image (== hasher()(Key)).
+  /// Removal by precomputed image (== hasher()(Key)). The slot reverts
+  /// to empty when its group still has another empty slot (no probe for
+  /// a different key ever continued past such a group, so none can be
+  /// orphaned); otherwise it becomes a tombstone that the next rehash
+  /// sweeps out.
   bool eraseHashed(uint64_t Image) {
-    const size_t Mask = Slots.size() - 1;
-    size_t I = homeSlot(Image);
+    const uint64_t Scrambled = scramble(Image);
+    const int8_t Tag = tagOf(Scrambled);
+    const size_t GroupMask = groupCount() - 1;
+    size_t G = homeGroup(Scrambled);
     while (true) {
-      if (States[I] == Empty)
-        return false;
-      if (Slots[I].Image == Image)
-        break;
-      I = (I + 1) & Mask;
-    }
-    // Backward-shift: pull subsequent displaced entries into the hole.
-    size_t Hole = I;
-    size_t Next = (Hole + 1) & Mask;
-    while (States[Next] == Full) {
-      const size_t Home = homeSlot(Slots[Next].Image);
-      // The entry can move into the hole only if the hole does not lie
-      // before its home bucket in probe order.
-      if (!between(Home, Hole, Next)) {
-        Next = (Next + 1) & Mask;
-        continue;
+      const int8_t *GroupCtrl = Ctrl.data() + G * swiss::GroupSize;
+      uint32_t Match = swiss::matchTag(GroupCtrl, Tag);
+      while (Match != 0) {
+        const size_t S =
+            G * swiss::GroupSize + static_cast<size_t>(std::countr_zero(Match));
+        if (Slots[S].Image == Image) {
+          if (swiss::matchEmpty(GroupCtrl) != 0) {
+            Ctrl[S] = swiss::CtrlEmpty;
+          } else {
+            Ctrl[S] = swiss::CtrlDeleted;
+            ++Tombstones;
+          }
+          --Elements;
+          return true;
+        }
+        Match &= Match - 1;
       }
-      Slots[Hole] = std::move(Slots[Next]);
-      Hole = Next;
-      Next = (Hole + 1) & Mask;
+      if (swiss::matchEmpty(GroupCtrl) != 0)
+        return false;
+      G = (G + 1) & GroupMask;
     }
-    States[Hole] = Empty;
-    --Elements;
-    return true;
   }
 
-  /// Longest probe sequence observed for the current contents; the
-  /// metric the specialized layout is supposed to keep small.
+  /// Rehashes now if inserting up to \p ExpectedElements total elements
+  /// would otherwise trigger a growth mid-stream; the bulk-load
+  /// companion to insertBatch.
+  void reserve(size_t ExpectedElements) {
+    if ((ExpectedElements + Tombstones) * 8 >= capacity() * 7)
+      rehash(ExpectedElements);
+  }
+
+  /// Longest probe sequence observed for the current contents, in
+  /// *groups* (a probe step inspects a whole 16-slot group); the metric
+  /// the specialized layout is supposed to keep small. 1 means every
+  /// key sits in its home group.
   size_t maxProbeLength() const {
-    const size_t Mask = Slots.size() - 1;
+    const size_t GroupMask = groupCount() - 1;
     size_t Max = 0;
-    for (size_t I = 0; I != Slots.size(); ++I) {
-      if (States[I] != Full)
+    for (size_t S = 0; S != Slots.size(); ++S) {
+      if (Ctrl[S] < 0)
         continue;
-      const size_t Home = homeSlot(Slots[I].Image);
-      const size_t Probe = (I + Slots.size() - Home) & Mask;
+      const size_t Home = homeGroup(scramble(Slots[S].Image));
+      const size_t G = S / swiss::GroupSize;
+      const size_t Probe = (G + groupCount() - Home) & GroupMask;
       Max = std::max(Max, Probe + 1);
     }
     return Max;
   }
 
-private:
-  enum SlotState : uint8_t { Empty = 0, Full = 1 };
+  /// Tombstones currently pending a rehash sweep; exposed for the churn
+  /// tests and the ablation benchmark.
+  size_t tombstones() const { return Tombstones; }
 
+private:
   /// Keys per hashBatch call in insertBatch: big enough to amortize the
   /// dispatch, small enough to stay on the stack and in L1.
   static constexpr size_t BatchBlock = 256;
@@ -171,69 +268,118 @@ private:
     Value V{};
   };
 
-  /// Fibonacci slot mapping: one multiply spreads the image's entropy
-  /// into the top bits, which index the power-of-two table.
-  size_t homeSlot(uint64_t Image) const {
+  /// Fibonacci scramble: one multiply spreads the image's entropy
+  /// across the word. The group index reads the top bits, the 7-bit tag
+  /// the bottom bits, so the two stay independent.
+  static uint64_t scramble(uint64_t Image) {
+    return Image * 0x9E3779B97F4A7C15ULL;
+  }
+
+  static int8_t tagOf(uint64_t Scrambled) {
+    return static_cast<int8_t>(Scrambled & 0x7F);
+  }
+
+  size_t groupCount() const { return Slots.size() / swiss::GroupSize; }
+
+  size_t homeGroup(uint64_t Scrambled) const {
     const unsigned Log2 =
-        static_cast<unsigned>(std::countr_zero(Slots.size()));
-    return static_cast<size_t>((Image * 0x9E3779B97F4A7C15ULL) >>
-                               (64 - Log2));
+        static_cast<unsigned>(std::countr_zero(groupCount()));
+    // A one-group table would need a shift by 64 (UB); its answer is 0.
+    return Log2 == 0 ? 0 : static_cast<size_t>(Scrambled >> (64 - Log2));
   }
 
-  /// True when \p X lies in the half-open circular range (From, To].
-  static bool between(size_t Home, size_t Hole, size_t Current) {
-    // The displaced entry at Current may fill Hole iff its Home bucket
-    // is circularly "at or before" the hole, i.e. the hole lies within
-    // [Home, Current].
-    if (Home <= Current)
-      return Home <= Hole && Hole <= Current;
-    return Hole >= Home || Hole <= Current;
-  }
-
+  /// Grows (or sweeps tombstones at the same capacity) when the next
+  /// insert would push full + deleted slots past 7/8 of capacity —
+  /// the bound that guarantees every probe chain reaches an empty slot.
   void maybeGrow() {
-    if ((Elements + 1) * 10 < Slots.size() * 9)
+    if ((Elements + Tombstones + 1) * 8 < capacity() * 7)
       return;
-    std::vector<SlotState> OldStates = std::move(States);
+    rehash(Elements + 1);
+  }
+
+  void rehash(size_t MinElements) {
+    size_t NewCapacity = 16;
+    while (MinElements * 8 >= NewCapacity * 7)
+      NewCapacity *= 2;
+    // Never shrink; when the live elements still fit the current
+    // capacity this is the tombstone-dropping same-size rehash.
+    NewCapacity = std::max(NewCapacity, capacity());
+    std::vector<int8_t> OldCtrl = std::move(Ctrl);
     std::vector<Slot> OldSlots = std::move(Slots);
-    States.assign(OldSlots.size() * 2, Empty);
+    Ctrl.assign(NewCapacity, swiss::CtrlEmpty);
     Slots.clear();
-    Slots.resize(OldStates.size() * 2);
+    Slots.resize(NewCapacity);
     Elements = 0;
-    for (size_t I = 0; I != OldSlots.size(); ++I)
-      if (OldStates[I] == Full)
-        insertImage(OldSlots[I].Image, std::move(OldSlots[I].V));
+    Tombstones = 0;
+    for (size_t S = 0; S != OldSlots.size(); ++S)
+      if (OldCtrl[S] >= 0)
+        insertImage(OldSlots[S].Image, std::move(OldSlots[S].V));
   }
 
   bool insertImage(uint64_t Image, Value V) {
-    const size_t Mask = Slots.size() - 1;
-    size_t I = homeSlot(Image);
-    while (States[I] == Full) {
-      if (Slots[I].Image == Image)
-        return false;
-      I = (I + 1) & Mask;
+    const uint64_t Scrambled = scramble(Image);
+    const int8_t Tag = tagOf(Scrambled);
+    const size_t GroupMask = groupCount() - 1;
+    size_t G = homeGroup(Scrambled);
+    size_t Candidate = SIZE_MAX;
+    while (true) {
+      const int8_t *GroupCtrl = Ctrl.data() + G * swiss::GroupSize;
+      uint32_t Match = swiss::matchTag(GroupCtrl, Tag);
+      while (Match != 0) {
+        const size_t S =
+            G * swiss::GroupSize + static_cast<size_t>(std::countr_zero(Match));
+        if (Slots[S].Image == Image)
+          return false;
+        Match &= Match - 1;
+      }
+      // Remember the first reusable slot (tombstones included) but keep
+      // probing until a group with an empty slot proves the key absent.
+      if (Candidate == SIZE_MAX) {
+        const uint32_t Avail = swiss::matchEmptyOrDeleted(GroupCtrl);
+        if (Avail != 0)
+          Candidate = G * swiss::GroupSize +
+                      static_cast<size_t>(std::countr_zero(Avail));
+      }
+      if (swiss::matchEmpty(GroupCtrl) != 0)
+        break;
+      G = (G + 1) & GroupMask;
     }
-    States[I] = Full;
-    Slots[I].Image = Image;
-    Slots[I].V = std::move(V);
+    assert(Candidate != SIZE_MAX && "load bound guarantees a free slot");
+    if (Ctrl[Candidate] == swiss::CtrlDeleted)
+      --Tombstones;
+    Ctrl[Candidate] = Tag;
+    Slots[Candidate].Image = Image;
+    Slots[Candidate].V = std::move(V);
     ++Elements;
     return true;
   }
 
   Value *findImage(uint64_t Image) {
-    const size_t Mask = Slots.size() - 1;
-    size_t I = homeSlot(Image);
-    while (States[I] == Full) {
-      if (Slots[I].Image == Image)
-        return &Slots[I].V;
-      I = (I + 1) & Mask;
+    const uint64_t Scrambled = scramble(Image);
+    const int8_t Tag = tagOf(Scrambled);
+    const size_t GroupMask = groupCount() - 1;
+    size_t G = homeGroup(Scrambled);
+    while (true) {
+      const int8_t *GroupCtrl = Ctrl.data() + G * swiss::GroupSize;
+      uint32_t Match = swiss::matchTag(GroupCtrl, Tag);
+      while (Match != 0) {
+        const size_t S =
+            G * swiss::GroupSize + static_cast<size_t>(std::countr_zero(Match));
+        if (Slots[S].Image == Image)
+          return &Slots[S].V;
+        Match &= Match - 1;
+      }
+      if (swiss::matchEmpty(GroupCtrl) != 0)
+        return nullptr;
+      G = (G + 1) & GroupMask;
     }
-    return nullptr;
   }
 
   SynthesizedHash Hash;
-  std::vector<SlotState> States;
+  std::vector<int8_t> Ctrl;
   std::vector<Slot> Slots;
   size_t Elements = 0;
+  size_t Tombstones = 0;
 };
 
 } // namespace sepe

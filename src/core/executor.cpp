@@ -9,11 +9,17 @@
 #include "hashes/aes_round.h"
 #include "hashes/murmur.h"
 #include "support/bit_ops.h"
+#include "support/cpu_features.h"
 #include "support/unreachable.h"
 
+#include <algorithm>
 #include <bit>
 
-#if defined(SEPE_HAVE_AESNI)
+#if defined(__AVX2__) && !defined(SEPE_DISABLE_AVX2)
+#define SEPE_EXEC_AVX2 1
+#endif
+
+#if defined(SEPE_HAVE_AESNI) || defined(SEPE_EXEC_AVX2)
 #include <immintrin.h>
 #endif
 
@@ -380,6 +386,325 @@ void batchFixedAesNative(const HashPlan &Plan, const std::string_view *Keys,
 }
 #endif
 
+// --- Network-compacted software-pext batch --------------------------------
+//
+// At Portable/NoBitExtract the per-key pextSoft walks the mask bit by
+// bit — tolerable for one call, painful across a batch. A plan's masks
+// are fixed, so the batch entry compiles each step's PextNetwork
+// (support/bit_ops.h) once per call; every key then pays only the
+// network's few shift-mask rounds instead of the 64-iteration loop.
+// Bit-identical to pextSoft by the network's contract, pinned by the
+// batch property tests.
+
+/// Step cap for the kernels that precompute per-step state on the
+/// stack; plans beyond it (128-byte fixed keys) take the plain paths.
+constexpr size_t MaxPrecomputedSteps = 16;
+
+template <size_t NSteps = 0>
+void batchFixedPextNetwork(const HashPlan &Plan, const std::string_view *Keys,
+                           uint64_t *Out, size_t N) {
+  const PlanStep *Steps = Plan.Steps.data();
+  const size_t M = NSteps != 0 ? NSteps : Plan.Steps.size();
+  PextNetwork Nets[MaxPrecomputedSteps];
+  for (size_t S = 0; S != M; ++S)
+    Nets[S] = PextNetwork::compile(Steps[S].Mask);
+  size_t I = 0;
+  for (; I + 4 <= N; I += 4) {
+    const char *D0 = Keys[I + 0].data();
+    const char *D1 = Keys[I + 1].data();
+    const char *D2 = Keys[I + 2].data();
+    const char *D3 = Keys[I + 3].data();
+    uint64_t H0 = 0, H1 = 0, H2 = 0, H3 = 0;
+    for (size_t S = 0; S != M; ++S) {
+      const uint32_t Off = Steps[S].Offset;
+      const int Shift = Steps[S].Shift;
+      H0 ^= std::rotl(Nets[S].apply(loadU64Le(D0 + Off)), Shift);
+      H1 ^= std::rotl(Nets[S].apply(loadU64Le(D1 + Off)), Shift);
+      H2 ^= std::rotl(Nets[S].apply(loadU64Le(D2 + Off)), Shift);
+      H3 ^= std::rotl(Nets[S].apply(loadU64Le(D3 + Off)), Shift);
+    }
+    Out[I + 0] = H0;
+    Out[I + 1] = H1;
+    Out[I + 2] = H2;
+    Out[I + 3] = H3;
+  }
+  for (; I != N; ++I)
+    Out[I] =
+        evalFixedPext<pextSoft, NSteps>(Plan, Keys[I].data(), Keys[I].size());
+}
+
+#if defined(SEPE_EXEC_AVX2)
+// --- AVX2 wide batch kernels ----------------------------------------------
+//
+// The xor family is pure load-xor, so its wide kernel attacks the load
+// count rather than the combine: runs of stride-8 step offsets collapse
+// into one 32-byte (or 16-byte) load per key whose 64-bit lanes ARE the
+// run's step words, cutting a 13-load INTS key to four loads. Four keys'
+// accumulators then lane-reduce together through an unpack/permute
+// shuffle tree (xor commutes, so no full transpose is needed) and leave
+// in one vector store. Every fused load stays inside [data, data+len):
+// a 32-byte load at base B is only emitted when the plan has a step at
+// B+24, whose own 8-byte scalar load already reaches B+32.
+//
+// The pext kernel keeps the per-step vertical shape — gather one step's
+// word from four keys, run the same PextNetwork the scalar soft path
+// uses lifted onto 64-bit lanes (and/xor/or/shift rounds only, which is
+// what lets one mask recipe serve both widths bit-identically).
+
+/// The step's word from four keys, lane L holding key L's word.
+inline __m256i gatherStep4(const char *D0, const char *D1, const char *D2,
+                           const char *D3, uint32_t Off) {
+  return _mm256_set_epi64x(static_cast<long long>(loadU64Le(D3 + Off)),
+                           static_cast<long long>(loadU64Le(D2 + Off)),
+                           static_cast<long long>(loadU64Le(D1 + Off)),
+                           static_cast<long long>(loadU64Le(D0 + Off)));
+}
+
+/// Lane-wise rotl by a per-step (not per-lane) count; AVX2 has no
+/// 64-bit rotate, so shift-shift-or it. srl with count 64 yields 0 by
+/// the intrinsic's contract, making Shift == 0 fall out correctly.
+inline __m256i rotl4(__m256i V, int Shift) {
+  const __m128i L = _mm_cvtsi32_si128(Shift);
+  const __m128i R = _mm_cvtsi32_si128(64 - Shift);
+  return _mm256_or_si256(_mm256_sll_epi64(V, L), _mm256_srl_epi64(V, R));
+}
+
+/// Attach-once load schedule for the fused wide xor kernel: each quad
+/// is a 32-byte load covering four stride-8 step offsets; a triple is
+/// the same load placed one lane early (or late) with the dead lane
+/// masked off; each pair a 16-byte load covering two; leftovers stay
+/// 8-byte step loads.
+struct WideXorSchedule {
+  uint32_t QuadBase[MaxPrecomputedSteps];
+  uint32_t TriLoBase[MaxPrecomputedSteps]; // steps in lanes 1-3
+  uint32_t TriHiBase[MaxPrecomputedSteps]; // steps in lanes 0-2
+  uint32_t PairBase[MaxPrecomputedSteps];
+  uint32_t SingleOff[MaxPrecomputedSteps];
+  size_t NQuads = 0;
+  size_t NTriLo = 0;
+  size_t NTriHi = 0;
+  size_t NPairs = 0;
+  size_t NSingles = 0;
+
+  size_t loadsPerKey() const {
+    return NQuads + NTriLo + NTriHi + NPairs + NSingles;
+  }
+};
+
+WideXorSchedule compileWideXor(const HashPlan &Plan) {
+  uint32_t Off[MaxPrecomputedSteps];
+  const size_t M = Plan.Steps.size();
+  for (size_t I = 0; I != M; ++I)
+    Off[I] = Plan.Steps[I].Offset;
+  std::sort(Off, Off + M);
+
+  WideXorSchedule Sched;
+  bool Used[MaxPrecomputedSteps] = {};
+  const auto Find = [&](uint32_t Target) -> size_t {
+    for (size_t I = 0; I != M; ++I)
+      if (!Used[I] && Off[I] == Target)
+        return I;
+    return SIZE_MAX;
+  };
+  for (size_t I = 0; I != M; ++I) {
+    if (Used[I])
+      continue;
+    Used[I] = true;
+    const size_t A = Find(Off[I] + 8);
+    if (A == SIZE_MAX) {
+      Sched.SingleOff[Sched.NSingles++] = Off[I];
+      continue;
+    }
+    const size_t B = Find(Off[I] + 16);
+    const size_t C = B == SIZE_MAX ? SIZE_MAX : Find(Off[I] + 24);
+    if (C != SIZE_MAX) {
+      Used[A] = Used[B] = Used[C] = true;
+      Sched.QuadBase[Sched.NQuads++] = Off[I];
+      continue;
+    }
+    if (B != SIZE_MAX) {
+      // Three stride-8 steps: one 32-byte load with a masked lane.
+      // Base Off[I]-8 reads up to Off[I]+24, which the step at
+      // Off[I]+16 already reaches; base Off[I] reads up to Off[I]+32
+      // and needs the explicit length check.
+      if (Off[I] >= 8) {
+        Used[A] = Used[B] = true;
+        Sched.TriLoBase[Sched.NTriLo++] = Off[I] - 8;
+        continue;
+      }
+      if (Off[I] + 32 <= Plan.MaxKeyLen) {
+        Used[A] = Used[B] = true;
+        Sched.TriHiBase[Sched.NTriHi++] = Off[I];
+        continue;
+      }
+    }
+    Used[A] = true;
+    Sched.PairBase[Sched.NPairs++] = Off[I];
+  }
+  return Sched;
+}
+
+void batchWideXor(const HashPlan &Plan, const std::string_view *Keys,
+                  uint64_t *Out, size_t N) {
+  const WideXorSchedule Sched = compileWideXor(Plan);
+  size_t I = 0;
+  for (; I + 4 <= N; I += 4) {
+    const char *D0 = Keys[I + 0].data();
+    const char *D1 = Keys[I + 1].data();
+    const char *D2 = Keys[I + 2].data();
+    const char *D3 = Keys[I + 3].data();
+    __m256i Q0 = _mm256_setzero_si256();
+    __m256i Q1 = _mm256_setzero_si256();
+    __m256i Q2 = _mm256_setzero_si256();
+    __m256i Q3 = _mm256_setzero_si256();
+    for (size_t Q = 0; Q != Sched.NQuads; ++Q) {
+      const uint32_t B = Sched.QuadBase[Q];
+      Q0 = _mm256_xor_si256(
+          Q0, _mm256_loadu_si256(reinterpret_cast<const __m256i *>(D0 + B)));
+      Q1 = _mm256_xor_si256(
+          Q1, _mm256_loadu_si256(reinterpret_cast<const __m256i *>(D1 + B)));
+      Q2 = _mm256_xor_si256(
+          Q2, _mm256_loadu_si256(reinterpret_cast<const __m256i *>(D2 + B)));
+      Q3 = _mm256_xor_si256(
+          Q3, _mm256_loadu_si256(reinterpret_cast<const __m256i *>(D3 + B)));
+    }
+    for (size_t T = 0; T != Sched.NTriLo; ++T) {
+      const uint32_t B = Sched.TriLoBase[T];
+      const __m256i Keep = _mm256_set_epi64x(-1, -1, -1, 0);
+      Q0 = _mm256_xor_si256(
+          Q0, _mm256_and_si256(Keep, _mm256_loadu_si256(
+                                         reinterpret_cast<const __m256i *>(
+                                             D0 + B))));
+      Q1 = _mm256_xor_si256(
+          Q1, _mm256_and_si256(Keep, _mm256_loadu_si256(
+                                         reinterpret_cast<const __m256i *>(
+                                             D1 + B))));
+      Q2 = _mm256_xor_si256(
+          Q2, _mm256_and_si256(Keep, _mm256_loadu_si256(
+                                         reinterpret_cast<const __m256i *>(
+                                             D2 + B))));
+      Q3 = _mm256_xor_si256(
+          Q3, _mm256_and_si256(Keep, _mm256_loadu_si256(
+                                         reinterpret_cast<const __m256i *>(
+                                             D3 + B))));
+    }
+    for (size_t T = 0; T != Sched.NTriHi; ++T) {
+      const uint32_t B = Sched.TriHiBase[T];
+      const __m256i Keep = _mm256_set_epi64x(0, -1, -1, -1);
+      Q0 = _mm256_xor_si256(
+          Q0, _mm256_and_si256(Keep, _mm256_loadu_si256(
+                                         reinterpret_cast<const __m256i *>(
+                                             D0 + B))));
+      Q1 = _mm256_xor_si256(
+          Q1, _mm256_and_si256(Keep, _mm256_loadu_si256(
+                                         reinterpret_cast<const __m256i *>(
+                                             D1 + B))));
+      Q2 = _mm256_xor_si256(
+          Q2, _mm256_and_si256(Keep, _mm256_loadu_si256(
+                                         reinterpret_cast<const __m256i *>(
+                                             D2 + B))));
+      Q3 = _mm256_xor_si256(
+          Q3, _mm256_and_si256(Keep, _mm256_loadu_si256(
+                                         reinterpret_cast<const __m256i *>(
+                                             D3 + B))));
+    }
+    for (size_t P = 0; P != Sched.NPairs; ++P) {
+      const uint32_t B = Sched.PairBase[P];
+      Q0 = _mm256_xor_si256(
+          Q0, _mm256_zextsi128_si256(
+                  _mm_loadu_si128(reinterpret_cast<const __m128i *>(D0 + B))));
+      Q1 = _mm256_xor_si256(
+          Q1, _mm256_zextsi128_si256(
+                  _mm_loadu_si128(reinterpret_cast<const __m128i *>(D1 + B))));
+      Q2 = _mm256_xor_si256(
+          Q2, _mm256_zextsi128_si256(
+                  _mm_loadu_si128(reinterpret_cast<const __m128i *>(D2 + B))));
+      Q3 = _mm256_xor_si256(
+          Q3, _mm256_zextsi128_si256(
+                  _mm_loadu_si128(reinterpret_cast<const __m128i *>(D3 + B))));
+    }
+    // Reduce all four keys' lanes at once: unpack pairs the lanes of
+    // two keys so one xor folds halves, the cross-half permute folds
+    // the rest, and the result vector is already in key order.
+    const __m256i R = _mm256_xor_si256(_mm256_unpacklo_epi64(Q0, Q1),
+                                       _mm256_unpackhi_epi64(Q0, Q1));
+    const __m256i S = _mm256_xor_si256(_mm256_unpacklo_epi64(Q2, Q3),
+                                       _mm256_unpackhi_epi64(Q2, Q3));
+    __m256i H = _mm256_xor_si256(_mm256_permute2x128_si256(R, S, 0x20),
+                                 _mm256_permute2x128_si256(R, S, 0x31));
+    for (size_t S2 = 0; S2 != Sched.NSingles; ++S2)
+      H = _mm256_xor_si256(H, gatherStep4(D0, D1, D2, D3,
+                                          Sched.SingleOff[S2]));
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(Out + I), H);
+  }
+  for (; I != N; ++I)
+    Out[I] = evalFixedXor<>(Plan, Keys[I].data(), Keys[I].size());
+}
+
+/// Attach-once step state for the wide pext kernel: the compaction
+/// network's masks broadcast across lanes.
+struct WidePextStep {
+  uint32_t Off = 0;
+  int Shift = 0;
+  int Rounds = 0;
+  __m256i Mask{};
+  __m256i Move[6]{};
+};
+
+/// One step's network applied to four lanes at once.
+inline __m256i applyNetwork4(const WidePextStep &W, __m256i V) {
+  V = _mm256_and_si256(V, W.Mask);
+  for (int R = 0; R != W.Rounds; ++R) {
+    const __m128i Cnt = _mm_cvtsi32_si128(1 << R);
+    const __m256i T = _mm256_and_si256(V, W.Move[R]);
+    V = _mm256_or_si256(_mm256_xor_si256(V, T), _mm256_srl_epi64(T, Cnt));
+  }
+  return rotl4(V, W.Shift);
+}
+
+void batchWidePext(const HashPlan &Plan, const std::string_view *Keys,
+                   uint64_t *Out, size_t N) {
+  const PlanStep *Steps = Plan.Steps.data();
+  const size_t M = Plan.Steps.size();
+  WidePextStep W[MaxPrecomputedSteps];
+  for (size_t S = 0; S != M; ++S) {
+    const PextNetwork Net = PextNetwork::compile(Steps[S].Mask);
+    W[S].Off = Steps[S].Offset;
+    W[S].Shift = Steps[S].Shift;
+    W[S].Rounds = Net.Rounds;
+    W[S].Mask = _mm256_set1_epi64x(static_cast<long long>(Net.SourceMask));
+    for (int R = 0; R != 6; ++R)
+      W[S].Move[R] = _mm256_set1_epi64x(static_cast<long long>(Net.Move[R]));
+  }
+  size_t I = 0;
+  for (; I + 8 <= N; I += 8) {
+    const char *D0 = Keys[I + 0].data();
+    const char *D1 = Keys[I + 1].data();
+    const char *D2 = Keys[I + 2].data();
+    const char *D3 = Keys[I + 3].data();
+    const char *D4 = Keys[I + 4].data();
+    const char *D5 = Keys[I + 5].data();
+    const char *D6 = Keys[I + 6].data();
+    const char *D7 = Keys[I + 7].data();
+    __m256i AccLo = _mm256_setzero_si256();
+    __m256i AccHi = _mm256_setzero_si256();
+    for (size_t S = 0; S != M; ++S) {
+      const uint32_t Off = W[S].Off;
+      AccLo = _mm256_xor_si256(
+          AccLo, applyNetwork4(W[S], gatherStep4(D0, D1, D2, D3, Off)));
+      AccHi = _mm256_xor_si256(
+          AccHi, applyNetwork4(W[S], gatherStep4(D4, D5, D6, D7, Off)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(Out + I), AccLo);
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(Out + I + 4), AccHi);
+  }
+  // The wide kernels only run at Native, where the scalar reference is
+  // the hardware-pext evaluator; the network agrees with it bit for bit.
+  for (; I != N; ++I)
+    Out[I] = evalFixedPext<pextHw>(Plan, Keys[I].data(), Keys[I].size());
+}
+#endif // SEPE_EXEC_AVX2
+
 // --- Kernel selection helpers ---------------------------------------------
 //
 // The attach-time "compilation": pick the fused instantiation matching
@@ -448,7 +773,72 @@ BatchFnT selectFixedPextBatch(size_t M) {
   }
 }
 
+BatchFnT selectFixedPextNetworkBatch(size_t M) {
+  switch (M) {
+  case 1:
+    return batchFixedPextNetwork<1>;
+  case 2:
+    return batchFixedPextNetwork<2>;
+  case 3:
+    return batchFixedPextNetwork<3>;
+  case 4:
+    return batchFixedPextNetwork<4>;
+  default:
+    return batchFixedPextNetwork<>;
+  }
+}
+
+// Forced-Scalar batches over fixed-length plans loop the same
+// step-specialized single-key kernel the per-key operator uses, so the
+// driver's scalar-vs-interleaved-vs-avx2 comparison isolates kernel
+// width rather than step-loop overhead.
+
+BatchFnT scalarFixedXorBatch(size_t M) {
+  switch (M) {
+  case 1:
+    return batchViaSingle<evalFixedXor<1>>;
+  case 2:
+    return batchViaSingle<evalFixedXor<2>>;
+  case 3:
+    return batchViaSingle<evalFixedXor<3>>;
+  case 4:
+    return batchViaSingle<evalFixedXor<4>>;
+  default:
+    return batchViaSingle<evalFixedXor<>>;
+  }
+}
+
+template <uint64_t (*Pext)(uint64_t, uint64_t)>
+BatchFnT scalarFixedPextBatch(size_t M) {
+  switch (M) {
+  case 1:
+    return batchViaSingle<evalFixedPext<Pext, 1>>;
+  case 2:
+    return batchViaSingle<evalFixedPext<Pext, 2>>;
+  case 3:
+    return batchViaSingle<evalFixedPext<Pext, 3>>;
+  case 4:
+    return batchViaSingle<evalFixedPext<Pext, 4>>;
+  default:
+    return batchViaSingle<evalFixedPext<Pext>>;
+  }
+}
+
 } // namespace
+
+const char *sepe::batchPathName(BatchPath Path) {
+  switch (Path) {
+  case BatchPath::Auto:
+    return "auto";
+  case BatchPath::Scalar:
+    return "scalar";
+  case BatchPath::Interleaved:
+    return "interleaved";
+  case BatchPath::Avx2:
+    return "avx2";
+  }
+  unreachable("covered enum");
+}
 
 SynthesizedHash::EvalFn SynthesizedHash::selectEval(const HashPlan &Plan,
                                                     IsaLevel Isa) {
@@ -502,10 +892,13 @@ SynthesizedHash::EvalFn SynthesizedHash::selectEval(const HashPlan &Plan,
   unreachable("all plan shapes handled above");
 }
 
-SynthesizedHash::BatchFn SynthesizedHash::selectBatch(const HashPlan &Plan,
-                                                      IsaLevel Isa) {
+SynthesizedHash::BatchChoice
+SynthesizedHash::selectBatch(const HashPlan &Plan, IsaLevel Isa,
+                             BatchPath Preferred) {
+  // The degenerate shapes only have the per-key loop; any preference
+  // resolves to Scalar.
   if (Plan.FallbackToStl)
-    return batchViaSingle<evalFallback>;
+    return {batchViaSingle<evalFallback>, BatchPath::Scalar};
 
   const bool HwPext = Isa == IsaLevel::Native;
   const bool Hw = Isa != IsaLevel::Portable;
@@ -513,52 +906,120 @@ SynthesizedHash::BatchFn SynthesizedHash::selectBatch(const HashPlan &Plan,
     switch (Plan.Family) {
     case HashFamily::Naive:
     case HashFamily::OffXor:
-      return batchViaSingle<evalPartialXor>;
+      return {batchViaSingle<evalPartialXor>, BatchPath::Scalar};
     case HashFamily::Pext:
-      return HwPext ? batchViaSingle<evalPartialPext<pextHw>>
-                    : batchViaSingle<evalPartialPext<pextSoft>>;
+      return {HwPext ? batchViaSingle<evalPartialPext<pextHw>>
+                     : batchViaSingle<evalPartialPext<pextSoft>>,
+              BatchPath::Scalar};
     case HashFamily::Aes:
-      return Hw ? batchViaSingle<evalPartialAes<aesEncRoundHw>>
-                : batchViaSingle<evalPartialAes<aesEncRoundSoft>>;
+      return {Hw ? batchViaSingle<evalPartialAes<aesEncRoundHw>>
+                 : batchViaSingle<evalPartialAes<aesEncRoundSoft>>,
+              BatchPath::Scalar};
     }
   }
 
   if (Plan.FixedLength) {
+    const size_t M = Plan.Steps.size();
+    if (Preferred == BatchPath::Scalar) {
+      switch (Plan.Family) {
+      case HashFamily::Naive:
+      case HashFamily::OffXor:
+        return {scalarFixedXorBatch(M), BatchPath::Scalar};
+      case HashFamily::Pext:
+        return {HwPext ? scalarFixedPextBatch<pextHw>(M)
+                       : scalarFixedPextBatch<pextSoft>(M),
+                BatchPath::Scalar};
+      case HashFamily::Aes:
+#if defined(SEPE_HAVE_AESNI)
+        if (Hw)
+          return {batchViaSingle<evalFixedAesNative>, BatchPath::Scalar};
+#endif
+        return {Hw ? batchViaSingle<evalFixedAes<aesEncRoundHw>>
+                   : batchViaSingle<evalFixedAes<aesEncRoundSoft>>,
+                BatchPath::Scalar};
+      }
+    }
+
+#if defined(SEPE_EXEC_AVX2)
+    // The wide rung: compiled in, requested (Auto or Avx2), ISA ceiling
+    // at Native, host CPU confirms AVX2 at runtime, and the plan's step
+    // state fits the precomputed tables. Under Auto the rung only takes
+    // plans it measurably wins: xor plans whose stride-8 offset runs
+    // fuse into fewer loads (the kernels are load-bound, so a wide
+    // combine alone merely ties the interleaved rung), and never Pext —
+    // one-cycle hardware pext beats the 5-6-round lane network about
+    // 3x, so the wide network is kept for the forced-path ladder and
+    // for hosts where it is the only vector option. Aes stays on the
+    // interleaved AES-NI kernel — its sequential 128-bit rounds don't
+    // widen onto 64-bit lanes.
+    if ((Preferred == BatchPath::Auto || Preferred == BatchPath::Avx2) &&
+        Isa == IsaLevel::Native && M <= MaxPrecomputedSteps &&
+        avx2BatchAvailable()) {
+      switch (Plan.Family) {
+      case HashFamily::Naive:
+      case HashFamily::OffXor:
+        // A full quad is what amortizes the kernel's shuffle-reduce
+        // tree; plans that only fuse pairs/triples stay interleaved.
+        if (Preferred == BatchPath::Avx2 ||
+            compileWideXor(Plan).NQuads != 0)
+          return {batchWideXor, BatchPath::Avx2};
+        break;
+      case HashFamily::Pext:
+        if (Preferred == BatchPath::Avx2)
+          return {batchWidePext, BatchPath::Avx2};
+        break;
+      case HashFamily::Aes:
+        break;
+      }
+    }
+#endif
+
+    // The interleaved rung (also where an unhonorable Avx2 request
+    // lands). The soft-pext arm runs the compaction-network kernel so
+    // Portable/NoBitExtract batches skip the bit-at-a-time loop.
     switch (Plan.Family) {
     case HashFamily::Naive:
     case HashFamily::OffXor:
-      return selectFixedXorBatch(Plan.Steps.size());
+      return {selectFixedXorBatch(M), BatchPath::Interleaved};
     case HashFamily::Pext:
-      return HwPext ? selectFixedPextBatch<pextHw>(Plan.Steps.size())
-                    : selectFixedPextBatch<pextSoft>(Plan.Steps.size());
+      if (HwPext)
+        return {selectFixedPextBatch<pextHw>(M), BatchPath::Interleaved};
+      return {M <= MaxPrecomputedSteps ? selectFixedPextNetworkBatch(M)
+                                       : selectFixedPextBatch<pextSoft>(M),
+              BatchPath::Interleaved};
     case HashFamily::Aes:
 #if defined(SEPE_HAVE_AESNI)
       if (Hw)
-        return batchFixedAesNative;
+        return {batchFixedAesNative, BatchPath::Interleaved};
 #endif
-      return Hw ? batchViaSingle<evalFixedAes<aesEncRoundHw>>
-                : batchViaSingle<evalFixedAes<aesEncRoundSoft>>;
+      return {Hw ? batchViaSingle<evalFixedAes<aesEncRoundHw>>
+                 : batchViaSingle<evalFixedAes<aesEncRoundSoft>>,
+              BatchPath::Scalar};
     }
   }
 
   switch (Plan.Family) {
   case HashFamily::Naive:
   case HashFamily::OffXor:
-    return batchViaSingle<evalVarXor>;
+    return {batchViaSingle<evalVarXor>, BatchPath::Scalar};
   case HashFamily::Pext:
-    return HwPext ? batchViaSingle<evalVarPext<pextHw>>
-                  : batchViaSingle<evalVarPext<pextSoft>>;
+    return {HwPext ? batchViaSingle<evalVarPext<pextHw>>
+                   : batchViaSingle<evalVarPext<pextSoft>>,
+            BatchPath::Scalar};
   case HashFamily::Aes:
-    return Hw ? batchViaSingle<evalVarAes<aesEncRoundHw>>
-              : batchViaSingle<evalVarAes<aesEncRoundSoft>>;
+    return {Hw ? batchViaSingle<evalVarAes<aesEncRoundHw>>
+               : batchViaSingle<evalVarAes<aesEncRoundSoft>>,
+            BatchPath::Scalar};
   }
   unreachable("all plan shapes handled above");
 }
 
 SynthesizedHash::SynthesizedHash(std::shared_ptr<const HashPlan> Plan,
-                                 IsaLevel Isa)
+                                 IsaLevel Isa, BatchPath Preferred)
     : Plan(std::move(Plan)) {
   assert(this->Plan && "SynthesizedHash requires a plan");
   Eval = selectEval(*this->Plan, Isa);
-  Batch = selectBatch(*this->Plan, Isa);
+  const BatchChoice Choice = selectBatch(*this->Plan, Isa, Preferred);
+  Batch = Choice.Fn;
+  Resolved = Choice.Path;
 }

@@ -10,10 +10,13 @@
 /// plan is compiled once, at attach time, into a pair of fused kernels:
 /// a per-key routine (one indirect call plus the plan's straight-line
 /// steps, with the common step counts specialized so even the step loop
-/// disappears) and a batch routine that hashes many keys per call,
-/// interleaving four keys per iteration so their loads overlap. A
-/// "portable" mode forces the software pext / AES paths, which is how
-/// the aarch64 experiment of RQ4 is reproduced on this host.
+/// disappears) and a batch routine that hashes many keys per call. The
+/// batch dispatch is a ladder: eight-key AVX2 vertical kernels for
+/// fixed-length Naive/OffXor/Pext plans (gated on a runtime cpuid
+/// probe), the four-way interleaved scalar kernels otherwise, and a
+/// per-key loop for the variable-length/partial shapes. A "portable"
+/// mode forces the software pext / AES paths, which is how the aarch64
+/// experiment of RQ4 is reproduced on this host.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,8 +35,26 @@ namespace sepe {
 /// Which specialized instructions the executor may use. NoBitExtract
 /// models the paper's Jetson (RQ4): AES hardware present, pext/bext
 /// absent. Portable forces the bit-exact software routines for
-/// everything.
+/// everything. The IsaLevel is an *upper bound*: at Native the executor
+/// additionally consults the runtime cpuid probe (support/cpu_features.h)
+/// before dispatching to the AVX2 wide kernels, so the same binary
+/// degrades to the interleaved scalar kernels on hosts without AVX2.
 enum class IsaLevel { Native, NoBitExtract, Portable };
+
+/// The batch kernel families hashBatch can dispatch to, in increasing
+/// width: a per-key loop over the single-key kernel, the four-way
+/// interleaved scalar kernels (PR 1), and the eight-key AVX2 vertical
+/// kernels. Auto picks the widest path the plan shape, the IsaLevel,
+/// and the host CPU allow; the explicit values exist so the driver and
+/// benchmarks can measure the ladder rung by rung. A request the plan
+/// or host cannot honor resolves downward (Avx2 -> Interleaved ->
+/// Scalar), never upward.
+enum class BatchPath { Auto, Scalar, Interleaved, Avx2 };
+
+/// Lower-case path name ("auto", "scalar", "interleaved", "avx2") —
+/// the strings BENCH_*.json records so trajectories name the kernel
+/// actually dispatched at runtime, not the compiled-in ceiling.
+const char *batchPathName(BatchPath Path);
 
 /// A container-ready hash functor backed by a HashPlan. Copyable and
 /// cheap to copy (shared plan ownership), so it can be handed to
@@ -43,13 +64,17 @@ public:
   SynthesizedHash() = default;
 
   /// Wraps \p Plan, selecting evaluation routines for \p Isa.
+  /// \p Preferred pins the batch kernel family; Auto (the default)
+  /// dispatches on the plan shape and the host CPU.
   explicit SynthesizedHash(std::shared_ptr<const HashPlan> Plan,
-                           IsaLevel Isa = IsaLevel::Native);
+                           IsaLevel Isa = IsaLevel::Native,
+                           BatchPath Preferred = BatchPath::Auto);
 
   /// Convenience: takes ownership of a plan by value.
-  explicit SynthesizedHash(HashPlan Plan, IsaLevel Isa = IsaLevel::Native)
+  explicit SynthesizedHash(HashPlan Plan, IsaLevel Isa = IsaLevel::Native,
+                           BatchPath Preferred = BatchPath::Auto)
       : SynthesizedHash(std::make_shared<const HashPlan>(std::move(Plan)),
-                        Isa) {}
+                        Isa, Preferred) {}
 
   bool valid() const { return Plan != nullptr; }
   const HashPlan &plan() const {
@@ -78,17 +103,32 @@ public:
     Batch(*Plan, Keys, Out, N);
   }
 
+  /// The batch kernel family hashBatch resolved to at attach time —
+  /// never Auto; reflects what actually runs on this host.
+  BatchPath batchPath() const { return Resolved; }
+
+  /// Name of the resolved batch path ("scalar" | "interleaved" |
+  /// "avx2"); what the benchmarks record.
+  const char *batchPathName() const { return sepe::batchPathName(Resolved); }
+
 private:
   using EvalFn = uint64_t (*)(const HashPlan &, const char *, size_t);
   using BatchFn = void (*)(const HashPlan &, const std::string_view *,
                            uint64_t *, size_t);
 
+  struct BatchChoice {
+    BatchFn Fn;
+    BatchPath Path;
+  };
+
   static EvalFn selectEval(const HashPlan &Plan, IsaLevel Isa);
-  static BatchFn selectBatch(const HashPlan &Plan, IsaLevel Isa);
+  static BatchChoice selectBatch(const HashPlan &Plan, IsaLevel Isa,
+                                 BatchPath Preferred);
 
   std::shared_ptr<const HashPlan> Plan;
   EvalFn Eval = nullptr;
   BatchFn Batch = nullptr;
+  BatchPath Resolved = BatchPath::Scalar;
 };
 
 } // namespace sepe

@@ -277,6 +277,33 @@ ExperimentResult sepe::runExperiment(const Workload &Work,
   });
 }
 
+std::vector<BatchLadderTiming>
+sepe::measureBatchLadder(const Workload &Work, HashKind Kind,
+                         const HashFunctionSet &Set) {
+  std::vector<BatchLadderTiming> Rungs;
+  if (!isSynthetic(Kind)) {
+    Set.visit(Kind, [&](const auto &Hasher) {
+      Rungs.push_back({batchPathOf(Hasher), timeHashingBatch(Hasher, Work)});
+    });
+    return Rungs;
+  }
+
+  const SynthesizedHash &Attached =
+      Set.synthesized(syntheticFamily(Kind));
+  for (BatchPath Preferred :
+       {BatchPath::Scalar, BatchPath::Interleaved, BatchPath::Avx2}) {
+    const SynthesizedHash Forced(Attached.plan(), Set.isa(), Preferred);
+    const std::string Path = Forced.batchPathName();
+    bool Seen = false;
+    for (const BatchLadderTiming &R : Rungs)
+      Seen = Seen || R.Path == Path;
+    if (Seen)
+      continue;
+    Rungs.push_back({Path, timeHashingBatch(Forced, Work)});
+  }
+  return Rungs;
+}
+
 uint64_t sepe::countTrueCollisions(const std::vector<std::string> &Keys,
                                    HashKind Kind,
                                    const HashFunctionSet &Set) {

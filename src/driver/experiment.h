@@ -90,6 +90,25 @@ ExperimentResult runExperiment(const Workload &Work,
                                const ExperimentConfig &Config, HashKind Kind,
                                const HashFunctionSet &Set);
 
+/// One rung of the executor's batch-kernel ladder, timed under the
+/// Batched execution mode.
+struct BatchLadderTiming {
+  /// Resolved path name ("scalar" | "interleaved" | "avx2").
+  std::string Path;
+  double HTimeMs = 0;
+};
+
+/// Batched-mode H-Time for every batch kernel rung \p Kind can resolve
+/// on this host: synthetic kinds are re-attached with each forced
+/// BatchPath (rungs an unhonorable request resolves away from are
+/// deduplicated, so a non-AVX2 host reports scalar + interleaved only);
+/// baselines report the single path support/batch.h gives them. The
+/// rows isolate kernel width under the exact scheduled key stream the
+/// B-Time experiment replays.
+std::vector<BatchLadderTiming> measureBatchLadder(const Workload &Work,
+                                                  HashKind Kind,
+                                                  const HashFunctionSet &Set);
+
 /// Counts distinct keys whose 64-bit hash collides with an earlier key
 /// (the paper's T-Coll).
 uint64_t countTrueCollisions(const std::vector<std::string> &Keys,

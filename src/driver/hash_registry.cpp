@@ -44,9 +44,26 @@ bool sepe::isSynthetic(HashKind Kind) {
          Kind == HashKind::Aes || Kind == HashKind::Pext;
 }
 
+HashFamily sepe::syntheticFamily(HashKind Kind) {
+  switch (Kind) {
+  case HashKind::Naive:
+    return HashFamily::Naive;
+  case HashKind::OffXor:
+    return HashFamily::OffXor;
+  case HashKind::Aes:
+    return HashFamily::Aes;
+  case HashKind::Pext:
+    return HashFamily::Pext;
+  default:
+    break;
+  }
+  unreachable("syntheticFamily requires a synthetic kind");
+}
+
 HashFunctionSet HashFunctionSet::create(PaperKey Key, IsaLevel Isa) {
   HashFunctionSet Set;
   Set.Key = Key;
+  Set.Isa = Isa;
 
   const KeyPattern Pattern = paperKeyFormat(Key).abstract();
   Expected<std::array<HashPlan, 4>> Plans = synthesizeAllFamilies(Pattern);

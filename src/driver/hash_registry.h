@@ -61,6 +61,10 @@ const char *hashKindName(HashKind Kind);
 
 bool isSynthetic(HashKind Kind);
 
+/// The plan family behind a synthetic kind; precondition:
+/// isSynthetic(Kind).
+HashFamily syntheticFamily(HashKind Kind);
+
 /// All per-format hash functions, ready for benchmarking.
 class HashFunctionSet {
 public:
@@ -71,6 +75,10 @@ public:
                                 IsaLevel Isa = IsaLevel::Native);
 
   PaperKey key() const { return Key; }
+
+  /// The IsaLevel the set was created for; forced-path rebuilds of the
+  /// synthesized hashers (driver/experiment.h's batch ladder) reuse it.
+  IsaLevel isa() const { return Isa; }
 
   const SynthesizedHash &synthesized(HashFamily Family) const {
     return Synthesized[static_cast<size_t>(Family)];
@@ -118,6 +126,7 @@ public:
 
 private:
   PaperKey Key = PaperKey::SSN;
+  IsaLevel Isa = IsaLevel::Native;
   std::array<SynthesizedHash, 4> Synthesized;
   PerfectHashFunction Gperf;
 };

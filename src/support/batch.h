@@ -23,6 +23,7 @@
 #ifndef SEPE_SUPPORT_BATCH_H
 #define SEPE_SUPPORT_BATCH_H
 
+#include <concepts>
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
@@ -48,6 +49,27 @@ inline void hashBatch(const Hasher &H, const std::string_view *Keys,
     for (size_t I = 0; I != N; ++I)
       Out[I] = static_cast<uint64_t>(H(Keys[I]));
   }
+}
+
+/// True for hashers that report which batch kernel family they resolved
+/// to (the synthesized executor's dispatch ladder).
+template <typename Hasher>
+concept ReportsBatchPath = requires(const Hasher &H) {
+  { H.batchPathName() } -> std::convertible_to<const char *>;
+};
+
+/// The batch kernel family hashBatch(H, ...) runs for \p H, as the
+/// lower-case name the benchmarks record: hashers that expose the
+/// executor's resolved path report it; other native batch kernels (the
+/// interleaved FNV/Murmur/Gperf specializations) are "interleaved"; the
+/// loop-over-single fallback is "scalar".
+template <typename Hasher> inline const char *batchPathOf(const Hasher &H) {
+  if constexpr (ReportsBatchPath<Hasher>)
+    return H.batchPathName();
+  else if constexpr (HasNativeBatch<Hasher>)
+    return "interleaved";
+  else
+    return "scalar";
 }
 
 } // namespace sepe

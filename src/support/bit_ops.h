@@ -89,6 +89,74 @@ constexpr bool hasHardwarePext() {
 #endif
 }
 
+/// A precompiled shift-mask compaction network with the exact semantics
+/// of pext(Src, Mask): Hacker's Delight's compress (7-4), split into a
+/// per-mask compile step and a cheap apply step. Compiling costs ~60
+/// scalar ops; applying costs at most six rounds of and/xor/or/shift —
+/// branch-free, data-independent, and therefore directly liftable onto
+/// 64-bit SIMD lanes. The executor's AVX2 wide kernels apply one
+/// network per plan step across four keys per register, and the
+/// software-pext batch kernels use the scalar apply to replace the
+/// bit-at-a-time pextSoft loop on the hot path (the masks of a plan are
+/// fixed, so the compile step amortizes over the whole batch).
+struct PextNetwork {
+  /// Bits still selected before each round; Round I moves the bits in
+  /// Move[I] right by 1 << I.
+  uint64_t Move[6] = {0, 0, 0, 0, 0, 0};
+  /// The original extraction mask.
+  uint64_t SourceMask = 0;
+  /// Number of leading non-identity rounds; trailing rounds with
+  /// Move[I] == 0 are dropped at compile time.
+  int Rounds = 0;
+
+  static PextNetwork compile(uint64_t Mask) {
+    PextNetwork Net;
+    Net.SourceMask = Mask;
+    uint64_t M = Mask;
+    uint64_t Mk = ~M << 1; // Bits to the left of each selected bit.
+    for (int I = 0; I != 6; ++I) {
+      // Parallel prefix (xor) of Mk: Mp identifies the selected bits
+      // that must move in this round.
+      uint64_t Mp = Mk ^ (Mk << 1);
+      Mp ^= Mp << 2;
+      Mp ^= Mp << 4;
+      Mp ^= Mp << 8;
+      Mp ^= Mp << 16;
+      Mp ^= Mp << 32;
+      const uint64_t Mv = Mp & M;
+      Net.Move[I] = Mv;
+      if (Mv != 0)
+        Net.Rounds = I + 1;
+      M = (M ^ Mv) | (Mv >> (1u << I));
+      Mk &= ~Mp;
+    }
+    return Net;
+  }
+
+  /// Bit-identical to pextSoft(Src, SourceMask).
+  uint64_t apply(uint64_t Src) const {
+    uint64_t X = Src & SourceMask;
+    for (int I = 0; I != Rounds; ++I) {
+      const uint64_t T = X & Move[I];
+      X = (X ^ T) | (T >> (1u << I));
+    }
+    return X;
+  }
+};
+
+/// Lane-wise parallel bit extraction: compresses eight independent
+/// 16-bit lanes at once, Out[L] = pext(Src[L], Mask[L]) packed at each
+/// lane's bottom. This is the portable, bit-exact reference for one
+/// 128-bit register's worth of lanes in the wide kernels' shift-mask
+/// compaction, shared by the tests that pin the vector path down and by
+/// anything that wants sub-word compaction without a full 64-bit
+/// network per lane.
+inline void pext16x8(const uint16_t Src[8], const uint16_t Mask[8],
+                     uint16_t Out[8]) {
+  for (int L = 0; L != 8; ++L)
+    Out[L] = static_cast<uint16_t>(pextSoft(Src[L], Mask[L]));
+}
+
 /// Software parallel bit deposit (inverse of pext); used by tests to prove
 /// that Pext plans are bijections.
 inline uint64_t pdepSoft(uint64_t Src, uint64_t Mask) {

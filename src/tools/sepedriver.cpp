@@ -161,5 +161,30 @@ int main(int Argc, char **Argv) {
                   std::to_string(Result.TrueCollisions)});
   }
   std::printf("%s", Table.str().c_str());
+
+  if (Config.Mode == ExecMode::Batched) {
+    // The batch-kernel ladder: the same scheduled keys hashed through
+    // each kernel width the plan resolves on this host, synthetic
+    // families only (baselines have a single path).
+    std::printf("\nbatch kernel ladder (H-Time per path, Batched mode):\n");
+    TextTable Ladder({"Function", "Path", "H-Time (ms)", "vs scalar"});
+    for (HashKind Kind : SyntheticHashKinds) {
+      if (Isa != IsaLevel::Native && Kind == HashKind::Pext)
+        continue;
+      const std::vector<BatchLadderTiming> Rungs =
+          measureBatchLadder(Work, Kind, Set);
+      double ScalarMs = 0;
+      for (const BatchLadderTiming &R : Rungs)
+        if (R.Path == "scalar")
+          ScalarMs = R.HTimeMs;
+      for (const BatchLadderTiming &R : Rungs)
+        Ladder.addRow({hashKindName(Kind), R.Path,
+                       formatDouble(R.HTimeMs, 4),
+                       R.HTimeMs > 0 && ScalarMs > 0
+                           ? formatDouble(ScalarMs / R.HTimeMs, 2) + "x"
+                           : "-"});
+    }
+    std::printf("%s", Ladder.str().c_str());
+  }
   return 0;
 }

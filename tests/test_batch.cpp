@@ -94,6 +94,149 @@ INSTANTIATE_TEST_SUITE_P(AllFormats, BatchEquivalence,
                            return std::string(paperKeyName(Info.param));
                          });
 
+constexpr std::array<BatchPath, 4> AllBatchPaths = {
+    BatchPath::Auto, BatchPath::Scalar, BatchPath::Interleaved,
+    BatchPath::Avx2};
+
+class ForcedPathEquivalence : public ::testing::TestWithParam<PaperKey> {};
+
+TEST_P(ForcedPathEquivalence, EveryDispatchRungBitIdentical) {
+  // Whatever kernel a preference resolves to on this host — scalar,
+  // interleaved, or the AVX2 wide kernels — the batch output must be
+  // bit-identical to the scalar single-key evaluator. 131 keys leave a
+  // remainder after both the 4- and 8-key wide loops.
+  const PaperKey Key = GetParam();
+  KeyGenerator Gen(paperKeyFormat(Key), KeyDistribution::Uniform,
+                   0xf0ced + static_cast<uint64_t>(Key));
+  const std::vector<std::string> Text = Gen.distinct(131);
+  const std::vector<std::string_view> Views = viewsOf(Text);
+
+  for (IsaLevel Isa : AllIsaLevels) {
+    const HashFunctionSet Set = HashFunctionSet::create(Key, Isa);
+    for (HashKind Kind : SyntheticHashKinds) {
+      const SynthesizedHash &Attached =
+          Set.synthesized(syntheticFamily(Kind));
+      for (BatchPath Preferred : AllBatchPaths) {
+        const SynthesizedHash Forced(Attached.plan(), Isa, Preferred);
+        const std::string Label = std::string(paperKeyName(Key)) + "/" +
+                                  hashKindName(Kind) + "/" + isaName(Isa) +
+                                  "/" + batchPathName(Preferred) + "->" +
+                                  Forced.batchPathName();
+
+        uint64_t Guard = 0xdeadbeefdeadbeefULL;
+        Forced.hashBatch(Views.data(), &Guard, 0);
+        EXPECT_EQ(Guard, 0xdeadbeefdeadbeefULL) << Label;
+
+        for (size_t N : {size_t(1), size_t(3), Views.size()}) {
+          std::vector<uint64_t> Out(N, 0);
+          Forced.hashBatch(Views.data(), Out.data(), N);
+          for (size_t I = 0; I != N; ++I)
+            ASSERT_EQ(Out[I], Forced(Views[I]))
+                << Label << " N=" << N << " key[" << I << "]=" << Text[I];
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, ForcedPathEquivalence,
+                         ::testing::ValuesIn(AllPaperKeys),
+                         [](const auto &Info) {
+                           return std::string(paperKeyName(Info.param));
+                         });
+
+TEST(BatchDispatchTest, ResolutionRespectsIsaCeiling) {
+  // The wide rung only exists at Native; below it a forced Avx2 request
+  // must land on a soft path, and a Scalar request always wins.
+  for (PaperKey Key : AllPaperKeys) {
+    for (IsaLevel Isa : AllIsaLevels) {
+      const HashFunctionSet Set = HashFunctionSet::create(Key, Isa);
+      for (HashKind Kind : SyntheticHashKinds) {
+        const SynthesizedHash &Attached =
+            Set.synthesized(syntheticFamily(Kind));
+        for (BatchPath Preferred : AllBatchPaths) {
+          const SynthesizedHash Forced(Attached.plan(), Isa, Preferred);
+          const std::string Resolved = Forced.batchPathName();
+          const std::string Label = std::string(paperKeyName(Key)) + "/" +
+                                    hashKindName(Kind) + "/" + isaName(Isa);
+          EXPECT_TRUE(Resolved == "scalar" || Resolved == "interleaved" ||
+                      Resolved == "avx2")
+              << Label << " resolved " << Resolved;
+          if (Preferred == BatchPath::Scalar)
+            EXPECT_EQ(Resolved, "scalar") << Label;
+          if (Isa != IsaLevel::Native)
+            EXPECT_NE(Resolved, "avx2")
+                << Label << ": wide kernels require the Native ceiling";
+        }
+        // Auto never picks the wide pext network over one-cycle
+        // hardware pext.
+        if (Kind == HashKind::Pext)
+          EXPECT_NE(std::string(Attached.batchPathName()), "avx2")
+              << paperKeyName(Key) << "/" << isaName(Isa);
+      }
+    }
+  }
+}
+
+TEST(BatchDispatchTest, DegenerateShapesResolveScalar) {
+  // FallbackToStl and PartialLoad plans only have the per-key loop; any
+  // preference must resolve to it.
+  Expected<FormatSpec> Spec = parseRegex(R"(\d{4})");
+  ASSERT_TRUE(Spec);
+  for (bool AllowShort : {false, true}) {
+    SynthesisOptions Options;
+    Options.AllowShortKeys = AllowShort;
+    Expected<HashPlan> Plan =
+        synthesize(Spec->abstract(), HashFamily::OffXor, Options);
+    ASSERT_TRUE(Plan);
+    ASSERT_TRUE(AllowShort ? Plan->PartialLoad : Plan->FallbackToStl);
+    for (BatchPath Preferred : AllBatchPaths) {
+      const SynthesizedHash Forced(*Plan, IsaLevel::Native, Preferred);
+      EXPECT_EQ(std::string(Forced.batchPathName()), "scalar");
+    }
+  }
+}
+
+TEST(BatchExecutorTest, UnalignedKeyDataBitIdentical) {
+  // The wide kernels issue 32- and 16-byte loads at whatever alignment
+  // the key data happens to have. Pack copies of each key at stride
+  // len+1 inside one arena so the data pointers walk through every
+  // alignment class mod 32.
+  for (PaperKey Key : {PaperKey::IPv6, PaperKey::INTS, PaperKey::URL1,
+                       PaperKey::URL2}) {
+    KeyGenerator Gen(paperKeyFormat(Key), KeyDistribution::Uniform,
+                     0xa119 + static_cast<uint64_t>(Key));
+    const std::vector<std::string> Text = Gen.distinct(67);
+    std::string Arena;
+    for (const std::string &K : Text) {
+      Arena += K;
+      Arena.push_back('|');
+    }
+    std::vector<std::string_view> Views;
+    size_t Pos = 0;
+    for (const std::string &K : Text) {
+      Views.push_back(std::string_view(Arena).substr(Pos, K.size()));
+      Pos += K.size() + 1;
+    }
+
+    const HashFunctionSet Set = HashFunctionSet::create(Key);
+    for (HashKind Kind : SyntheticHashKinds) {
+      const SynthesizedHash &Attached =
+          Set.synthesized(syntheticFamily(Kind));
+      for (BatchPath Preferred : AllBatchPaths) {
+        const SynthesizedHash Forced(Attached.plan(), IsaLevel::Native,
+                                     Preferred);
+        std::vector<uint64_t> Out(Views.size(), 0);
+        Forced.hashBatch(Views.data(), Out.data(), Views.size());
+        for (size_t I = 0; I != Views.size(); ++I)
+          ASSERT_EQ(Out[I], Forced(Views[I]))
+              << paperKeyName(Key) << "/" << hashKindName(Kind) << "/"
+              << Forced.batchPathName() << " key[" << I << "]";
+      }
+    }
+  }
+}
+
 TEST(BatchExecutorTest, PartialLoadPlansBatchLikeSingle) {
   // Forced short-key specialization (RQ7) is not in the registry; check
   // the batch kernels for the partial-load plan shape directly.

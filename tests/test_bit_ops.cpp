@@ -52,6 +52,82 @@ TEST(BitOpsTest, PextSoftMatchesHardware) {
   }
 }
 
+TEST(BitOpsTest, PextNetworkMatchesPextSoftOnEdgeMasks) {
+  for (const uint64_t Mask :
+       {uint64_t{0}, ~uint64_t{0}, uint64_t{1}, uint64_t{0x8000000000000000},
+        uint64_t{0x0F0F0F0F0F0F0F0F}, uint64_t{0xF0F0F0F0F0F0F0F0},
+        uint64_t{0x5555555555555555}, uint64_t{0xAAAAAAAAAAAAAAAA},
+        uint64_t{0x00FF00FF00FF00FF}, uint64_t{0x0000000000000F0F}}) {
+    const PextNetwork Net = PextNetwork::compile(Mask);
+    for (const uint64_t Src :
+         {uint64_t{0}, ~uint64_t{0}, uint64_t{0x123456789ABCDEF0},
+          uint64_t{0xDEADBEEFFEEDFACE}}) {
+      EXPECT_EQ(Net.apply(Src), pextSoft(Src, Mask))
+          << "mask=" << std::hex << Mask << " src=" << Src;
+    }
+  }
+}
+
+TEST(BitOpsTest, PextNetworkMatchesPextSoftRandomized) {
+  std::mt19937_64 Rng(17);
+  for (int I = 0; I != 2000; ++I) {
+    // Mix dense, sparse, and very sparse masks.
+    uint64_t Mask = Rng();
+    if (I % 3 == 1)
+      Mask &= Rng();
+    if (I % 3 == 2)
+      Mask &= Rng() & Rng();
+    const PextNetwork Net = PextNetwork::compile(Mask);
+    for (int J = 0; J != 4; ++J) {
+      const uint64_t Src = Rng();
+      ASSERT_EQ(Net.apply(Src), pextSoft(Src, Mask))
+          << "mask=" << std::hex << Mask << " src=" << Src;
+    }
+  }
+}
+
+TEST(BitOpsTest, PextNetworkDropsIdentityRounds) {
+  // The all-ones mask moves nothing: zero rounds.
+  EXPECT_EQ(PextNetwork::compile(~uint64_t{0}).Rounds, 0);
+  EXPECT_EQ(PextNetwork::compile(0).Rounds, 0);
+  // The uniform low-nibble mask needs only nibble-granularity moves
+  // (shifts 4, 8, 16), so rounds 0-1 are identity but still counted —
+  // what matters is that the trailing 32-shift round is dropped.
+  EXPECT_LE(PextNetwork::compile(0x0F0F0F0F0F0F0F0FULL).Rounds, 5);
+}
+
+TEST(BitOpsTest, Pext16x8CompressesEachLaneIndependently) {
+  const uint16_t Src[8] = {0x1234, 0xFFFF, 0x0000, 0xABCD,
+                           0x5678, 0x8001, 0x7FFE, 0x9999};
+  const uint16_t Mask[8] = {0x0F0F, 0xFFFF, 0xFFFF, 0x00FF,
+                            0xF0F0, 0x8001, 0x0001, 0x5555};
+  uint16_t Out[8] = {};
+  pext16x8(Src, Mask, Out);
+  for (int L = 0; L != 8; ++L)
+    EXPECT_EQ(Out[L], static_cast<uint16_t>(pextSoft(Src[L], Mask[L])))
+        << "lane " << L;
+  EXPECT_EQ(Out[0], 0x24u);  // low nibbles of 0x12, 0x34
+  EXPECT_EQ(Out[1], 0xFFFFu);
+  EXPECT_EQ(Out[3], 0xCDu);
+  EXPECT_EQ(Out[5], 0x3u); // both guard bits set
+}
+
+TEST(BitOpsTest, Pext16x8AgreesWithPextNetworkLanes) {
+  std::mt19937_64 Rng(23);
+  for (int I = 0; I != 200; ++I) {
+    uint16_t Src[8], Mask[8], Out[8];
+    for (int L = 0; L != 8; ++L) {
+      Src[L] = static_cast<uint16_t>(Rng());
+      Mask[L] = static_cast<uint16_t>(Rng() & Rng());
+    }
+    pext16x8(Src, Mask, Out);
+    for (int L = 0; L != 8; ++L) {
+      const PextNetwork Net = PextNetwork::compile(Mask[L]);
+      ASSERT_EQ(Out[L], static_cast<uint16_t>(Net.apply(Src[L])));
+    }
+  }
+}
+
 TEST(BitOpsTest, PdepIsInverseOfPextOnMask) {
   std::mt19937_64 Rng(5);
   for (int I = 0; I != 200; ++I) {

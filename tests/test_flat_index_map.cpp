@@ -204,6 +204,114 @@ TEST(FlatIndexMapTest, PreHashedEntryPointsMatchPlain) {
     EXPECT_EQ(Map.contains(Keys[I]), I % 2 == 1);
 }
 
+TEST(SwissGroupTest, SimdAndScalarMatchersAgree) {
+  // The SSE2 group matchers and the portable bit-twiddling fallback
+  // must report identical candidate masks for any control-byte pattern:
+  // full tags (0..127), empty (-128), and tombstones (-2).
+  std::mt19937_64 Rng(0x5155);
+  for (int Trial = 0; Trial != 2000; ++Trial) {
+    alignas(16) int8_t Ctrl[swiss::GroupSize];
+    for (int8_t &C : Ctrl) {
+      switch (Rng() % 4) {
+      case 0:
+        C = swiss::CtrlEmpty;
+        break;
+      case 1:
+        C = swiss::CtrlDeleted;
+        break;
+      default:
+        C = static_cast<int8_t>(Rng() % 128);
+        break;
+      }
+    }
+    const int8_t Tag = static_cast<int8_t>(Rng() % 128);
+    EXPECT_EQ(swiss::matchTag(Ctrl, Tag),
+              swiss::matchTagScalar(Ctrl, Tag));
+    EXPECT_EQ(swiss::matchEmpty(Ctrl), swiss::matchEmptyScalar(Ctrl));
+    EXPECT_EQ(swiss::matchEmptyOrDeleted(Ctrl),
+              swiss::matchEmptyOrDeletedScalar(Ctrl));
+  }
+}
+
+TEST(FlatIndexMapTest, RehashKeepsPreHashedEntriesReachable) {
+  // Regression for the control-byte migration: entries inserted through
+  // the pre-hashed entry points must survive growth rehashes (triggered
+  // by load) and explicit reserve() — both rebuild the control array
+  // from the stored images.
+  const SynthesizedHash Hash = bijectiveHash(R"([0-9]{9})");
+  FlatIndexMap<uint64_t> Map(Hash, 16);
+  KeyGenerator Gen(*parseRegex(R"([0-9]{9})"), KeyDistribution::Uniform,
+                   4242);
+  const std::vector<std::string> Keys = Gen.distinct(5000);
+  std::vector<uint64_t> Images;
+  for (const std::string &K : Keys)
+    Images.push_back(Hash(K));
+
+  const size_t Initial = Map.capacity();
+  for (size_t I = 0; I != Images.size(); ++I) {
+    ASSERT_TRUE(Map.insertHashed(Images[I], I));
+    // Every entry inserted so far stays reachable across each growth.
+    if ((I & 1023) == 1023)
+      for (size_t J = 0; J <= I; J += 97)
+        ASSERT_NE(Map.findHashed(Images[J]), nullptr) << I << "/" << J;
+  }
+  EXPECT_GT(Map.capacity(), Initial) << "test must exercise growth";
+
+  // An explicit rehash via reserve must also keep everything.
+  Map.reserve(4 * Keys.size());
+  for (size_t I = 0; I != Images.size(); ++I) {
+    const uint64_t *Value = Map.findHashed(Images[I]);
+    ASSERT_NE(Value, nullptr) << I;
+    EXPECT_EQ(*Value, I);
+    EXPECT_TRUE(Map.contains(Keys[I])) << "string lookup after rehash";
+  }
+}
+
+TEST(FlatIndexMapTest, ReservePreallocatesForInsertions) {
+  const SynthesizedHash Hash = bijectiveHash(R"([0-9]{9})");
+  FlatIndexMap<int> Map(Hash, 16);
+  Map.reserve(10000);
+  const size_t Reserved = Map.capacity();
+  EXPECT_GE(Reserved * 7, 10000u * 8) << "7/8 load bound";
+
+  KeyGenerator Gen(*parseRegex(R"([0-9]{9})"), KeyDistribution::Uniform,
+                   777);
+  const std::vector<std::string> Keys = Gen.distinct(10000);
+  for (size_t I = 0; I != Keys.size(); ++I)
+    ASSERT_TRUE(Map.insert(Keys[I], static_cast<int>(I)));
+  EXPECT_EQ(Map.capacity(), Reserved)
+      << "reserve must preallocate all growth";
+  for (size_t I = 0; I != Keys.size(); ++I)
+    EXPECT_TRUE(Map.contains(Keys[I]));
+}
+
+TEST(FlatIndexMapTest, TombstoneChurnStaysBoundedAndCorrect) {
+  // Insert/erase churn over a fixed pool accumulates tombstones; the
+  // same-capacity rehash sweep must reclaim them instead of growing the
+  // table forever, and lookups must stay exact throughout.
+  const SynthesizedHash Hash = bijectiveHash(R"([0-9]{6}xy)");
+  FlatIndexMap<int> Map(Hash);
+  Expected<FormatSpec> Spec = parseRegex(R"([0-9]{6}xy)");
+  ASSERT_TRUE(Spec);
+  KeyGenerator Gen(*Spec, KeyDistribution::Uniform, 321);
+  const std::vector<std::string> Pool = Gen.distinct(64);
+  std::mt19937_64 Rng(322);
+  std::vector<bool> Present(Pool.size(), false);
+  for (int Step = 0; Step != 100000; ++Step) {
+    const size_t I = Rng() % Pool.size();
+    if (Present[I])
+      EXPECT_TRUE(Map.erase(Pool[I])) << Step;
+    else
+      EXPECT_TRUE(Map.insert(Pool[I], static_cast<int>(I))) << Step;
+    Present[I] = !Present[I];
+  }
+  for (size_t I = 0; I != Pool.size(); ++I)
+    EXPECT_EQ(Map.contains(Pool[I]), static_cast<bool>(Present[I])) << I;
+  EXPECT_LE(Map.capacity(), 1024u)
+      << "tombstone sweeps must keep a 64-key pool in a small table";
+  EXPECT_LE(Map.tombstones(), Map.capacity() * 7 / 8);
+}
+
 TEST(FlatIndexMapTest, InsertBatchHashesThroughBatchKernel) {
   const SynthesizedHash Hash = bijectiveHash(R"([0-9]{6}xy)");
   FlatIndexMap<int> Batched(Hash);
