@@ -64,6 +64,15 @@ int main(int Argc, char **Argv) {
   // Bijective formats only (<= 64 relevant bits).
   const std::vector<PaperKey> Keys = {PaperKey::SSN, PaperKey::CPF};
 
+  struct JsonRow {
+    PaperKey Key;
+    KeyDistribution Dist;
+    const char *Structure;
+    double InsertNs;
+    double LookupNs;
+  };
+  std::vector<JsonRow> JsonRows;
+
   TextTable Table({"Key", "Distribution", "Structure", "insert ns/key",
                    "lookup ns/key"});
   for (PaperKey Key : Keys) {
@@ -89,6 +98,7 @@ int main(int Argc, char **Argv) {
         Table.addRow({paperKeyName(Key), distributionName(Dist),
                       "FlatIndexMap", formatDouble(Ins, 1),
                       formatDouble(Look, 1)});
+        JsonRows.push_back({Key, Dist, "FlatIndexMap", Ins, Look});
       }
       {
         std::unordered_map<std::string, uint64_t, SynthesizedHash> Map(
@@ -100,6 +110,7 @@ int main(int Argc, char **Argv) {
         Table.addRow({paperKeyName(Key), distributionName(Dist),
                       "u_map+Pext", formatDouble(Ins, 1),
                       formatDouble(Look, 1)});
+        JsonRows.push_back({Key, Dist, "u_map+Pext", Ins, Look});
       }
       {
         std::unordered_map<std::string, uint64_t> Map;
@@ -110,6 +121,7 @@ int main(int Argc, char **Argv) {
         Table.addRow({paperKeyName(Key), distributionName(Dist),
                       "u_map+std::hash", formatDouble(Ins, 1),
                       formatDouble(Look, 1)});
+        JsonRows.push_back({Key, Dist, "u_map+std::hash", Ins, Look});
       }
     }
   }
@@ -117,5 +129,27 @@ int main(int Argc, char **Argv) {
   std::printf("Expected shape: FlatIndexMap fastest on both axes (no "
               "string storage or comparison); u_map+Pext beats "
               "u_map+std::hash by the hashing margin.\n");
+
+  if (!Options.JsonPath.empty()) {
+    std::FILE *F =
+        openJsonReport(Options.JsonPath, "ablation_flat_index");
+    if (!F)
+      return 1;
+    std::fprintf(F, "  \"keys\": %zu,\n  \"unit\": \"ns_per_key\",\n"
+                 "  \"results\": [\n", KeyCount);
+    for (size_t I = 0; I != JsonRows.size(); ++I) {
+      const JsonRow &R = JsonRows[I];
+      std::fprintf(F,
+                   "    {\"format\": \"%s\", \"distribution\": \"%s\", "
+                   "\"structure\": \"%s\", \"insert_ns_per_key\": %.2f, "
+                   "\"lookup_ns_per_key\": %.2f}%s\n",
+                   paperKeyName(R.Key), distributionName(R.Dist),
+                   R.Structure, R.InsertNs, R.LookupNs,
+                   I + 1 == JsonRows.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ],\n");
+    closeJsonReport(F);
+    std::printf("wrote %s\n", Options.JsonPath.c_str());
+  }
   return 0;
 }

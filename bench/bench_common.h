@@ -13,6 +13,16 @@
 ///   --samples=N         override sample count
 ///   --affectations=N    override affectations per experiment
 ///   --keys=A,B,...      restrict to some paper key types
+///   --json=PATH         write a machine-readable report (binaries that
+///                       support it)
+///
+/// JSON reports share one envelope (openJsonReport/closeJsonReport):
+/// schema_version, the benchmark name, the resolved cpu_features
+/// string, the binary's own payload keys, and a trailing "telemetry"
+/// object — the full registry dump, which is `{"compiled_in": false,
+/// ...}` unless built with -DSEPE_TELEMETRY=ON and enabled via
+/// SEPE_TELEMETRY_ENABLED=1 (never auto-enabled here, so timers cannot
+/// perturb the numbers being measured).
 ///
 /// The default ("quick") configuration keeps every binary within tens
 /// of seconds on one core while preserving the paper's shape.
@@ -24,6 +34,8 @@
 
 #include "driver/experiment.h"
 #include "driver/report.h"
+#include "support/cpu_features.h"
+#include "support/telemetry.h"
 
 #include <cstdio>
 #include <cstring>
@@ -32,12 +44,18 @@
 
 namespace sepe::bench {
 
+/// Version of the shared bench-JSON envelope; bump when a key is
+/// renamed or removed (additions are compatible).
+constexpr int JsonSchemaVersion = 1;
+
 struct BenchOptions {
   size_t Samples = 3;
   size_t Affectations = 2000;
   std::vector<size_t> Spreads = {500, 2000};
   std::vector<PaperKey> Keys{AllPaperKeys.begin(), AllPaperKeys.end()};
   bool Full = false;
+  /// Empty means "no JSON report".
+  std::string JsonPath;
 };
 
 inline PaperKey paperKeyByName(const std::string &Name, bool &Ok) {
@@ -80,10 +98,12 @@ inline BenchOptions parseBenchOptions(int Argc, char **Argv) {
                        Name.c_str());
         Pos = Comma == std::string::npos ? Comma : Comma + 1;
       }
+    } else if (Arg.rfind("--json=", 0) == 0) {
+      Options.JsonPath = Arg.substr(7);
     } else if (Arg == "--help" || Arg == "-h") {
       std::fprintf(stderr,
                    "options: --full --samples=N --affectations=N "
-                   "--keys=SSN,IPv4,...\n");
+                   "--keys=SSN,IPv4,... --json=PATH\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "warning: ignoring unknown option '%s'\n",
@@ -99,6 +119,34 @@ inline void printHeader(const char *Artifact, const char *Question,
   std::printf("mode: %s (%zu samples, %zu affectations, %zu key types)\n\n",
               Options.Full ? "full (paper-sized)" : "quick",
               Options.Samples, Options.Affectations, Options.Keys.size());
+}
+
+/// Opens \p Path and writes the shared report envelope: the opening
+/// brace, schema_version, the benchmark name, and the resolved
+/// cpu_features string, leaving a trailing comma so the caller can
+/// append its own payload keys (each terminated with ",\n") before
+/// closeJsonReport(). Returns nullptr (with a diagnostic) on failure.
+inline std::FILE *openJsonReport(const std::string &Path,
+                                 const char *Benchmark) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+    return nullptr;
+  }
+  std::fprintf(F,
+               "{\n  \"schema_version\": %d,\n  \"benchmark\": \"%s\",\n"
+               "  \"cpu_features\": \"%s\",\n",
+               JsonSchemaVersion, Benchmark, cpuFeatureString().c_str());
+  return F;
+}
+
+/// Finishes a report started by openJsonReport(): embeds the telemetry
+/// registry dump (always valid JSON, even compiled out) as the final
+/// "telemetry" key and closes the file.
+inline void closeJsonReport(std::FILE *F) {
+  std::fprintf(F, "  \"telemetry\": %s\n}\n",
+               telemetry::toJson().c_str());
+  std::fclose(F);
 }
 
 /// Per-hash accumulator across the experiment grid.

@@ -88,5 +88,25 @@ int main(int Argc, char **Argv) {
   std::printf("\nShape check (paper Figure 16): all three curves linear; "
               "Pext steepest because its unrolled code emission grows "
               "with every load.\n");
+
+  if (!Options.JsonPath.empty()) {
+    std::FILE *F = openJsonReport(Options.JsonPath, "fig16_synthesis_time");
+    if (!F)
+      return 1;
+    std::fprintf(F, "  \"unit\": \"ms_per_synthesis\",\n  \"results\": [\n");
+    for (size_t I = 0; I != Sizes.size(); ++I)
+      std::fprintf(F,
+                   "    {\"key_size_bytes\": %zu, \"OffXor\": %.4f, "
+                   "\"Aes\": %.4f, \"Pext\": %.4f}%s\n",
+                   static_cast<size_t>(Sizes[I]), Times[0][I], Times[1][I],
+                   Times[2][I], I + 1 == Sizes.size() ? "" : ",");
+    std::fprintf(F, "  ],\n  \"pearson\": {");
+    for (size_t F2 = 0; F2 != Families.size(); ++F2)
+      std::fprintf(F, "%s\"%s\": %.4f", F2 == 0 ? "" : ", ", Names[F2],
+                   pearsonCorrelation(Sizes, Times[F2]));
+    std::fprintf(F, "},\n");
+    closeJsonReport(F);
+    std::printf("wrote %s\n", Options.JsonPath.c_str());
+  }
   return 0;
 }

@@ -17,6 +17,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "bench_common.h"
+
 #include "driver/hash_registry.h"
 #include "keygen/distributions.h"
 #include "keygen/paper_formats.h"
@@ -195,12 +197,9 @@ std::vector<JsonRow> measureAll() {
 }
 
 bool writeJson(const std::vector<JsonRow> &Rows, const std::string &Path) {
-  std::FILE *F = std::fopen(Path.c_str(), "w");
-  if (!F) {
-    std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+  std::FILE *F = sepe::bench::openJsonReport(Path, "micro_hash");
+  if (!F)
     return false;
-  }
-  std::fprintf(F, "{\n  \"benchmark\": \"micro_hash\",\n");
   std::fprintf(F, "  \"keys_per_batch\": %zu,\n", BenchKeyCount);
   std::fprintf(F, "  \"unit\": \"ns_per_key\",\n  \"results\": [\n");
   for (size_t I = 0; I != Rows.size(); ++I) {
@@ -221,8 +220,8 @@ bool writeJson(const std::vector<JsonRow> &Rows, const std::string &Path) {
     }
     std::fprintf(F, "}%s\n", I + 1 == Rows.size() ? "" : ",");
   }
-  std::fprintf(F, "  ]\n}\n");
-  std::fclose(F);
+  std::fprintf(F, "  ],\n");
+  sepe::bench::closeJsonReport(F);
   return true;
 }
 

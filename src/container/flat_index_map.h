@@ -41,6 +41,7 @@
 #define SEPE_CONTAINER_FLAT_INDEX_MAP_H
 
 #include "core/executor.h"
+#include "support/telemetry.h"
 
 #include <bit>
 #include <cassert>
@@ -204,6 +205,7 @@ public:
     const int8_t Tag = tagOf(Scrambled);
     const size_t GroupMask = groupCount() - 1;
     size_t G = homeGroup(Scrambled);
+    SEPE_TELEMETRY_ONLY(size_t ScannedGroups = 1;)
     while (true) {
       const int8_t *GroupCtrl = Ctrl.data() + G * swiss::GroupSize;
       uint32_t Match = swiss::matchTag(GroupCtrl, Tag);
@@ -211,20 +213,25 @@ public:
         const size_t S =
             G * swiss::GroupSize + static_cast<size_t>(std::countr_zero(Match));
         if (Slots[S].Image == Image) {
+          SEPE_RECORD("flat_index_map.probe_groups.erase", ScannedGroups);
           if (swiss::matchEmpty(GroupCtrl) != 0) {
             Ctrl[S] = swiss::CtrlEmpty;
           } else {
             Ctrl[S] = swiss::CtrlDeleted;
             ++Tombstones;
+            SEPE_COUNT("flat_index_map.tombstones.created");
           }
           --Elements;
           return true;
         }
         Match &= Match - 1;
       }
-      if (swiss::matchEmpty(GroupCtrl) != 0)
+      if (swiss::matchEmpty(GroupCtrl) != 0) {
+        SEPE_RECORD("flat_index_map.probe_groups.erase", ScannedGroups);
         return false;
+      }
       G = (G + 1) & GroupMask;
+      SEPE_TELEMETRY_ONLY(++ScannedGroups;)
     }
   }
 
@@ -304,6 +311,10 @@ private:
     // Never shrink; when the live elements still fit the current
     // capacity this is the tombstone-dropping same-size rehash.
     NewCapacity = std::max(NewCapacity, capacity());
+    if (NewCapacity == capacity())
+      SEPE_COUNT("flat_index_map.rehash.tombstone_sweep");
+    else
+      SEPE_COUNT("flat_index_map.rehash.grow");
     std::vector<int8_t> OldCtrl = std::move(Ctrl);
     std::vector<Slot> OldSlots = std::move(Slots);
     Ctrl.assign(NewCapacity, swiss::CtrlEmpty);
@@ -322,14 +333,17 @@ private:
     const size_t GroupMask = groupCount() - 1;
     size_t G = homeGroup(Scrambled);
     size_t Candidate = SIZE_MAX;
+    SEPE_TELEMETRY_ONLY(size_t ScannedGroups = 1;)
     while (true) {
       const int8_t *GroupCtrl = Ctrl.data() + G * swiss::GroupSize;
       uint32_t Match = swiss::matchTag(GroupCtrl, Tag);
       while (Match != 0) {
         const size_t S =
             G * swiss::GroupSize + static_cast<size_t>(std::countr_zero(Match));
-        if (Slots[S].Image == Image)
+        if (Slots[S].Image == Image) {
+          SEPE_RECORD("flat_index_map.probe_groups.insert", ScannedGroups);
           return false;
+        }
         Match &= Match - 1;
       }
       // Remember the first reusable slot (tombstones included) but keep
@@ -343,7 +357,9 @@ private:
       if (swiss::matchEmpty(GroupCtrl) != 0)
         break;
       G = (G + 1) & GroupMask;
+      SEPE_TELEMETRY_ONLY(++ScannedGroups;)
     }
+    SEPE_RECORD("flat_index_map.probe_groups.insert", ScannedGroups);
     assert(Candidate != SIZE_MAX && "load bound guarantees a free slot");
     if (Ctrl[Candidate] == swiss::CtrlDeleted)
       --Tombstones;
@@ -359,19 +375,27 @@ private:
     const int8_t Tag = tagOf(Scrambled);
     const size_t GroupMask = groupCount() - 1;
     size_t G = homeGroup(Scrambled);
+    SEPE_TELEMETRY_ONLY(size_t ScannedGroups = 1;)
     while (true) {
       const int8_t *GroupCtrl = Ctrl.data() + G * swiss::GroupSize;
       uint32_t Match = swiss::matchTag(GroupCtrl, Tag);
       while (Match != 0) {
         const size_t S =
             G * swiss::GroupSize + static_cast<size_t>(std::countr_zero(Match));
-        if (Slots[S].Image == Image)
+        if (Slots[S].Image == Image) {
+          SEPE_RECORD("flat_index_map.probe_groups.find", ScannedGroups);
+          SEPE_COUNT("flat_index_map.find.hit");
           return &Slots[S].V;
+        }
         Match &= Match - 1;
       }
-      if (swiss::matchEmpty(GroupCtrl) != 0)
+      if (swiss::matchEmpty(GroupCtrl) != 0) {
+        SEPE_RECORD("flat_index_map.probe_groups.find", ScannedGroups);
+        SEPE_COUNT("flat_index_map.find.miss");
         return nullptr;
+      }
       G = (G + 1) & GroupMask;
+      SEPE_TELEMETRY_ONLY(++ScannedGroups;)
     }
   }
 

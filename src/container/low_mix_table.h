@@ -17,6 +17,8 @@
 #ifndef SEPE_CONTAINER_LOW_MIX_TABLE_H
 #define SEPE_CONTAINER_LOW_MIX_TABLE_H
 
+#include "support/telemetry.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
@@ -46,6 +48,7 @@ public:
     if (Elements + 1 > Buckets.size())
       rehash(Buckets.size() * 2);
     std::vector<Key> &Bucket = Buckets[indexForHash(H)];
+    SEPE_RECORD("low_mix_table.chain_len.insert", Bucket.size());
     if (std::find(Bucket.begin(), Bucket.end(), K) != Bucket.end())
       return false;
     Bucket.push_back(K);
@@ -60,6 +63,7 @@ public:
   /// Membership given the precomputed hash \p H (== Hasher(K)).
   bool containsHashed(const Key &K, uint64_t H) const {
     const std::vector<Key> &Bucket = Buckets[indexForHash(H)];
+    SEPE_RECORD("low_mix_table.chain_len.lookup", Bucket.size());
     return std::find(Bucket.begin(), Bucket.end(), K) != Bucket.end();
   }
 
@@ -110,6 +114,7 @@ public:
   }
 
   void rehash(size_t NewBucketCount) {
+    SEPE_COUNT("low_mix_table.rehash");
     NewBucketCount = std::max<size_t>(NewBucketCount, 1);
     std::vector<std::vector<Key>> Old = std::move(Buckets);
     Buckets.assign(NewBucketCount, {});

@@ -6,6 +6,8 @@
 
 #include "core/analysis.h"
 
+#include "support/telemetry.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -57,6 +59,7 @@ LoadWord makeLoad(const KeyPattern &Pattern, uint32_t Offset,
 } // namespace
 
 std::vector<LoadWord> sepe::computeLoadsAllBytes(const KeyPattern &Pattern) {
+  SEPE_SPAN("synthesis.analysis.loads");
   assert(Pattern.isFixedLength() && "Naive layout requires fixed length");
   const size_t Len = Pattern.maxLength();
   assert(Len >= 8 && "short keys fall back to the standard hash");
@@ -78,6 +81,7 @@ std::vector<LoadWord> sepe::computeLoadsAllBytes(const KeyPattern &Pattern) {
 
 std::vector<LoadWord>
 sepe::computeLoadsSkippingConst(const KeyPattern &Pattern) {
+  SEPE_SPAN("synthesis.analysis.loads");
   assert(Pattern.isFixedLength() && "const-skipping layout requires fixed "
                                     "length");
   const size_t Len = Pattern.maxLength();
@@ -102,6 +106,7 @@ sepe::computeLoadsSkippingConst(const KeyPattern &Pattern) {
 }
 
 SkipTable sepe::buildSkipTable(const KeyPattern &Pattern) {
+  SEPE_SPAN("synthesis.analysis.skip_table");
   const size_t MinLen = Pattern.minLength();
   SkipTable Table;
   std::vector<uint32_t> Offsets;

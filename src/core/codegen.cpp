@@ -7,6 +7,7 @@
 #include "core/codegen.h"
 
 #include "hashes/aes_round.h"
+#include "support/telemetry.h"
 
 #include <cassert>
 #include <cstdio>
@@ -384,6 +385,7 @@ static inline uint64_t sepe_aes_fold(SepeBlock FinalState) {
 
 std::string sepe::emitHashFunction(const HashPlan &Plan,
                                    const CodegenOptions &Options) {
+  SEPE_SPAN("synthesis.codegen");
   const std::string Name =
       Options.StructName.empty() ? defaultName(Plan) : Options.StructName;
   std::string Out;

@@ -1022,4 +1022,25 @@ SynthesizedHash::SynthesizedHash(std::shared_ptr<const HashPlan> Plan,
   const BatchChoice Choice = selectBatch(*this->Plan, Isa, Preferred);
   Batch = Choice.Fn;
   Resolved = Choice.Path;
+#if defined(SEPE_TELEMETRY)
+  // Attach-time kernel selection: how often each rung wins, and how
+  // often a non-Auto request could not be honored as asked (resolved
+  // downward by plan shape, ISA ceiling, or missing host support).
+  SEPE_COUNT("executor.attach.total");
+  switch (Resolved) {
+  case BatchPath::Auto:
+    break; // Resolved is never Auto.
+  case BatchPath::Scalar:
+    SEPE_COUNT("executor.attach.batch_path.scalar");
+    break;
+  case BatchPath::Interleaved:
+    SEPE_COUNT("executor.attach.batch_path.interleaved");
+    break;
+  case BatchPath::Avx2:
+    SEPE_COUNT("executor.attach.batch_path.avx2");
+    break;
+  }
+  if (Preferred != BatchPath::Auto && Preferred != Resolved)
+    SEPE_COUNT("executor.attach.request_downgraded");
+#endif
 }

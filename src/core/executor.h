@@ -24,6 +24,7 @@
 #define SEPE_CORE_EXECUTOR_H
 
 #include "core/plan.h"
+#include "support/telemetry.h"
 
 #include <cassert>
 #include <memory>
@@ -55,6 +56,33 @@ enum class BatchPath { Auto, Scalar, Interleaved, Avx2 };
 /// the strings BENCH_*.json records so trajectories name the kernel
 /// actually dispatched at runtime, not the compiled-in ceiling.
 const char *batchPathName(BatchPath Path);
+
+#if defined(SEPE_TELEMETRY)
+/// Per-call batch dispatch accounting: which rung ran, how many keys
+/// the call carried, and how many tail keys fell off the end of the
+/// 4-wide interleave groups (the stragglers every batch kernel finishes
+/// on its per-key epilogue). Names must be literals per rung so the
+/// macro's static caching applies.
+inline void recordBatchDispatch(BatchPath Resolved, size_t N) {
+  switch (Resolved) {
+  case BatchPath::Auto: // Resolved is never Auto; keep -Wswitch happy.
+    break;
+  case BatchPath::Scalar:
+    SEPE_COUNT("executor.batch.calls.scalar");
+    SEPE_RECORD("executor.batch.keys.scalar", N);
+    break;
+  case BatchPath::Interleaved:
+    SEPE_COUNT("executor.batch.calls.interleaved");
+    SEPE_RECORD("executor.batch.keys.interleaved", N);
+    break;
+  case BatchPath::Avx2:
+    SEPE_COUNT("executor.batch.calls.avx2");
+    SEPE_RECORD("executor.batch.keys.avx2", N);
+    break;
+  }
+  SEPE_RECORD("executor.batch.tail_keys", N % 4);
+}
+#endif
 
 /// A container-ready hash functor backed by a HashPlan. Copyable and
 /// cheap to copy (shared plan ownership), so it can be handed to
@@ -88,6 +116,7 @@ public:
   /// paper's generated functions.
   size_t operator()(std::string_view Key) const {
     assert(Plan && "hashing with an empty SynthesizedHash");
+    SEPE_COUNT("executor.single.calls");
     return Eval(*Plan, Key.data(), Key.size());
   }
 
@@ -100,6 +129,9 @@ public:
   void hashBatch(const std::string_view *Keys, uint64_t *Out,
                  size_t N) const {
     assert(Plan && "hashing with an empty SynthesizedHash");
+#if defined(SEPE_TELEMETRY)
+    recordBatchDispatch(Resolved, N);
+#endif
     Batch(*Plan, Keys, Out, N);
   }
 

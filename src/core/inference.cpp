@@ -6,6 +6,8 @@
 
 #include "core/inference.h"
 
+#include "support/telemetry.h"
+
 #include <istream>
 
 using namespace sepe;
@@ -47,6 +49,8 @@ KeyPattern PatternBuilder::pattern() const {
 }
 
 KeyPattern sepe::inferPattern(const std::vector<std::string> &Keys) {
+  SEPE_SPAN("synthesis.infer_join");
+  SEPE_COUNT_N("synthesis.infer_join.keys", Keys.size());
   PatternBuilder Builder;
   for (const std::string &Key : Keys)
     Builder.addKey(Key);
@@ -54,6 +58,7 @@ KeyPattern sepe::inferPattern(const std::vector<std::string> &Keys) {
 }
 
 KeyPattern sepe::inferPatternFromStream(std::istream &In) {
+  SEPE_SPAN("synthesis.infer_join");
   PatternBuilder Builder;
   std::string Line;
   while (std::getline(In, Line)) {

@@ -6,6 +6,8 @@
 
 #include "core/regex_parser.h"
 
+#include "support/telemetry.h"
+
 #include <cctype>
 #include <optional>
 #include <string>
@@ -305,5 +307,6 @@ private:
 } // namespace
 
 Expected<FormatSpec> sepe::parseRegex(std::string_view Regex) {
+  SEPE_SPAN("synthesis.range_parse");
   return Parser(Regex).run();
 }

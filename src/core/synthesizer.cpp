@@ -6,6 +6,8 @@
 
 #include "core/synthesizer.h"
 
+#include "support/telemetry.h"
+
 #include <bit>
 
 using namespace sepe;
@@ -90,6 +92,8 @@ Expected<HashPlan> synthesizeShortKey(const KeyPattern &Pattern,
 Expected<HashPlan> sepe::synthesize(const KeyPattern &Pattern,
                                     HashFamily Family,
                                     const SynthesisOptions &Options) {
+  SEPE_SPAN("synthesis.plan_construction");
+  SEPE_COUNT("synthesis.plans");
   if (Pattern.empty())
     return Error{"cannot synthesize a hash for an empty key pattern"};
   if (Pattern.freeBitCount() == 0)

@@ -6,7 +6,9 @@
 
 #include "driver/experiment.h"
 
+#include "container/flat_index_map.h"
 #include "support/batch.h"
+#include "support/telemetry.h"
 
 #include <algorithm>
 #include <chrono>
@@ -272,6 +274,8 @@ ExperimentResult sepe::runExperiment(const Workload &Work,
                                      const ExperimentConfig &Config,
                                      HashKind Kind,
                                      const HashFunctionSet &Set) {
+  SEPE_SPAN("driver.experiment");
+  SEPE_COUNT("driver.experiment.count");
   return Set.visit(Kind, [&](const auto &Hasher) {
     return runWithHasher(Hasher, Work, Config);
   });
@@ -302,6 +306,38 @@ sepe::measureBatchLadder(const Workload &Work, HashKind Kind,
     Rungs.push_back({Path, timeHashingBatch(Forced, Work)});
   }
   return Rungs;
+}
+
+bool sepe::runFlatIndexProbe(const Workload &Work,
+                             const HashFunctionSet &Set,
+                             FlatIndexProbeResult &Result) {
+  const SynthesizedHash &Pext = Set.synthesized(HashFamily::Pext);
+  if (!Pext.valid() || !Pext.plan().Bijective)
+    return false;
+  SEPE_SPAN("driver.flat_index_probe");
+  FlatIndexMap<uint64_t> Map(Pext, Work.Keys.size());
+  uint64_t Sink = 0;
+  const auto Start = std::chrono::steady_clock::now();
+  for (const auto &[Op, Index] : Work.Schedule) {
+    const std::string &Key = Work.Keys[Index];
+    switch (Op) {
+    case Workload::Op::Insert:
+      Map.insert(Key, Index);
+      break;
+    case Workload::Op::Search:
+      Sink += Map.find(Key) != nullptr ? 1 : 0;
+      break;
+    case Workload::Op::Erase:
+      Map.erase(Key);
+      break;
+    }
+  }
+  Result.BTimeMs = elapsedMs(Start);
+  doNotOptimize(Sink);
+  Result.FinalSize = Map.size();
+  Result.MaxProbeGroups = Map.maxProbeLength();
+  Result.Tombstones = Map.tombstones();
+  return true;
 }
 
 uint64_t sepe::countTrueCollisions(const std::vector<std::string> &Keys,

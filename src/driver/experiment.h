@@ -109,6 +109,27 @@ std::vector<BatchLadderTiming> measureBatchLadder(const Workload &Work,
                                                   HashKind Kind,
                                                   const HashFunctionSet &Set);
 
+/// The specialized-storage replay: the same schedule run against a
+/// FlatIndexMap keyed by the bijective Pext image (the future-work
+/// extension). This is the driver surface that exercises the
+/// instrumented SwissTable probes, so a `sepedriver --metrics` run
+/// fills the flat_index_map.* probe-length histograms; the struct also
+/// reports the structural stats those histograms summarize.
+struct FlatIndexProbeResult {
+  double BTimeMs = 0;
+  size_t FinalSize = 0;
+  /// Longest probe sequence over the final contents, in 16-slot
+  /// control groups (1 = every key in its home group).
+  size_t MaxProbeGroups = 0;
+  size_t Tombstones = 0;
+};
+
+/// Fills \p Result by replaying \p Work's schedule against a
+/// FlatIndexMap; returns false untouched when the set's Pext plan is
+/// not bijective (keyless storage would be unsound).
+bool runFlatIndexProbe(const Workload &Work, const HashFunctionSet &Set,
+                       FlatIndexProbeResult &Result);
+
 /// Counts distinct keys whose 64-bit hash collides with an earlier key
 /// (the paper's T-Coll).
 uint64_t countTrueCollisions(const std::vector<std::string> &Keys,

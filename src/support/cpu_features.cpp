@@ -51,6 +51,24 @@ const CpuFeatures &sepe::cpuFeatures() {
   return Features;
 }
 
+std::string sepe::cpuFeatureString() {
+  const CpuFeatures &F = cpuFeatures();
+  std::string Out;
+  const auto Append = [&Out](bool Present, const char *Name) {
+    if (!Present)
+      return;
+    if (!Out.empty())
+      Out += '+';
+    Out += Name;
+  };
+  Append(F.Sse2, "sse2");
+  Append(F.Ssse3, "ssse3");
+  Append(F.Avx2, "avx2");
+  Append(F.Bmi2, "bmi2");
+  Append(F.Aesni, "aesni");
+  return Out.empty() ? "none" : Out;
+}
+
 bool sepe::avx2BatchAvailable() {
 #if defined(__AVX2__) && !defined(SEPE_DISABLE_AVX2)
   return cpuFeatures().Avx2;

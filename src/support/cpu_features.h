@@ -21,6 +21,8 @@
 #ifndef SEPE_SUPPORT_CPU_FEATURES_H
 #define SEPE_SUPPORT_CPU_FEATURES_H
 
+#include <string>
+
 namespace sepe {
 
 /// The instruction-set extensions the executor and containers care
@@ -42,6 +44,13 @@ const CpuFeatures &cpuFeatures();
 /// supported by the running CPU. The single gate every AVX2 dispatch
 /// decision goes through.
 bool avx2BatchAvailable();
+
+/// The probed host features as one self-describing string, e.g.
+/// "sse2+ssse3+avx2+bmi2+aesni" ("none" when no optional set is
+/// present — the non-x86 case). What sepedriver prints in its report
+/// header and BENCH_*.json records as "cpu_features", so trajectory
+/// files name the hardware they were measured on.
+std::string cpuFeatureString();
 
 } // namespace sepe
 

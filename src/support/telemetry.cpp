@@ -1,0 +1,162 @@
+//===- support/telemetry.cpp - Metric registry + JSON export -------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/telemetry.h"
+
+#if defined(SEPE_TELEMETRY)
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#endif
+
+using namespace sepe;
+
+#if defined(SEPE_TELEMETRY)
+
+namespace {
+
+/// Name -> metric maps. std::map because its nodes never move: the
+/// references handed out by counter()/histogram()/span() must stay
+/// valid for the process lifetime (instrumentation sites cache them in
+/// function-local statics).
+struct Registry {
+  std::mutex Mutex;
+  std::map<std::string, telemetry::Counter> Counters;
+  std::map<std::string, telemetry::Histogram> Histograms;
+  std::map<std::string, telemetry::Histogram> Spans;
+};
+
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+bool envEnabled() {
+  const char *Env = std::getenv("SEPE_TELEMETRY_ENABLED");
+  return Env != nullptr && Env[0] != '\0' && Env[0] != '0';
+}
+
+void appendEscaped(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+}
+
+/// One histogram as {"count":..,"sum":..,"max":..,"buckets":[..]} with
+/// the bucket array trimmed to the highest non-zero bucket (the fixed
+/// 65-bucket layout is part of the schema, so readers can reconstruct
+/// the ranges from the index alone).
+void appendHistogram(std::string &Out, const telemetry::Histogram &H) {
+  Out += "{\"count\":" + std::to_string(H.count());
+  Out += ",\"sum\":" + std::to_string(H.sum());
+  Out += ",\"max\":" + std::to_string(H.max());
+  Out += ",\"buckets\":[";
+  size_t Last = 0;
+  for (size_t I = 0; I != telemetry::Histogram::NumBuckets; ++I)
+    if (H.bucket(I) != 0)
+      Last = I;
+  for (size_t I = 0; I <= Last; ++I) {
+    if (I != 0)
+      Out += ',';
+    Out += std::to_string(H.bucket(I));
+  }
+  Out += "]}";
+}
+
+void appendHistogramMap(std::string &Out, const char *Section,
+                        const std::map<std::string, telemetry::Histogram> &M) {
+  Out += '"';
+  Out += Section;
+  Out += "\":{";
+  bool First = true;
+  for (const auto &[Name, H] : M) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"';
+    appendEscaped(Out, Name);
+    Out += "\":";
+    appendHistogram(Out, H);
+  }
+  Out += '}';
+}
+
+} // namespace
+
+std::atomic<bool> telemetry::detail::EnabledFlag{envEnabled()};
+
+bool telemetry::compiledIn() { return true; }
+
+void telemetry::setEnabled(bool On) {
+  detail::EnabledFlag.store(On, std::memory_order_relaxed);
+}
+
+telemetry::Counter &telemetry::counter(const char *Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  return R.Counters[Name];
+}
+
+telemetry::Histogram &telemetry::histogram(const char *Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  return R.Histograms[Name];
+}
+
+telemetry::Histogram &telemetry::span(const char *Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  return R.Spans[Name];
+}
+
+std::string telemetry::toJson() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  std::string Out = "{\"schema_version\":1,\"compiled_in\":true,";
+  Out += std::string("\"enabled\":") + (enabled() ? "true" : "false") + ",";
+  Out += "\"counters\":{";
+  bool First = true;
+  for (const auto &[Name, C] : R.Counters) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"';
+    appendEscaped(Out, Name);
+    Out += "\":" + std::to_string(C.value());
+  }
+  Out += "},";
+  appendHistogramMap(Out, "histograms", R.Histograms);
+  Out += ',';
+  appendHistogramMap(Out, "spans", R.Spans);
+  Out += '}';
+  return Out;
+}
+
+void telemetry::resetAll() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  for (auto &[Name, C] : R.Counters)
+    C.reset();
+  for (auto &[Name, H] : R.Histograms)
+    H.reset();
+  for (auto &[Name, H] : R.Spans)
+    H.reset();
+}
+
+#else // !SEPE_TELEMETRY
+
+bool telemetry::compiledIn() { return false; }
+
+std::string telemetry::toJson() {
+  return "{\"schema_version\":1,\"compiled_in\":false,\"enabled\":false,"
+         "\"counters\":{},\"histograms\":{},\"spans\":{}}";
+}
+
+void telemetry::resetAll() {}
+
+#endif // SEPE_TELEMETRY

@@ -1,0 +1,279 @@
+//===- support/telemetry.h - Zero-overhead-when-off metrics ----*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability substrate: atomic counters, fixed-bucket log2
+/// histograms, and RAII scoped timers, all reachable by name through a
+/// process-wide registry that serializes to JSON. Instrumentation sites
+/// use the SEPE_COUNT / SEPE_RECORD / SEPE_SPAN macros, which cache the
+/// registry lookup in a function-local static so the steady-state cost
+/// of a hot-path metric is one relaxed atomic op.
+///
+/// Two gates, by design:
+///
+///   - compile time: without -DSEPE_TELEMETRY the macros expand to
+///     nothing and the metric types become empty shims, so every call
+///     site compiles to zero instructions — the default for release
+///     builds and the reason the batch kernels can be instrumented at
+///     all;
+///   - runtime: with telemetry compiled in, recording is further gated
+///     on an atomic enabled flag (off unless setEnabled(true) is called
+///     or SEPE_TELEMETRY_ENABLED is set in the environment), so an
+///     instrumented binary pays one predictable branch per site until a
+///     caller asks for metrics.
+///
+/// Registered metrics live for the process lifetime; resetAll() zeroes
+/// values but never unregisters, so cached references stay valid.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_SUPPORT_TELEMETRY_H
+#define SEPE_SUPPORT_TELEMETRY_H
+
+#include <cstdint>
+#include <string>
+
+#if defined(SEPE_TELEMETRY)
+#include <atomic>
+#include <bit>
+#include <chrono>
+#endif
+
+namespace sepe::telemetry {
+
+/// True when the library was built with -DSEPE_TELEMETRY; lets tests
+/// and tools branch on whether recorded values can be non-zero.
+bool compiledIn();
+
+/// Serializes every registered metric to one JSON object (see
+/// DESIGN.md "Observability" for the schema). Always valid JSON — a
+/// compiled-out build reports {"compiled_in": false, ...} with empty
+/// sections, so BENCH_*.json embedding never needs to special-case.
+std::string toJson();
+
+/// Zeroes every registered counter, histogram, and span in place.
+void resetAll();
+
+#if defined(SEPE_TELEMETRY)
+
+namespace detail {
+/// The runtime gate. Out-of-line initialization (telemetry.cpp) seeds
+/// it from the SEPE_TELEMETRY_ENABLED environment variable.
+extern std::atomic<bool> EnabledFlag;
+} // namespace detail
+
+inline bool enabled() {
+  return detail::EnabledFlag.load(std::memory_order_relaxed);
+}
+void setEnabled(bool On);
+
+/// Monotonic event count. Thread-safe; relaxed ordering is enough since
+/// metrics are only read at serialization points.
+class Counter {
+public:
+  void add(uint64_t N = 1) {
+    if (enabled())
+      Value.fetch_add(N, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+  void reset() { Value.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> Value{0};
+};
+
+/// Fixed-bucket log2 histogram of uint64 samples: bucket 0 holds the
+/// value 0, bucket i (i >= 1) the range [2^(i-1), 2^i). 65 buckets
+/// cover the full domain, so record() never clamps and never allocates.
+class Histogram {
+public:
+  static constexpr size_t NumBuckets = 65;
+
+  static size_t bucketOf(uint64_t V) {
+    return static_cast<size_t>(std::bit_width(V));
+  }
+
+  /// Lowest value bucket \p I can hold (the inclusive bucket floor).
+  static uint64_t bucketFloor(size_t I) {
+    return I == 0 ? 0 : uint64_t{1} << (I - 1);
+  }
+
+  void record(uint64_t V) {
+    if (!enabled())
+      return;
+    Buckets[bucketOf(V)].fetch_add(1, std::memory_order_relaxed);
+    Count.fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(V, std::memory_order_relaxed);
+    uint64_t Prev = Max.load(std::memory_order_relaxed);
+    while (V > Prev &&
+           !Max.compare_exchange_weak(Prev, V, std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  uint64_t max() const { return Max.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+
+  void reset() {
+    for (std::atomic<uint64_t> &B : Buckets)
+      B.store(0, std::memory_order_relaxed);
+    Count.store(0, std::memory_order_relaxed);
+    Sum.store(0, std::memory_order_relaxed);
+    Max.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<uint64_t> Buckets[NumBuckets]{};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Max{0};
+};
+
+/// Times a scope and records the elapsed nanoseconds into a span
+/// histogram on destruction. When telemetry is runtime-disabled the
+/// clock is never read.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(Histogram &Span)
+      : Span(enabled() ? &Span : nullptr) {
+    if (this->Span)
+      Start = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (Span)
+      Span->record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - Start)
+              .count()));
+  }
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+private:
+  Histogram *Span;
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// Registry lookups: return the metric registered under \p Name,
+/// creating it on first use. References are stable for the process
+/// lifetime. Names are dotted lowercase paths ("layer.object.event").
+Counter &counter(const char *Name);
+Histogram &histogram(const char *Name);
+/// Like histogram() but serialized under "spans" with ns units.
+Histogram &span(const char *Name);
+
+#else // !SEPE_TELEMETRY
+
+// Compiled-out shims: same API surface so non-macro callers (tests,
+// tools) build unchanged; every member is an empty inline the optimizer
+// deletes.
+
+inline bool enabled() { return false; }
+inline void setEnabled(bool) {}
+
+class Counter {
+public:
+  void add(uint64_t = 1) {}
+  uint64_t value() const { return 0; }
+  void reset() {}
+};
+
+class Histogram {
+public:
+  static constexpr size_t NumBuckets = 65;
+  static size_t bucketOf(uint64_t) { return 0; }
+  static uint64_t bucketFloor(size_t) { return 0; }
+  void record(uint64_t) {}
+  uint64_t count() const { return 0; }
+  uint64_t sum() const { return 0; }
+  uint64_t max() const { return 0; }
+  uint64_t bucket(size_t) const { return 0; }
+  void reset() {}
+};
+
+class ScopedTimer {
+public:
+  explicit ScopedTimer(Histogram &) {}
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+};
+
+inline Counter &counter(const char *) {
+  static Counter Dummy;
+  return Dummy;
+}
+inline Histogram &histogram(const char *) {
+  static Histogram Dummy;
+  return Dummy;
+}
+inline Histogram &span(const char *) {
+  static Histogram Dummy;
+  return Dummy;
+}
+
+#endif // SEPE_TELEMETRY
+
+} // namespace sepe::telemetry
+
+// --- Instrumentation-site macros -------------------------------------------
+//
+// NAME must be a string literal (it is the registry key and is cached in
+// a function-local static on first execution). In compiled-out builds
+// every macro expands to nothing; SEPE_TELEMETRY_ONLY(...) guards the
+// occasional helper statement (a probe-length local, say) that only
+// exists to feed a metric.
+
+#if defined(SEPE_TELEMETRY)
+
+#define SEPE_TELEMETRY_CAT2(A, B) A##B
+#define SEPE_TELEMETRY_CAT(A, B) SEPE_TELEMETRY_CAT2(A, B)
+
+#define SEPE_COUNT_N(NAME, N)                                               \
+  do {                                                                      \
+    static ::sepe::telemetry::Counter &SepeTelemetrySiteCounter =           \
+        ::sepe::telemetry::counter(NAME);                                   \
+    SepeTelemetrySiteCounter.add(N);                                        \
+  } while (0)
+#define SEPE_COUNT(NAME) SEPE_COUNT_N(NAME, 1)
+
+#define SEPE_RECORD(NAME, V)                                                \
+  do {                                                                      \
+    static ::sepe::telemetry::Histogram &SepeTelemetrySiteHistogram =       \
+        ::sepe::telemetry::histogram(NAME);                                 \
+    SepeTelemetrySiteHistogram.record(V);                                   \
+  } while (0)
+
+#define SEPE_SPAN(NAME)                                                     \
+  static ::sepe::telemetry::Histogram &SEPE_TELEMETRY_CAT(                  \
+      SepeTelemetrySiteSpan, __LINE__) = ::sepe::telemetry::span(NAME);     \
+  ::sepe::telemetry::ScopedTimer SEPE_TELEMETRY_CAT(SepeTelemetrySiteTimer, \
+                                                    __LINE__)(              \
+      SEPE_TELEMETRY_CAT(SepeTelemetrySiteSpan, __LINE__))
+
+#define SEPE_TELEMETRY_ONLY(...) __VA_ARGS__
+
+#else // !SEPE_TELEMETRY
+
+#define SEPE_COUNT_N(NAME, N)                                               \
+  do {                                                                      \
+  } while (0)
+#define SEPE_COUNT(NAME)                                                    \
+  do {                                                                      \
+  } while (0)
+#define SEPE_RECORD(NAME, V)                                                \
+  do {                                                                      \
+  } while (0)
+#define SEPE_SPAN(NAME)                                                     \
+  do {                                                                      \
+  } while (0)
+#define SEPE_TELEMETRY_ONLY(...)
+
+#endif // SEPE_TELEMETRY
+
+#endif // SEPE_SUPPORT_TELEMETRY_H

@@ -18,6 +18,8 @@
 
 #include "driver/experiment.h"
 #include "driver/report.h"
+#include "support/cpu_features.h"
+#include "support/telemetry.h"
 
 #include <cstdio>
 #include <cstring>
@@ -38,7 +40,11 @@ void printUsage(const char *Argv0) {
       "  --mode=batched|inter70|inter60|inter40       (default batched)\n"
       "  --affectations=N                             (default 10000)\n"
       "  --seed=N                                     (default 0x5e9e)\n"
-      "  --isa=native|nobext|portable                 (default native)\n",
+      "  --isa=native|nobext|portable                 (default native)\n"
+      "  --metrics=FILE.json   dump the telemetry registry (counters,\n"
+      "                        histograms, spans) as JSON after the run;\n"
+      "                        needs a -DSEPE_TELEMETRY=ON build for\n"
+      "                        non-empty data\n",
       Argv0);
 }
 
@@ -51,12 +57,25 @@ bool parseValue(const std::string &Arg, const char *Name,
   return true;
 }
 
+const char *isaLevelName(IsaLevel Isa) {
+  switch (Isa) {
+  case IsaLevel::Native:
+    return "native";
+  case IsaLevel::NoBitExtract:
+    return "nobext";
+  case IsaLevel::Portable:
+    return "portable";
+  }
+  return "?";
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   PaperKey Key = PaperKey::SSN;
   ExperimentConfig Config;
   IsaLevel Isa = IsaLevel::Native;
+  std::string MetricsPath;
 
   for (int I = 1; I != Argc; ++I) {
     const std::string Arg = Argv[I];
@@ -122,6 +141,8 @@ int main(int Argc, char **Argv) {
       Config.Affectations = std::stoul(Value);
     } else if (parseValue(Arg, "seed", Value)) {
       Config.Seed = std::stoull(Value);
+    } else if (parseValue(Arg, "metrics", Value)) {
+      MetricsPath = Value;
     } else if (parseValue(Arg, "isa", Value)) {
       if (Value == "native")
         Isa = IsaLevel::Native;
@@ -140,14 +161,33 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  if (!MetricsPath.empty()) {
+    if (!telemetry::compiledIn())
+      std::fprintf(stderr,
+                   "warning: --metrics requested but this binary was built "
+                   "without -DSEPE_TELEMETRY=ON; the dump will be empty\n");
+    telemetry::setEnabled(true);
+  }
+
   std::printf("experiment: key=%s container=%s distribution=%s spread=%zu "
-              "mode=%s affectations=%zu\n\n",
+              "mode=%s affectations=%zu\n",
               paperKeyName(Key), containerKindName(Config.Container),
               distributionName(Config.Distribution), Config.Spread,
               execModeName(Config.Mode), Config.Affectations);
+  std::printf("isa: requested=%s resolved=%s\n", isaLevelName(Isa),
+              cpuFeatureString().c_str());
 
   const HashFunctionSet Set = HashFunctionSet::create(Key, Isa);
   const Workload Work = makeWorkload(Key, Config);
+
+  std::printf("batch path:");
+  for (HashKind Kind : SyntheticHashKinds) {
+    if (Isa != IsaLevel::Native && Kind == HashKind::Pext)
+      continue;
+    std::printf(" %s=%s", hashKindName(Kind),
+                Set.synthesized(syntheticFamily(Kind)).batchPathName());
+  }
+  std::printf("\n\n");
 
   TextTable Table(
       {"Function", "B-Time (ms)", "H-Time (ms)", "B-Coll", "T-Coll"});
@@ -185,6 +225,28 @@ int main(int Argc, char **Argv) {
                            : "-"});
     }
     std::printf("%s", Ladder.str().c_str());
+  }
+
+  FlatIndexProbeResult Probe;
+  if (runFlatIndexProbe(Work, Set, Probe))
+    std::printf("\nspecialized storage (FlatIndexMap over the bijective "
+                "Pext plan):\n  schedule B-Time %s ms, final size %zu, "
+                "max probe %zu group(s), tombstones %zu\n",
+                formatDouble(Probe.BTimeMs).c_str(), Probe.FinalSize,
+                Probe.MaxProbeGroups, Probe.Tombstones);
+
+  if (!MetricsPath.empty()) {
+    std::FILE *Out = std::fopen(MetricsPath.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot open metrics file '%s'\n",
+                   MetricsPath.c_str());
+      return 1;
+    }
+    const std::string Json = telemetry::toJson();
+    std::fwrite(Json.data(), 1, Json.size(), Out);
+    std::fputc('\n', Out);
+    std::fclose(Out);
+    std::printf("\nmetrics written to %s\n", MetricsPath.c_str());
   }
   return 0;
 }

@@ -1,0 +1,275 @@
+//===- tests/test_telemetry.cpp - Observability substrate -----------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs in both build flavors: with -DSEPE_TELEMETRY=ON the full
+// counter/histogram/timer semantics are checked, plus two end-to-end
+// properties (FlatIndexMap probe accounting, executor batch dispatch);
+// without it the same binary checks that the no-op shims really are
+// inert and that toJson() still emits the valid minimal document.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/telemetry.h"
+
+#include "container/flat_index_map.h"
+#include "core/regex_parser.h"
+#include "core/synthesizer.h"
+#include "keygen/distributions.h"
+#include "keygen/paper_formats.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+using namespace sepe;
+
+namespace {
+
+/// Zeroes the registry and enables recording for one test body;
+/// restores the default-off state on scope exit so no other test sees
+/// telemetry enabled.
+struct TelemetryScope {
+  TelemetryScope() {
+    telemetry::resetAll();
+    telemetry::setEnabled(true);
+  }
+  ~TelemetryScope() { telemetry::setEnabled(false); }
+};
+
+SynthesizedHash bijectiveHash(const std::string &Regex) {
+  Expected<FormatSpec> Spec = parseRegex(Regex);
+  EXPECT_TRUE(Spec);
+  Expected<HashPlan> Plan = synthesize(Spec->abstract(), HashFamily::Pext);
+  EXPECT_TRUE(Plan);
+  EXPECT_TRUE(Plan->Bijective) << Regex;
+  return SynthesizedHash(Plan.take());
+}
+
+TEST(TelemetryCoreTest, DisabledByDefault) {
+  // Both flavors: recording must be opt-in (setEnabled or the
+  // SEPE_TELEMETRY_ENABLED env var, which the test harness never sets).
+  EXPECT_FALSE(telemetry::enabled());
+}
+
+TEST(TelemetryCoreTest, CompiledOutShimsAreInert) {
+  if (telemetry::compiledIn())
+    GTEST_SKIP() << "built with SEPE_TELEMETRY; shims not in play";
+  telemetry::setEnabled(true);
+  EXPECT_FALSE(telemetry::enabled());
+
+  telemetry::Counter &C = telemetry::counter("test.shim.counter");
+  C.add(7);
+  EXPECT_EQ(C.value(), 0u);
+
+  telemetry::Histogram &H = telemetry::histogram("test.shim.histogram");
+  H.record(42);
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.sum(), 0u);
+  EXPECT_EQ(H.max(), 0u);
+
+  { telemetry::ScopedTimer T(telemetry::span("test.shim.span")); }
+  EXPECT_EQ(telemetry::span("test.shim.span").count(), 0u);
+
+  const std::string Json = telemetry::toJson();
+  EXPECT_NE(Json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(Json.find("\"compiled_in\":false"), std::string::npos);
+  EXPECT_NE(Json.find("\"counters\":{}"), std::string::npos);
+}
+
+TEST(TelemetryCoreTest, CounterGatesOnEnabledFlag) {
+  if (!telemetry::compiledIn())
+    GTEST_SKIP() << "needs -DSEPE_TELEMETRY=ON";
+  TelemetryScope Scope;
+  telemetry::Counter &C = telemetry::counter("test.counter.gate");
+  C.add();
+  C.add(9);
+  EXPECT_EQ(C.value(), 10u);
+
+  telemetry::setEnabled(false);
+  C.add(100);
+  EXPECT_EQ(C.value(), 10u) << "disabled counter must not move";
+
+  telemetry::setEnabled(true);
+  C.reset();
+  EXPECT_EQ(C.value(), 0u);
+}
+
+TEST(TelemetryCoreTest, HistogramBucketsAndMoments) {
+  if (!telemetry::compiledIn())
+    GTEST_SKIP() << "needs -DSEPE_TELEMETRY=ON";
+  using telemetry::Histogram;
+  // The log2 layout: bucket 0 <- {0}, bucket i <- [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::bucketOf(0), 0u);
+  EXPECT_EQ(Histogram::bucketOf(1), 1u);
+  EXPECT_EQ(Histogram::bucketOf(2), 2u);
+  EXPECT_EQ(Histogram::bucketOf(3), 2u);
+  EXPECT_EQ(Histogram::bucketOf(4), 3u);
+  EXPECT_EQ(Histogram::bucketOf(~uint64_t{0}), 64u);
+  EXPECT_EQ(Histogram::bucketFloor(0), 0u);
+  EXPECT_EQ(Histogram::bucketFloor(1), 1u);
+  EXPECT_EQ(Histogram::bucketFloor(5), 16u);
+
+  TelemetryScope Scope;
+  telemetry::Histogram &H = telemetry::histogram("test.histogram.moments");
+  for (uint64_t V : {0, 1, 2, 3, 1000})
+    H.record(V);
+  EXPECT_EQ(H.count(), 5u);
+  EXPECT_EQ(H.sum(), 1006u);
+  EXPECT_EQ(H.max(), 1000u);
+  EXPECT_EQ(H.bucket(0), 1u);
+  EXPECT_EQ(H.bucket(1), 1u);
+  EXPECT_EQ(H.bucket(2), 2u);
+  EXPECT_EQ(H.bucket(Histogram::bucketOf(1000)), 1u);
+
+  telemetry::setEnabled(false);
+  H.record(5);
+  EXPECT_EQ(H.count(), 5u) << "disabled histogram must not move";
+}
+
+TEST(TelemetryCoreTest, ScopedTimerRecordsOnlyWhenEnabled) {
+  if (!telemetry::compiledIn())
+    GTEST_SKIP() << "needs -DSEPE_TELEMETRY=ON";
+  TelemetryScope Scope;
+  telemetry::Histogram &Span = telemetry::span("test.timer");
+  {
+    telemetry::ScopedTimer T(Span);
+    volatile unsigned Spin = 0;
+    for (unsigned I = 0; I != 1000; ++I)
+      Spin = Spin + 1;
+  }
+  EXPECT_EQ(Span.count(), 1u);
+
+  telemetry::setEnabled(false);
+  { telemetry::ScopedTimer T(Span); }
+  EXPECT_EQ(Span.count(), 1u) << "disabled timer must not record";
+}
+
+TEST(TelemetryCoreTest, MacrosFeedTheRegistryAndResetAllZeroes) {
+  if (!telemetry::compiledIn())
+    GTEST_SKIP() << "needs -DSEPE_TELEMETRY=ON";
+  TelemetryScope Scope;
+  for (int I = 0; I != 3; ++I) {
+    SEPE_COUNT("test.macro.count");
+    SEPE_RECORD("test.macro.record", 16);
+    SEPE_SPAN("test.macro.span");
+  }
+  EXPECT_EQ(telemetry::counter("test.macro.count").value(), 3u);
+  EXPECT_EQ(telemetry::histogram("test.macro.record").count(), 3u);
+  EXPECT_EQ(telemetry::histogram("test.macro.record").sum(), 48u);
+  EXPECT_EQ(telemetry::span("test.macro.span").count(), 3u);
+
+  const std::string Json = telemetry::toJson();
+  EXPECT_NE(Json.find("\"compiled_in\":true"), std::string::npos);
+  EXPECT_NE(Json.find("\"test.macro.count\":3"), std::string::npos);
+  EXPECT_NE(Json.find("\"test.macro.record\""), std::string::npos);
+  EXPECT_NE(Json.find("\"test.macro.span\""), std::string::npos);
+
+  telemetry::resetAll();
+  EXPECT_EQ(telemetry::counter("test.macro.count").value(), 0u);
+  EXPECT_EQ(telemetry::histogram("test.macro.record").count(), 0u);
+  EXPECT_EQ(telemetry::span("test.macro.span").count(), 0u);
+}
+
+// The probe-length property: every find() — hit or miss — records
+// exactly one sample in the probe-groups histogram, so its count must
+// equal the hit counter plus the miss counter, and no probe can scan
+// zero groups.
+TEST(TelemetryFlatIndexMapTest, ProbeHistogramTotalsMatchLookups) {
+  if (!telemetry::compiledIn())
+    GTEST_SKIP() << "needs -DSEPE_TELEMETRY=ON";
+  const SynthesizedHash Pext = bijectiveHash(R"(\d{3}-\d{2}-\d{4})");
+  KeyGenerator Gen(paperKeyFormat(PaperKey::SSN), KeyDistribution::Uniform,
+                   0x7e1e);
+  const std::vector<std::string> Pool = Gen.distinct(4096);
+  const size_t Half = Pool.size() / 2;
+
+  FlatIndexMap<uint64_t> Map(Pext, 16);
+  for (size_t I = 0; I != Half; ++I)
+    Map.insert(Pool[I], I);
+
+  // Enable after the build phase so only the measured lookups count.
+  TelemetryScope Scope;
+  size_t Hits = 0, Misses = 0;
+  for (const std::string &Key : Pool) {
+    if (Map.find(Key) != nullptr)
+      ++Hits;
+    else
+      ++Misses;
+  }
+  ASSERT_EQ(Hits, Half);
+  ASSERT_EQ(Misses, Pool.size() - Half);
+
+  const telemetry::Histogram &Probe =
+      telemetry::histogram("flat_index_map.probe_groups.find");
+  EXPECT_EQ(telemetry::counter("flat_index_map.find.hit").value(), Hits);
+  EXPECT_EQ(telemetry::counter("flat_index_map.find.miss").value(), Misses);
+  EXPECT_EQ(Probe.count(), Hits + Misses);
+  EXPECT_EQ(Probe.bucket(0), 0u) << "a probe always scans >= 1 group";
+  EXPECT_GE(Probe.sum(), Probe.count());
+  EXPECT_GE(Probe.max(), 1u);
+}
+
+TEST(TelemetryDispatchTest, ForcedPathsRecordTheForcedRung) {
+  if (!telemetry::compiledIn())
+    GTEST_SKIP() << "needs -DSEPE_TELEMETRY=ON";
+  Expected<FormatSpec> Spec = parseRegex(R"(\d{3}-\d{2}-\d{4})");
+  ASSERT_TRUE(Spec);
+  Expected<HashPlan> Plan = synthesize(Spec->abstract(), HashFamily::OffXor);
+  ASSERT_TRUE(Plan);
+
+  KeyGenerator Gen(paperKeyFormat(PaperKey::SSN), KeyDistribution::Uniform,
+                   0xd15b);
+  const std::vector<std::string> Keys = Gen.distinct(37);
+  std::vector<std::string_view> Views(Keys.begin(), Keys.end());
+  std::vector<uint64_t> Out(Views.size());
+
+  const char *AllRungs[] = {"scalar", "interleaved", "avx2"};
+  for (BatchPath Preferred :
+       {BatchPath::Scalar, BatchPath::Interleaved, BatchPath::Avx2}) {
+    // A forced request the host cannot honor resolves downward, so the
+    // assertion targets the resolved rung — which IS the forced one
+    // whenever the host supports it, and for Scalar always.
+    const SynthesizedHash Forced(*Plan, IsaLevel::Native, Preferred);
+    const std::string Rung = Forced.batchPathName();
+    if (Preferred == BatchPath::Scalar) {
+      ASSERT_EQ(Rung, "scalar");
+    }
+
+    TelemetryScope Scope;
+    Forced.hashBatch(Views.data(), Out.data(), Views.size());
+
+    const std::string CallsName = "executor.batch.calls." + Rung;
+    const std::string KeysName = "executor.batch.keys." + Rung;
+    EXPECT_EQ(telemetry::counter(CallsName.c_str()).value(), 1u) << Rung;
+    EXPECT_EQ(telemetry::histogram(KeysName.c_str()).count(), 1u) << Rung;
+    EXPECT_EQ(telemetry::histogram(KeysName.c_str()).sum(), Views.size())
+        << Rung;
+    EXPECT_EQ(telemetry::histogram("executor.batch.tail_keys").sum(),
+              Views.size() % 4);
+    for (const char *Other : AllRungs) {
+      if (Rung == Other)
+        continue;
+      const std::string OtherName = std::string("executor.batch.calls.") +
+                                    Other;
+      EXPECT_EQ(telemetry::counter(OtherName.c_str()).value(), 0u)
+          << "forced " << Rung << " must not touch " << Other;
+    }
+  }
+}
+
+TEST(TelemetryDispatchTest, SingleCallCounterMoves) {
+  if (!telemetry::compiledIn())
+    GTEST_SKIP() << "needs -DSEPE_TELEMETRY=ON";
+  const SynthesizedHash Hash = bijectiveHash(R"(\d{3}-\d{2}-\d{4})");
+  TelemetryScope Scope;
+  (void)Hash("123-45-6789");
+  (void)Hash("987-65-4321");
+  EXPECT_EQ(telemetry::counter("executor.single.calls").value(), 2u);
+}
+
+} // namespace
