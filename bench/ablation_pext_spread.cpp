@@ -68,6 +68,14 @@ int main(int Argc, char **Argv) {
     Headers.push_back("TC X=" + std::to_string(X));
   TextTable Table(Headers);
 
+  struct VariantResult {
+    PaperKey Key;
+    bool Spread;
+    uint64_t ModuloBc;
+    std::vector<uint64_t> TruncatedTc;
+  };
+  std::vector<VariantResult> Rows;
+
   for (PaperKey Key : Options.Keys) {
     KeyGenerator Gen(paperKeyFormat(Key), KeyDistribution::Incremental,
                      0xab1a + static_cast<uint64_t>(Key));
@@ -80,21 +88,47 @@ int main(int Argc, char **Argv) {
       if (!Plan)
         std::abort();
       const SynthesizedHash Hash(Plan.take());
+      VariantResult Result{Key, Spread,
+                           moduloBucketCollisions(Hash, Keys,
+                                                  KeyCount * 2),
+                           {}};
+      for (unsigned X : DiscardSweep)
+        Result.TruncatedTc.push_back(truncatedCollisions(Hash, Keys, X));
       std::vector<std::string> Row = {
           paperKeyName(Key), Spread ? "spread" : "packed",
-          formatDouble(static_cast<double>(
-                           moduloBucketCollisions(Hash, Keys,
-                                                  KeyCount * 2)),
-                       0)};
-      for (unsigned X : DiscardSweep)
-        Row.push_back(formatDouble(
-            static_cast<double>(truncatedCollisions(Hash, Keys, X)), 0));
+          formatDouble(static_cast<double>(Result.ModuloBc), 0)};
+      for (uint64_t Tc : Result.TruncatedTc)
+        Row.push_back(formatDouble(static_cast<double>(Tc), 0));
       Table.addRow(std::move(Row));
+      Rows.push_back(std::move(Result));
     }
   }
   std::printf("%s\n", Table.str().c_str());
   std::printf("Expected shape: identical modulo-bucket collisions (the "
               "low bits are untouched), but the spread variant survives "
               "larger X before its truncated hashes collapse.\n");
+
+  if (!Options.JsonPath.empty()) {
+    std::FILE *F = openJsonReport(Options.JsonPath, "ablation_pext_spread");
+    if (!F)
+      return 1;
+    std::fprintf(F, "  \"key_count\": %zu,\n  \"variants\": [\n",
+                 KeyCount);
+    for (size_t I = 0; I != Rows.size(); ++I) {
+      const VariantResult &R = Rows[I];
+      std::fprintf(F,
+                   "    {\"key\": \"%s\", \"variant\": \"%s\", "
+                   "\"modulo_bc\": %llu",
+                   paperKeyName(R.Key), R.Spread ? "spread" : "packed",
+                   static_cast<unsigned long long>(R.ModuloBc));
+      for (size_t X = 0; X != DiscardSweep.size(); ++X)
+        std::fprintf(F, ", \"tc_x%u\": %llu", DiscardSweep[X],
+                     static_cast<unsigned long long>(R.TruncatedTc[X]));
+      std::fprintf(F, "}%s\n", I + 1 == Rows.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ],\n");
+    closeJsonReport(F);
+    std::printf("wrote %s\n", Options.JsonPath.c_str());
+  }
   return 0;
 }

@@ -91,5 +91,25 @@ int main(int Argc, char **Argv) {
               "cost), OffXor %.4f (expected ~0: constant cost).\n",
               pearsonCorrelation(Prefixes, NaiveTimes),
               pearsonCorrelation(Prefixes, OffXorTimes));
+
+  if (!Options.JsonPath.empty()) {
+    std::FILE *F = openJsonReport(Options.JsonPath, "ablation_skip_table");
+    if (!F)
+      return 1;
+    std::fprintf(F, "  \"unit\": \"ns_per_key\",\n  \"prefix_sweep\": [\n");
+    for (size_t I = 0; I != Prefixes.size(); ++I)
+      std::fprintf(F,
+                   "    {\"prefix_bytes\": %.0f, \"naive\": %.2f, "
+                   "\"offxor\": %.2f}%s\n",
+                   Prefixes[I], NaiveTimes[I], OffXorTimes[I],
+                   I + 1 == Prefixes.size() ? "" : ",");
+    std::fprintf(F,
+                 "  ],\n  \"pearson\": {\"naive\": %.4f, "
+                 "\"offxor\": %.4f},\n",
+                 pearsonCorrelation(Prefixes, NaiveTimes),
+                 pearsonCorrelation(Prefixes, OffXorTimes));
+    closeJsonReport(F);
+    std::printf("wrote %s\n", Options.JsonPath.c_str());
+  }
   return 0;
 }

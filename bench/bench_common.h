@@ -18,9 +18,11 @@
 ///
 /// JSON reports share one envelope (openJsonReport/closeJsonReport):
 /// schema_version, the benchmark name, the resolved cpu_features
-/// string, the binary's own payload keys, and a trailing "telemetry"
-/// object — the full registry dump, which is `{"compiled_in": false,
-/// ...}` unless built with -DSEPE_TELEMETRY=ON and enabled via
+/// string, the binary's own payload keys, then a "resources" object
+/// (peak RSS, user/sys CPU, wall clock of the whole run via
+/// support/resource_usage.h) and a trailing "telemetry" object — the
+/// full registry dump, which is `{"compiled_in": false, ...}` unless
+/// built with -DSEPE_TELEMETRY=ON and enabled via
 /// SEPE_TELEMETRY_ENABLED=1 (never auto-enabled here, so timers cannot
 /// perturb the numbers being measured).
 ///
@@ -35,6 +37,7 @@
 #include "driver/experiment.h"
 #include "driver/report.h"
 #include "support/cpu_features.h"
+#include "support/resource_usage.h"
 #include "support/telemetry.h"
 
 #include <cstdio>
@@ -140,13 +143,29 @@ inline std::FILE *openJsonReport(const std::string &Path,
   return F;
 }
 
-/// Finishes a report started by openJsonReport(): embeds the telemetry
-/// registry dump (always valid JSON, even compiled out) as the final
-/// "telemetry" key and closes the file.
+/// Finishes a report started by openJsonReport(): appends the
+/// process-level "resources" section (peak RSS, CPU, wall clock) and
+/// the telemetry registry dump (always valid JSON, even compiled out)
+/// as the final keys, then closes the file.
 inline void closeJsonReport(std::FILE *F) {
+  std::fprintf(F, "  \"resources\": %s,\n",
+               ResourceUsage::sinceProcessStart().toJson().c_str());
   std::fprintf(F, "  \"telemetry\": %s\n}\n",
                telemetry::toJson().c_str());
   std::fclose(F);
+}
+
+/// One BoxStats as a JSON object — the shared shape for per-hash
+/// sample summaries across the fig/table emitters.
+inline std::string boxStatsJson(const BoxStats &Stats) {
+  char Buffer[192];
+  std::snprintf(Buffer, sizeof(Buffer),
+                "{\"min\": %.4f, \"q1\": %.4f, \"median\": %.4f, "
+                "\"q3\": %.4f, \"max\": %.4f, \"mean\": %.4f, "
+                "\"count\": %zu}",
+                Stats.Min, Stats.Q1, Stats.Median, Stats.Q3, Stats.Max,
+                Stats.Mean, Stats.Count);
+  return Buffer;
 }
 
 /// Per-hash accumulator across the experiment grid.

@@ -81,5 +81,30 @@ int main(int Argc, char **Argv) {
               "City; Abseil and FNV slower; Gperf off the chart "
               "(geomean %.3f ms).\n",
               geometricMean(Metrics[HashKind::Gperf].BTime));
+
+  if (!Options.JsonPath.empty()) {
+    std::FILE *F = openJsonReport(Options.JsonPath, "fig13_btime");
+    if (!F)
+      return 1;
+    std::fprintf(F, "  \"unit\": \"ms\",\n  \"btime\": [\n");
+    for (size_t I = 0; I != AllHashKinds.size(); ++I) {
+      const HashKind Kind = AllHashKinds[I];
+      std::fprintf(F,
+                   "    {\"hash\": \"%s\", \"geomean\": %.4f, "
+                   "\"stats\": %s}%s\n",
+                   hashKindName(Kind),
+                   geometricMean(Metrics[Kind].BTime),
+                   boxStatsJson(boxStats(Metrics[Kind].BTime)).c_str(),
+                   I + 1 == AllHashKinds.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ],\n  \"mann_whitney_vs_stl\": {");
+    for (size_t I = 0; I != SyntheticHashKinds.size(); ++I)
+      std::fprintf(F, "%s\"%s\": %.4f", I == 0 ? "" : ", ",
+                   hashKindName(SyntheticHashKinds[I]),
+                   PValue(SyntheticHashKinds[I], HashKind::Stl));
+    std::fprintf(F, "},\n");
+    closeJsonReport(F);
+    std::printf("wrote %s\n", Options.JsonPath.c_str());
+  }
   return 0;
 }

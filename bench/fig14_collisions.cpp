@@ -62,5 +62,31 @@ int main(int Argc, char **Argv) {
   }
   std::printf("\nShape check (paper): no meaningful difference between "
               "synthetic functions and STL; Gperf much higher.\n");
+
+  if (!Options.JsonPath.empty()) {
+    std::FILE *F = openJsonReport(Options.JsonPath, "fig14_collisions");
+    if (!F)
+      return 1;
+    std::fprintf(F, "  \"unit\": \"bucket_collisions\",\n"
+                 "  \"collisions\": [\n");
+    for (size_t I = 0; I != AllHashKinds.size(); ++I) {
+      const HashKind Kind = AllHashKinds[I];
+      const double P =
+          Kind == HashKind::Stl
+              ? 1.0
+              : mannWhitneyU(Metrics[Kind].BColl,
+                             Metrics[HashKind::Stl].BColl)
+                    .PValue;
+      std::fprintf(F,
+                   "    {\"hash\": \"%s\", \"p_vs_stl\": %.4f, "
+                   "\"stats\": %s}%s\n",
+                   hashKindName(Kind), P,
+                   boxStatsJson(boxStats(Metrics[Kind].BColl)).c_str(),
+                   I + 1 == AllHashKinds.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ],\n");
+    closeJsonReport(F);
+    std::printf("wrote %s\n", Options.JsonPath.c_str());
+  }
   return 0;
 }

@@ -73,5 +73,28 @@ int main(int Argc, char **Argv) {
   std::printf("Shape check (paper Figure 15): Aes/Naive/OffXor remain "
               "the fastest even without specialized hardware; Abseil and "
               "FNV close the gap relative to x86.\n");
+
+  if (!Options.JsonPath.empty()) {
+    std::FILE *F = openJsonReport(Options.JsonPath, "fig15_portable");
+    if (!F)
+      return 1;
+    std::fprintf(F, "  \"unit\": \"ms\",\n  \"isa\": \"no_bit_extract\",\n"
+                 "  \"btime\": [\n");
+    for (size_t I = 0; I != Kinds.size(); ++I)
+      std::fprintf(F,
+                   "    {\"hash\": \"%s\", \"geomean\": %.4f, "
+                   "\"stats\": %s}%s\n",
+                   hashKindName(Kinds[I]),
+                   geometricMean(Metrics[Kinds[I]].BTime),
+                   boxStatsJson(boxStats(Metrics[Kinds[I]].BTime)).c_str(),
+                   I + 1 == Kinds.size() ? "" : ",");
+    std::fprintf(F,
+                 "  ],\n  \"mann_whitney\": {\"naive_vs_offxor\": %.4f, "
+                 "\"offxor_vs_stl\": %.4f},\n",
+                 PValue(HashKind::Naive, HashKind::OffXor),
+                 PValue(HashKind::OffXor, HashKind::Stl));
+    closeJsonReport(F);
+    std::printf("wrote %s\n", Options.JsonPath.c_str());
+  }
   return 0;
 }

@@ -37,8 +37,9 @@ int main(int Argc, char **Argv) {
   TextTable Table(Headers);
 
   // Aggregate across key types, as in the paper's "Aggregated BC".
+  std::map<HashKind, std::map<unsigned, double>> Sweep;
   for (HashKind Kind : AllHashKinds) {
-    std::map<unsigned, double> Collisions;
+    std::map<unsigned, double> &Collisions = Sweep[Kind];
     for (PaperKey Key : Options.Keys) {
       const HashFunctionSet Set = HashFunctionSet::create(Key);
       KeyGenerator Gen(paperKeyFormat(Key), KeyDistribution::Uniform,
@@ -65,5 +66,26 @@ int main(int Argc, char **Argv) {
   std::printf("Shape check (paper Figure 17): Naive and OffXor degrade "
               "sharply as X grows; Pext and Aes resist longer; the "
               "mixing baselines (STL, City, Abseil, FNV) stay flat.\n");
+
+  if (!Options.JsonPath.empty()) {
+    std::FILE *F = openJsonReport(Options.JsonPath, "fig17_lowmix_buckets");
+    if (!F)
+      return 1;
+    std::fprintf(F, "  \"unit\": \"bucket_collisions_per_key_type\",\n"
+                 "  \"key_count\": %zu,\n  \"sweep\": [\n",
+                 KeyCount);
+    for (size_t I = 0; I != AllHashKinds.size(); ++I) {
+      const HashKind Kind = AllHashKinds[I];
+      std::fprintf(F, "    {\"hash\": \"%s\"", hashKindName(Kind));
+      for (unsigned X : DiscardSweep)
+        std::fprintf(F, ", \"x%u\": %.0f", X,
+                     Sweep[Kind][X] /
+                         static_cast<double>(Options.Keys.size()));
+      std::fprintf(F, "}%s\n", I + 1 == AllHashKinds.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ],\n");
+    closeJsonReport(F);
+    std::printf("wrote %s\n", Options.JsonPath.c_str());
+  }
   return 0;
 }

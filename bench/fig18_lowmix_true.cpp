@@ -58,8 +58,9 @@ int main(int Argc, char **Argv) {
     Headers.push_back("X=" + std::to_string(X));
   TextTable Table(Headers);
 
+  std::map<HashKind, std::map<unsigned, double>> Sweep;
   for (HashKind Kind : AllHashKinds) {
-    std::map<unsigned, double> Collisions;
+    std::map<unsigned, double> &Collisions = Sweep[Kind];
     for (PaperKey Key : Options.Keys) {
       const HashFunctionSet Set = HashFunctionSet::create(Key);
       KeyGenerator Gen(paperKeyFormat(Key), KeyDistribution::Uniform,
@@ -125,5 +126,36 @@ int main(int Argc, char **Argv) {
               "(paper: 9,999 TC vs STL 5,786); with lower bits the two "
               "behave alike. Pext/Aes resist the sweep longer than "
               "Naive/OffXor.\n");
+
+  if (!Options.JsonPath.empty()) {
+    std::FILE *F = openJsonReport(Options.JsonPath, "fig18_lowmix_true");
+    if (!F)
+      return 1;
+    std::fprintf(F, "  \"unit\": \"true_collisions_per_key_type\",\n"
+                 "  \"key_count\": %zu,\n  \"sweep\": [\n",
+                 KeyCount);
+    for (size_t I = 0; I != AllHashKinds.size(); ++I) {
+      const HashKind Kind = AllHashKinds[I];
+      std::fprintf(F, "    {\"hash\": \"%s\"", hashKindName(Kind));
+      for (unsigned X : DiscardSweep)
+        std::fprintf(F, ", \"x%u\": %.0f", X,
+                     Sweep[Kind][X] /
+                         static_cast<double>(Options.Keys.size()));
+      std::fprintf(F, "}%s\n", I + 1 == AllHashKinds.size() ? "" : ",");
+    }
+    std::fprintf(
+        F,
+        "  ],\n  \"four_digit_worst_case\": {"
+        "\"stl_upper32\": %llu, \"stl_lower32\": %llu, "
+        "\"pext_upper32\": %llu, \"pext_lower32\": %llu},\n",
+        static_cast<unsigned long long>(
+            truncatedCollisions(Stl, Digits, 32)),
+        static_cast<unsigned long long>(LowerCollisions(Stl)),
+        static_cast<unsigned long long>(
+            truncatedCollisions(Pext, Digits, 32)),
+        static_cast<unsigned long long>(LowerCollisions(Pext)));
+    closeJsonReport(F);
+    std::printf("wrote %s\n", Options.JsonPath.c_str());
+  }
   return 0;
 }

@@ -102,5 +102,25 @@ int main(int Argc, char **Argv) {
   std::printf("\nShape check (paper Figure 19): every function linear in "
               "the key length; FNV steepest (byte-at-a-time); Pext below "
               "the baselines throughout.\n");
+
+  if (!Options.JsonPath.empty()) {
+    std::FILE *F = openJsonReport(Options.JsonPath, "fig19_hash_scaling");
+    if (!F)
+      return 1;
+    std::fprintf(F, "  \"unit\": \"ns_per_key\",\n  \"scaling\": [\n");
+    for (size_t I = 0; I != Sizes.size(); ++I) {
+      std::fprintf(F, "    {\"key_size_bytes\": %.0f", Sizes[I]);
+      for (size_t N = 0; N != Names.size(); ++N)
+        std::fprintf(F, ", \"%s\": %.2f", Names[N], Times[N][I]);
+      std::fprintf(F, "}%s\n", I + 1 == Sizes.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ],\n  \"pearson\": {");
+    for (size_t N = 0; N != Names.size(); ++N)
+      std::fprintf(F, "%s\"%s\": %.4f", N == 0 ? "" : ", ", Names[N],
+                   pearsonCorrelation(Sizes, Times[N]));
+    std::fprintf(F, "},\n");
+    closeJsonReport(F);
+    std::printf("wrote %s\n", Options.JsonPath.c_str());
+  }
   return 0;
 }

@@ -128,5 +128,33 @@ int main(int Argc, char **Argv) {
   std::printf("Shape check (paper Figure 20): Multi variants slower than "
               "Map/Set; the relative ordering of hash functions is the "
               "same in every container.\n");
+
+  if (!Options.JsonPath.empty()) {
+    std::FILE *F = openJsonReport(Options.JsonPath, "fig20_containers");
+    if (!F)
+      return 1;
+    std::fprintf(F, "  \"unit\": \"ms\",\n  \"containers\": [\n");
+    for (size_t I = 0; I != AllContainerKinds.size(); ++I) {
+      const ContainerKind Container = AllContainerKinds[I];
+      std::fprintf(F, "    {\"container\": \"%s\", \"stats\": %s",
+                   containerKindName(Container),
+                   boxStatsJson(boxStats(PerContainer[Container].BTime))
+                       .c_str());
+      for (HashKind Kind : Kinds)
+        std::fprintf(
+            F, ", \"%s\": %.4f", hashKindName(Kind),
+            geometricMean(PerContainerHash[Container][Kind]));
+      std::fprintf(F, "}%s\n",
+                   I + 1 == AllContainerKinds.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ],\n");
+    if (!FlatBTime.empty())
+      std::fprintf(F,
+                   "  \"flat_index\": {\"umap_pext_ms\": %.4f, "
+                   "\"flat_ms\": %.4f},\n",
+                   geometricMean(UMapPextBTime), geometricMean(FlatBTime));
+    closeJsonReport(F);
+    std::printf("wrote %s\n", Options.JsonPath.c_str());
+  }
   return 0;
 }

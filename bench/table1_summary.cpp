@@ -80,5 +80,26 @@ int main(int Argc, char **Argv) {
   std::printf("\nShape check (paper Table 1): synthetic B-Time < STL; "
               "Gperf B-Time worst despite lowest H-Time; Pext T-Coll = 0; "
               "Gpt T-Coll dominated by IPv4.\n");
+
+  if (!Options.JsonPath.empty()) {
+    std::FILE *F = openJsonReport(Options.JsonPath, "table1_summary");
+    if (!F)
+      return 1;
+    std::fprintf(F, "  \"distribution\": \"normal\",\n  \"summary\": [\n");
+    for (size_t I = 0; I != AllHashKinds.size(); ++I) {
+      const HashKind Kind = AllHashKinds[I];
+      const MetricSamples &M = Metrics.at(Kind);
+      std::fprintf(F,
+                   "    {\"hash\": \"%s\", \"btime_ms\": %.4f, "
+                   "\"htime_ms\": %.5f, \"bcoll\": %.1f, "
+                   "\"tcoll\": %.0f}%s\n",
+                   hashKindName(Kind), geometricMean(M.BTime),
+                   geometricMean(M.HTime), mean(M.BColl), M.TColl,
+                   I + 1 == AllHashKinds.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ],\n");
+    closeJsonReport(F);
+    std::printf("wrote %s\n", Options.JsonPath.c_str());
+  }
   return 0;
 }

@@ -68,5 +68,26 @@ int main(int Argc, char **Argv) {
               "synthetic functions orders of magnitude less uniform; Pext "
               "best among synthetics on incremental keys; Gperf/Gpt "
               "worst.\n");
+
+  if (!Options.JsonPath.empty()) {
+    std::FILE *F = openJsonReport(Options.JsonPath, "table2_uniformity");
+    if (!F)
+      return 1;
+    std::fprintf(F, "  \"unit\": \"chi2_over_stl\",\n  \"key_count\": "
+                 "%zu,\n  \"uniformity\": [\n",
+                 KeyCount);
+    for (size_t I = 0; I != AllHashKinds.size(); ++I) {
+      const HashKind Kind = AllHashKinds[I];
+      std::fprintf(F, "    {\"hash\": \"%s\"", hashKindName(Kind));
+      for (KeyDistribution Dist : AllKeyDistributions)
+        std::fprintf(F, ", \"%s\": %.4f", distributionName(Dist),
+                     geometricMean(Chi2[Kind][Dist]) /
+                         geometricMean(Chi2[HashKind::Stl][Dist]));
+      std::fprintf(F, "}%s\n", I + 1 == AllHashKinds.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ],\n");
+    closeJsonReport(F);
+    std::printf("wrote %s\n", Options.JsonPath.c_str());
+  }
   return 0;
 }

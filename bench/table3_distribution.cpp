@@ -74,5 +74,27 @@ int main(int Argc, char **Argv) {
               "every distribution; Gperf collides everywhere; uniform "
               "keys give the fastest bucket times; Gpt collides most "
               "under uniform keys.\n");
+
+  if (!Options.JsonPath.empty()) {
+    std::FILE *F = openJsonReport(Options.JsonPath, "table3_distribution");
+    if (!F)
+      return 1;
+    std::fprintf(F, "  \"unit\": \"ms_and_true_collisions\",\n"
+                 "  \"distributions\": [\n");
+    for (size_t I = 0; I != AllHashKinds.size(); ++I) {
+      const HashKind Kind = AllHashKinds[I];
+      std::fprintf(F, "    {\"hash\": \"%s\"", hashKindName(Kind));
+      for (KeyDistribution Dist : AllKeyDistributions) {
+        const Cell &C = Cells[Kind][Dist];
+        std::fprintf(F, ", \"%s_btime_ms\": %.4f, \"%s_tcoll\": %.0f",
+                     distributionName(Dist), geometricMean(C.BTime),
+                     distributionName(Dist), C.TColl);
+      }
+      std::fprintf(F, "}%s\n", I + 1 == AllHashKinds.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ],\n");
+    closeJsonReport(F);
+    std::printf("wrote %s\n", Options.JsonPath.c_str());
+  }
   return 0;
 }

@@ -54,6 +54,28 @@ double sepe::quantile(std::vector<double> Sample, double Q) {
   return Sample[Lo] * (1 - Frac) + Sample[Hi] * Frac;
 }
 
+double sepe::median(const std::vector<double> &Sample) {
+  return quantile(Sample, 0.5);
+}
+
+double sepe::medianAbsDeviation(const std::vector<double> &Sample) {
+  if (Sample.size() < 2)
+    return 0;
+  const double M = median(Sample);
+  std::vector<double> Deviations;
+  Deviations.reserve(Sample.size());
+  for (double V : Sample)
+    Deviations.push_back(std::fabs(V - M));
+  return median(Deviations);
+}
+
+double sepe::coefficientOfVariation(const std::vector<double> &Sample) {
+  const double M = mean(Sample);
+  if (Sample.size() < 2 || M == 0)
+    return 0;
+  return stddev(Sample) / M;
+}
+
 BoxStats sepe::boxStats(const std::vector<double> &Sample) {
   BoxStats Stats;
   if (Sample.empty())

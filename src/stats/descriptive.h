@@ -33,6 +33,18 @@ double stddev(const std::vector<double> &Sample);
 /// Linear-interpolation quantile, \p Q in [0, 1]. Sorts a copy.
 double quantile(std::vector<double> Sample, double Q);
 
+/// The 0.5 quantile; 0 for an empty sample.
+double median(const std::vector<double> &Sample);
+
+/// Median absolute deviation from the median — the robust dispersion
+/// the perf-regression gate bands noise with; 0 for fewer than two
+/// observations.
+double medianAbsDeviation(const std::vector<double> &Sample);
+
+/// stddev / mean (unitless trial-stability measure); 0 when the mean
+/// is 0 or the sample has fewer than two observations.
+double coefficientOfVariation(const std::vector<double> &Sample);
+
 /// Five-number summary plus mean: everything a boxplot needs.
 struct BoxStats {
   double Min = 0;

@@ -1,0 +1,182 @@
+//===- support/bench_compare.cpp - Noise-aware perf report diff ----------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/bench_compare.h"
+
+#include "support/json.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+using namespace sepe;
+using bench::CompareReport;
+using bench::CompareThresholds;
+using bench::DeltaVerdict;
+using bench::WorkloadDelta;
+
+namespace {
+
+struct WorkloadStats {
+  std::string Unit;
+  double Median = 0;
+  double Mad = 0;
+};
+
+/// Extracts name -> {unit, median, mad} from one parsed report;
+/// workload entries without a name or median are skipped rather than
+/// failing the whole comparison (a half-written row must not mask a
+/// regression elsewhere).
+Expected<std::map<std::string, WorkloadStats>>
+extractWorkloads(const json::Value &Doc) {
+  const json::Value *Workloads = Doc.find("workloads");
+  if (Workloads == nullptr || !Workloads->isArray())
+    return Error{"report has no \"workloads\" array", std::string::npos};
+  std::map<std::string, WorkloadStats> Result;
+  for (const json::Value &Entry : Workloads->array()) {
+    if (!Entry.isObject())
+      continue;
+    const std::string Name = Entry.stringOr("name", "");
+    const json::Value *Median = Entry.find("median");
+    if (Name.empty() || Median == nullptr || !Median->isNumber())
+      continue;
+    WorkloadStats Stats;
+    Stats.Unit = Entry.stringOr("unit", "");
+    Stats.Median = Median->number();
+    Stats.Mad = Entry.numberOr("mad", 0);
+    Result.emplace(Name, Stats);
+  }
+  return Result;
+}
+
+} // namespace
+
+const char *bench::deltaVerdictName(DeltaVerdict Verdict) {
+  switch (Verdict) {
+  case DeltaVerdict::Unchanged:
+    return "unchanged";
+  case DeltaVerdict::Improvement:
+    return "improvement";
+  case DeltaVerdict::Regression:
+    return "REGRESSION";
+  case DeltaVerdict::Added:
+    return "added";
+  case DeltaVerdict::Removed:
+    return "removed";
+  }
+  return "?";
+}
+
+std::string CompareReport::render() const {
+  std::string Out;
+  char Line[256];
+  for (const WorkloadDelta &Delta : Deltas) {
+    if (Delta.Verdict == DeltaVerdict::Unchanged)
+      continue;
+    if (Delta.Verdict == DeltaVerdict::Added ||
+        Delta.Verdict == DeltaVerdict::Removed) {
+      std::snprintf(Line, sizeof(Line), "  %-11s %s\n",
+                    deltaVerdictName(Delta.Verdict), Delta.Name.c_str());
+    } else {
+      std::snprintf(Line, sizeof(Line),
+                    "  %-11s %-40s %10.4f -> %10.4f %s (%+.1f%%, noise "
+                    "band %.4f)\n",
+                    deltaVerdictName(Delta.Verdict), Delta.Name.c_str(),
+                    Delta.BaseMedian, Delta.NewMedian, Delta.Unit.c_str(),
+                    Delta.DeltaPct, Delta.NoiseBand);
+    }
+    Out += Line;
+  }
+  std::snprintf(Line, sizeof(Line),
+                "%zu workload(s) compared: %zu regression(s), %zu "
+                "improvement(s), %zu within noise\n",
+                Deltas.size(), Regressions, Improvements,
+                Deltas.size() - Regressions - Improvements);
+  Out += Line;
+  return Out;
+}
+
+Expected<CompareReport>
+bench::compareSuiteReports(const std::string &BaseText,
+                           const std::string &NewText,
+                           const CompareThresholds &Thresholds) {
+  Expected<json::Value> Base = json::parse(BaseText);
+  if (!Base)
+    return Error{"base report: " + Base.error().Message,
+                 Base.error().Pos};
+  Expected<json::Value> New = json::parse(NewText);
+  if (!New)
+    return Error{"new report: " + New.error().Message, New.error().Pos};
+
+  const double BaseSchema = Base->numberOr("schema_version", -1);
+  const double NewSchema = New->numberOr("schema_version", -1);
+  if (BaseSchema < 0 || NewSchema < 0)
+    return Error{"report is missing schema_version", std::string::npos};
+  if (BaseSchema != NewSchema)
+    return Error{"schema_version mismatch: base " +
+                     std::to_string(static_cast<int>(BaseSchema)) +
+                     " vs new " +
+                     std::to_string(static_cast<int>(NewSchema)),
+                 std::string::npos};
+
+  Expected<std::map<std::string, WorkloadStats>> BaseWork =
+      extractWorkloads(*Base);
+  if (!BaseWork)
+    return Error{"base " + BaseWork.error().Message, std::string::npos};
+  Expected<std::map<std::string, WorkloadStats>> NewWork =
+      extractWorkloads(*New);
+  if (!NewWork)
+    return Error{"new " + NewWork.error().Message, std::string::npos};
+
+  CompareReport Report;
+  Report.SchemaVersion = static_cast<int>(BaseSchema);
+
+  for (const auto &[Name, BaseStats] : *BaseWork) {
+    WorkloadDelta Delta;
+    Delta.Name = Name;
+    Delta.Unit = BaseStats.Unit;
+    Delta.BaseMedian = BaseStats.Median;
+    const auto NewIt = NewWork->find(Name);
+    if (NewIt == NewWork->end()) {
+      Delta.Verdict = DeltaVerdict::Removed;
+      Report.Deltas.push_back(std::move(Delta));
+      continue;
+    }
+    const WorkloadStats &NewStats = NewIt->second;
+    Delta.NewMedian = NewStats.Median;
+    Delta.NoiseBand =
+        std::max(Thresholds.AbsFloor,
+                 Thresholds.NoiseK * std::max(BaseStats.Mad, NewStats.Mad));
+    const double Diff = NewStats.Median - BaseStats.Median;
+    Delta.DeltaPct =
+        BaseStats.Median != 0 ? 100.0 * Diff / BaseStats.Median : 0;
+    const bool BeyondNoise =
+        std::fabs(Diff) > Delta.NoiseBand &&
+        std::fabs(Diff) > Thresholds.RelFloor * std::fabs(BaseStats.Median);
+    if (!BeyondNoise)
+      Delta.Verdict = DeltaVerdict::Unchanged;
+    else if (Diff > 0) {
+      Delta.Verdict = DeltaVerdict::Regression;
+      ++Report.Regressions;
+    } else {
+      Delta.Verdict = DeltaVerdict::Improvement;
+      ++Report.Improvements;
+    }
+    Report.Deltas.push_back(std::move(Delta));
+  }
+  for (const auto &[Name, NewStats] : *NewWork) {
+    if (BaseWork->count(Name) != 0)
+      continue;
+    WorkloadDelta Delta;
+    Delta.Name = Name;
+    Delta.Unit = NewStats.Unit;
+    Delta.NewMedian = NewStats.Median;
+    Delta.Verdict = DeltaVerdict::Added;
+    Report.Deltas.push_back(std::move(Delta));
+  }
+  return Report;
+}

@@ -1,0 +1,91 @@
+//===- support/bench_compare.h - Noise-aware perf report diff --*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The perf-regression gate behind `sepebench --compare=BASE,NEW`:
+/// diffs two suite reports (the BENCH_suite.json shape sepebench
+/// emits — an envelope with a "workloads" array of
+/// {name, unit, median, mad} entries) and classifies every workload's
+/// delta against a noise band instead of a bare percentage, because a
+/// hash-kernel median on a shared CI runner routinely jitters by more
+/// than any interesting regression.
+///
+/// A workload regresses only when its median moved by more than
+/// max(AbsFloor, NoiseK * max(base MAD, new MAD)) AND by more than
+/// RelFloor of the base median — both conditions, so a 0.01 ns wobble
+/// on a 0.1 ns workload and a 2 ns wobble on a noisy 500 ns workload
+/// are equally ignored. All sepebench units are time-per-unit, so lower
+/// is always better. Workloads present in only one report are flagged
+/// Added/Removed but never gate.
+///
+/// A schema_version mismatch between the reports is an error, not a
+/// comparison: thresholds tuned for one schema must not silently judge
+/// another.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_SUPPORT_BENCH_COMPARE_H
+#define SEPE_SUPPORT_BENCH_COMPARE_H
+
+#include "support/expected.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sepe::bench {
+
+struct CompareThresholds {
+  /// Noise-band multiplier on the larger of the two MADs.
+  double NoiseK = 3.0;
+  /// Absolute floor in the workload's own unit (ns or ms); deltas
+  /// below it never gate regardless of how tight the MADs are.
+  double AbsFloor = 0.05;
+  /// Relative floor: |delta| must also exceed this fraction of the
+  /// base median. 5% because cross-run medians on shared runners
+  /// drift a few percent even when every within-run MAD is tight.
+  double RelFloor = 0.05;
+};
+
+enum class DeltaVerdict { Unchanged, Improvement, Regression, Added, Removed };
+
+const char *deltaVerdictName(DeltaVerdict Verdict);
+
+struct WorkloadDelta {
+  std::string Name;
+  std::string Unit;
+  double BaseMedian = 0;
+  double NewMedian = 0;
+  /// (new - base) / base * 100; 0 for Added/Removed.
+  double DeltaPct = 0;
+  /// The noise band the delta was judged against.
+  double NoiseBand = 0;
+  DeltaVerdict Verdict = DeltaVerdict::Unchanged;
+};
+
+struct CompareReport {
+  int SchemaVersion = 0;
+  std::vector<WorkloadDelta> Deltas;
+  size_t Regressions = 0;
+  size_t Improvements = 0;
+
+  bool hasRegression() const { return Regressions != 0; }
+
+  /// Plain-text rendering: one line per workload that moved (or
+  /// appeared/disappeared), then a summary line.
+  std::string render() const;
+};
+
+/// Compares two suite-report JSON documents. Errors (malformed JSON,
+/// missing workloads array, schema_version mismatch) come back as
+/// Expected errors.
+Expected<CompareReport>
+compareSuiteReports(const std::string &BaseText, const std::string &NewText,
+                    const CompareThresholds &Thresholds = {});
+
+} // namespace sepe::bench
+
+#endif // SEPE_SUPPORT_BENCH_COMPARE_H

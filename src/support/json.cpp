@@ -1,0 +1,259 @@
+//===- support/json.cpp - Minimal JSON document parser -------------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace sepe;
+using json::Value;
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Text(Text) {}
+
+  Expected<Value> run() {
+    skipWhitespace();
+    Expected<Value> Result = parseValue(/*Depth=*/0);
+    if (!Result)
+      return Result;
+    skipWhitespace();
+    if (Pos != Text.size())
+      return fail("trailing characters after JSON document");
+    return Result;
+  }
+
+private:
+  // Deep enough for every report this repo writes; bounds the stack on
+  // hostile input.
+  static constexpr int MaxDepth = 64;
+
+  std::string_view Text;
+  size_t Pos = 0;
+
+  Error fail(std::string Message) const {
+    return Error::at(Pos, std::move(Message));
+  }
+
+  void skipWhitespace() {
+    while (Pos != Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos != Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeWord(const char *Word) {
+    const size_t Len = std::strlen(Word);
+    if (Text.substr(Pos, Len) == Word) {
+      Pos += Len;
+      return true;
+    }
+    return false;
+  }
+
+  Expected<Value> parseValue(int Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    if (Pos == Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case '{':
+      return parseObject(Depth);
+    case '[':
+      return parseArray(Depth);
+    case '"': {
+      Expected<std::string> S = parseString();
+      if (!S)
+        return S.error();
+      return Value::makeString(S.take());
+    }
+    case 't':
+      if (consumeWord("true"))
+        return Value::makeBool(true);
+      return fail("invalid literal");
+    case 'f':
+      if (consumeWord("false"))
+        return Value::makeBool(false);
+      return fail("invalid literal");
+    case 'n':
+      if (consumeWord("null"))
+        return Value::makeNull();
+      return fail("invalid literal");
+    default:
+      return parseNumber();
+    }
+  }
+
+  Expected<Value> parseObject(int Depth) {
+    consume('{');
+    Value Result = Value::makeObject();
+    skipWhitespace();
+    if (consume('}'))
+      return Result;
+    while (true) {
+      skipWhitespace();
+      if (Pos == Text.size() || Text[Pos] != '"')
+        return fail("expected object key string");
+      Expected<std::string> Key = parseString();
+      if (!Key)
+        return Key.error();
+      skipWhitespace();
+      if (!consume(':'))
+        return fail("expected ':' after object key");
+      skipWhitespace();
+      Expected<Value> Member = parseValue(Depth + 1);
+      if (!Member)
+        return Member;
+      Result.objectMut().emplace_back(Key.take(), Member.take());
+      skipWhitespace();
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return Result;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  Expected<Value> parseArray(int Depth) {
+    consume('[');
+    Value Result = Value::makeArray();
+    skipWhitespace();
+    if (consume(']'))
+      return Result;
+    while (true) {
+      skipWhitespace();
+      Expected<Value> Element = parseValue(Depth + 1);
+      if (!Element)
+        return Element;
+      Result.arrayMut().push_back(Element.take());
+      skipWhitespace();
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return Result;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Expected<std::string> parseString() {
+    consume('"');
+    std::string Out;
+    while (true) {
+      if (Pos == Text.size())
+        return fail("unterminated string");
+      const char C = Text[Pos++];
+      if (C == '"')
+        return Out;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos == Text.size())
+        return fail("unterminated escape");
+      const char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I != 4; ++I) {
+          const char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return fail("invalid \\u escape digit");
+        }
+        // The repo's writers only escape '"' and '\'; decode ASCII and
+        // degrade the rest — comparator keys never carry non-ASCII.
+        Out += Code < 0x80 ? static_cast<char>(Code) : '?';
+        break;
+      }
+      default:
+        return fail("unknown escape character");
+      }
+    }
+  }
+
+  Expected<Value> parseNumber() {
+    const size_t Start = Pos;
+    consume('-');
+    // RFC 8259: no leading zeros ("01" is two tokens, i.e. malformed).
+    if (Pos + 1 < Text.size() && Text[Pos] == '0' &&
+        Text[Pos + 1] >= '0' && Text[Pos + 1] <= '9')
+      return fail("leading zero in number");
+    while (Pos != Text.size() &&
+           ((Text[Pos] >= '0' && Text[Pos] <= '9') || Text[Pos] == '.' ||
+            Text[Pos] == 'e' || Text[Pos] == 'E' || Text[Pos] == '+' ||
+            Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected a value");
+    const std::string Token(Text.substr(Start, Pos - Start));
+    char *End = nullptr;
+    const double Num = std::strtod(Token.c_str(), &End);
+    if (End == nullptr || *End != '\0') {
+      Pos = Start;
+      return fail("malformed number");
+    }
+    return Value::makeNumber(Num);
+  }
+};
+
+} // namespace
+
+Expected<Value> json::parse(std::string_view Text) {
+  return Parser(Text).run();
+}
+
+Expected<Value> json::parseFile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Error{"cannot open " + Path, std::string::npos};
+  std::string Text;
+  char Buffer[4096];
+  size_t Got = 0;
+  while ((Got = std::fread(Buffer, 1, sizeof(Buffer), F)) != 0)
+    Text.append(Buffer, Got);
+  std::fclose(F);
+  return parse(Text);
+}

@@ -1,0 +1,127 @@
+//===- support/json.h - Minimal JSON document parser ------------*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small recursive-descent JSON reader for the repo's own report
+/// files (BENCH_*.json, sepedriver --metrics dumps): enough of RFC 8259
+/// to round-trip what the writers in bench_common.h / telemetry.cpp
+/// emit, with positioned Expected<> errors instead of exceptions. The
+/// DOM is deliberately naive — one Value type holding all alternatives
+/// — because the consumers (the perf comparator, tests) read documents
+/// of a few hundred kilobytes at most.
+///
+/// Object members preserve insertion order; duplicate keys keep the
+/// first occurrence (find() returns the earliest match).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_SUPPORT_JSON_H
+#define SEPE_SUPPORT_JSON_H
+
+#include "support/expected.h"
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sepe::json {
+
+class Value {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool boolean() const { return B; }
+  double number() const { return Num; }
+  const std::string &string() const { return Str; }
+  const std::vector<Value> &array() const { return Arr; }
+  const std::vector<std::pair<std::string, Value>> &object() const {
+    return Obj;
+  }
+
+  /// Object member lookup; nullptr when not an object or key absent.
+  const Value *find(std::string_view Key) const {
+    if (K != Kind::Object)
+      return nullptr;
+    for (const auto &[Name, V] : Obj)
+      if (Name == Key)
+        return &V;
+    return nullptr;
+  }
+
+  /// The member's number, or \p Default when absent / not a number.
+  double numberOr(std::string_view Key, double Default) const {
+    const Value *V = find(Key);
+    return V != nullptr && V->isNumber() ? V->Num : Default;
+  }
+
+  /// The member's string, or \p Default when absent / not a string.
+  std::string stringOr(std::string_view Key, std::string Default) const {
+    const Value *V = find(Key);
+    return V != nullptr && V->isString() ? V->Str : std::move(Default);
+  }
+
+  static Value makeNull() { return Value(); }
+  static Value makeBool(bool B) {
+    Value V;
+    V.K = Kind::Bool;
+    V.B = B;
+    return V;
+  }
+  static Value makeNumber(double N) {
+    Value V;
+    V.K = Kind::Number;
+    V.Num = N;
+    return V;
+  }
+  static Value makeString(std::string S) {
+    Value V;
+    V.K = Kind::String;
+    V.Str = std::move(S);
+    return V;
+  }
+  static Value makeArray() {
+    Value V;
+    V.K = Kind::Array;
+    return V;
+  }
+  static Value makeObject() {
+    Value V;
+    V.K = Kind::Object;
+    return V;
+  }
+
+  std::vector<Value> &arrayMut() { return Arr; }
+  std::vector<std::pair<std::string, Value>> &objectMut() { return Obj; }
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<Value> Arr;
+  std::vector<std::pair<std::string, Value>> Obj;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error. The
+/// Error position is a byte offset into \p Text.
+Expected<Value> parse(std::string_view Text);
+
+/// Convenience: reads \p Path fully and parses it; file-system errors
+/// come back as Expected errors too (Pos = npos).
+Expected<Value> parseFile(const std::string &Path);
+
+} // namespace sepe::json
+
+#endif // SEPE_SUPPORT_JSON_H

@@ -1,0 +1,281 @@
+//===- support/perf_counters.cpp - perf_event_open PMU groups ------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/perf_counters.h"
+
+#include "support/telemetry.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define SEPE_PERF_LINUX 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+using namespace sepe;
+using perf::CounterGroup;
+using perf::CounterReading;
+
+namespace {
+
+/// The six logical events, in read-buffer priority order. Cycles and
+/// instructions lead because most hosts back them with fixed counters,
+/// so they survive even when the programmable PMCs are contended.
+struct EventSpec {
+  const char *Name;
+  uint64_t Config;
+};
+
+#if defined(SEPE_PERF_LINUX)
+constexpr EventSpec Events[] = {
+    {"cycles", PERF_COUNT_HW_CPU_CYCLES},
+    {"instructions", PERF_COUNT_HW_INSTRUCTIONS},
+    {"branches", PERF_COUNT_HW_BRANCH_INSTRUCTIONS},
+    {"branch_misses", PERF_COUNT_HW_BRANCH_MISSES},
+    {"cache_references", PERF_COUNT_HW_CACHE_REFERENCES},
+    {"cache_misses", PERF_COUNT_HW_CACHE_MISSES},
+};
+
+int openEvent(uint64_t Config, int GroupFd) {
+  perf_event_attr Attr;
+  std::memset(&Attr, 0, sizeof(Attr));
+  Attr.type = PERF_TYPE_HARDWARE;
+  Attr.size = sizeof(Attr);
+  Attr.config = Config;
+  Attr.disabled = GroupFd < 0 ? 1 : 0;
+  // User-space only: works under perf_event_paranoid <= 2 (the usual
+  // unprivileged ceiling) and matches what we measure — the kernels,
+  // not the kernel.
+  Attr.exclude_kernel = 1;
+  Attr.exclude_hv = 1;
+  Attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(syscall(SYS_perf_event_open, &Attr, /*pid=*/0,
+                                  /*cpu=*/-1, GroupFd, /*flags=*/0UL));
+}
+#endif
+
+struct Availability {
+  bool Available = false;
+  std::string Reason;
+};
+
+/// One probe per process: try to open the cycle counter and translate
+/// the errno into a stable diagnostic.
+const Availability &probe() {
+  static const Availability Cached = [] {
+    Availability A;
+#if !defined(SEPE_PERF_LINUX)
+    A.Reason = "perf_event_open not built in (not a Linux build)";
+#else
+    const int Fd = openEvent(PERF_COUNT_HW_CPU_CYCLES, -1);
+    if (Fd >= 0) {
+      close(Fd);
+      A.Available = true;
+      A.Reason = "available";
+      return A;
+    }
+    switch (errno) {
+    case EACCES:
+    case EPERM:
+      A.Reason = "perf_event_open denied (perf_event_paranoid or "
+                 "seccomp); counters disabled";
+      break;
+    case ENOSYS:
+      A.Reason = "perf_event_open not implemented on this kernel";
+      break;
+    case ENOENT:
+    case ENODEV:
+    case EOPNOTSUPP:
+      A.Reason = "no hardware PMU events on this host (VM?)";
+      break;
+    default:
+      A.Reason = std::string("perf_event_open failed: ") +
+                 std::strerror(errno);
+    }
+#endif
+    return A;
+  }();
+  return Cached;
+}
+
+void appendMetric(std::string &Out, const char *Name, double Value) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "\"%s\":%.6g", Name, Value);
+  Out += Buffer;
+}
+
+} // namespace
+
+bool perf::available() { return probe().Available; }
+
+const std::string &perf::unavailableReason() { return probe().Reason; }
+
+double CounterReading::ipc() const {
+  if (!Valid || Cycles == 0)
+    return 0;
+  return static_cast<double>(Instructions) / static_cast<double>(Cycles);
+}
+
+double CounterReading::cyclesPer(double Units) const {
+  if (!Valid || Units <= 0)
+    return 0;
+  return static_cast<double>(Cycles) / Units;
+}
+
+double CounterReading::instructionsPer(double Units) const {
+  if (!Valid || Units <= 0)
+    return 0;
+  return static_cast<double>(Instructions) / Units;
+}
+
+double CounterReading::branchMissRate() const {
+  if (!Valid || Branches == 0)
+    return 0;
+  return static_cast<double>(BranchMisses) / static_cast<double>(Branches);
+}
+
+double CounterReading::cacheMissRate() const {
+  if (!Valid || CacheReferences == 0)
+    return 0;
+  return static_cast<double>(CacheMisses) /
+         static_cast<double>(CacheReferences);
+}
+
+std::string CounterReading::toJson(double Units) const {
+  if (!Valid) {
+    std::string Out = "{\"available\":false,\"reason\":\"";
+    for (char C : unavailableReason()) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      Out += C;
+    }
+    Out += "\"}";
+    return Out;
+  }
+  std::string Out = "{\"available\":true,\"multiplexed\":";
+  Out += Multiplexed ? "true" : "false";
+  Out += ",\"cycles\":" + std::to_string(Cycles);
+  Out += ",\"instructions\":" + std::to_string(Instructions);
+  Out += ",\"branches\":" + std::to_string(Branches);
+  Out += ",\"branch_misses\":" + std::to_string(BranchMisses);
+  Out += ",\"cache_references\":" + std::to_string(CacheReferences);
+  Out += ",\"cache_misses\":" + std::to_string(CacheMisses);
+  Out += ",\"time_enabled_ns\":" + std::to_string(TimeEnabledNs);
+  Out += ",\"time_running_ns\":" + std::to_string(TimeRunningNs);
+  Out += ',';
+  appendMetric(Out, "ipc", ipc());
+  Out += ',';
+  appendMetric(Out, "branch_miss_rate", branchMissRate());
+  Out += ',';
+  appendMetric(Out, "cache_miss_rate", cacheMissRate());
+  if (Units > 0) {
+    Out += ',';
+    appendMetric(Out, "cycles_per_unit", cyclesPer(Units));
+    Out += ',';
+    appendMetric(Out, "instructions_per_unit", instructionsPer(Units));
+  }
+  Out += '}';
+  return Out;
+}
+
+CounterGroup::CounterGroup() {
+#if defined(SEPE_PERF_LINUX)
+  if (!probe().Available)
+    return;
+  for (int I = 0; I != NumEvents; ++I) {
+    const int Fd = openEvent(Events[I].Config, LeaderFd);
+    if (Fd < 0)
+      continue; // This event is missing on the host; read as 0.
+    if (LeaderFd < 0)
+      LeaderFd = Fd;
+    Fds[I] = Fd;
+    ValueIndex[I] = OpenCount++;
+  }
+#endif
+}
+
+CounterGroup::~CounterGroup() {
+#if defined(SEPE_PERF_LINUX)
+  for (int I = NumEvents - 1; I >= 0; --I)
+    if (Fds[I] >= 0)
+      close(Fds[I]);
+#endif
+}
+
+void CounterGroup::start() {
+#if defined(SEPE_PERF_LINUX)
+  if (!live())
+    return;
+  ioctl(LeaderFd, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(LeaderFd, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+#endif
+}
+
+CounterReading CounterGroup::read() const {
+  CounterReading Reading;
+#if defined(SEPE_PERF_LINUX)
+  if (!live())
+    return Reading;
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, values[].
+  uint64_t Buffer[3 + NumEvents] = {};
+  const ssize_t Want =
+      static_cast<ssize_t>((3 + OpenCount) * sizeof(uint64_t));
+  if (::read(LeaderFd, Buffer, sizeof(Buffer)) < Want)
+    return Reading;
+  if (Buffer[0] != static_cast<uint64_t>(OpenCount))
+    return Reading;
+  Reading.Valid = true;
+  Reading.TimeEnabledNs = Buffer[1];
+  Reading.TimeRunningNs = Buffer[2];
+  double Scale = 1.0;
+  if (Reading.TimeRunningNs != 0 &&
+      Reading.TimeRunningNs < Reading.TimeEnabledNs) {
+    Reading.Multiplexed = true;
+    Scale = static_cast<double>(Reading.TimeEnabledNs) /
+            static_cast<double>(Reading.TimeRunningNs);
+  }
+  uint64_t *Counts[NumEvents] = {
+      &Reading.Cycles,         &Reading.Instructions,
+      &Reading.Branches,       &Reading.BranchMisses,
+      &Reading.CacheReferences, &Reading.CacheMisses};
+  for (int I = 0; I != NumEvents; ++I)
+    if (ValueIndex[I] >= 0)
+      *Counts[I] = static_cast<uint64_t>(
+          static_cast<double>(Buffer[3 + ValueIndex[I]]) * Scale);
+#endif
+  return Reading;
+}
+
+CounterReading CounterGroup::stop() {
+#if defined(SEPE_PERF_LINUX)
+  if (live())
+    ioctl(LeaderFd, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+#endif
+  return read();
+}
+
+void perf::recordToTelemetry(const char *Prefix,
+                             const CounterReading &Reading) {
+  if (!Reading.Valid)
+    return;
+  const std::string Base = std::string("pmu.") + Prefix + ".";
+  const std::pair<const char *, uint64_t> Values[] = {
+      {"cycles", Reading.Cycles},
+      {"instructions", Reading.Instructions},
+      {"branches", Reading.Branches},
+      {"branch_misses", Reading.BranchMisses},
+      {"cache_references", Reading.CacheReferences},
+      {"cache_misses", Reading.CacheMisses},
+  };
+  for (const auto &[Name, Value] : Values)
+    telemetry::counter((Base + Name).c_str()).add(Value);
+}

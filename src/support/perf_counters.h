@@ -1,0 +1,139 @@
+//===- support/perf_counters.h - perf_event_open PMU groups ----*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hardware performance-counter groups over `perf_event_open`: one
+/// CounterGroup opens cycles, instructions, branches, branch-misses,
+/// cache-references and cache-misses as a single scheduled group, so a
+/// start()/stop() pair yields a consistent snapshot from which the
+/// derived metrics the hash-kernel literature leans on (IPC,
+/// cycles/key, branch- and cache-miss rates) fall out directly.
+///
+/// Degradation is part of the contract, not an error path: when the
+/// syscall is unavailable (non-Linux), denied (`perf_event_paranoid`,
+/// seccomp-filtered containers — the common CI case), or the PMU has no
+/// hardware events (some VMs), the group silently becomes a no-op whose
+/// readings carry `Valid == false` and serialize as
+/// `{"available": false, "reason": ...}`. Callers never branch on the
+/// platform — only on `CounterReading::Valid`.
+///
+/// Counter values scale by time_enabled/time_running when the kernel
+/// multiplexed the group (more events than hardware counters); such
+/// readings are flagged `Multiplexed` so consumers can discount them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_SUPPORT_PERF_COUNTERS_H
+#define SEPE_SUPPORT_PERF_COUNTERS_H
+
+#include <cstdint>
+#include <string>
+
+namespace sepe::perf {
+
+/// One snapshot of the group. All values are cumulative since the last
+/// start() (stop()/read() do not reset).
+struct CounterReading {
+  /// False when the backend is unavailable or the read failed; every
+  /// count is then 0 and every derived metric returns 0.
+  bool Valid = false;
+  /// True when the kernel time-shared the group onto the PMU and the
+  /// counts are extrapolated (time_running < time_enabled).
+  bool Multiplexed = false;
+
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
+  uint64_t Branches = 0;
+  uint64_t BranchMisses = 0;
+  uint64_t CacheReferences = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t TimeEnabledNs = 0;
+  uint64_t TimeRunningNs = 0;
+
+  /// Instructions per cycle; 0 when invalid or no cycles counted.
+  double ipc() const;
+  /// Cycles per work unit (key, op, ...); 0 when invalid or Units <= 0.
+  double cyclesPer(double Units) const;
+  double instructionsPer(double Units) const;
+  /// Branch misses / branches, in [0, 1]; 0 when undefined.
+  double branchMissRate() const;
+  /// Cache misses / cache references, in [0, 1]; 0 when undefined.
+  double cacheMissRate() const;
+
+  /// Always-valid JSON: the full counter section, or
+  /// {"available": false, "reason": "..."} for an invalid reading.
+  /// \p Units > 0 additionally emits cycles_per_unit /
+  /// instructions_per_unit.
+  std::string toJson(double Units = 0) const;
+};
+
+/// Whether this process can open hardware counters at all (probed once,
+/// cached). A true result does not guarantee every event exists.
+bool available();
+
+/// Human-readable explanation when available() is false ("perf_event
+/// _paranoid or seccomp denies ...", "not built for Linux", ...);
+/// "available" otherwise.
+const std::string &unavailableReason();
+
+/// An opened perf-event group. Construction opens the six hardware
+/// events with the first successful one as leader; events the host
+/// cannot provide are skipped and read as 0. Not thread-safe; counts
+/// this thread's user-space execution only (exclude_kernel).
+class CounterGroup {
+public:
+  CounterGroup();
+  ~CounterGroup();
+  CounterGroup(const CounterGroup &) = delete;
+  CounterGroup &operator=(const CounterGroup &) = delete;
+
+  /// True when at least one hardware event opened.
+  bool live() const { return LeaderFd >= 0; }
+
+  /// Zeroes the group and starts counting.
+  void start();
+  /// Stops counting and returns the snapshot.
+  CounterReading stop();
+  /// Reads without stopping; successive read()s are monotonic while
+  /// the group runs.
+  CounterReading read() const;
+
+private:
+  static constexpr int NumEvents = 6;
+  int LeaderFd = -1;
+  /// Per logical event: its index into the group read buffer, or -1
+  /// when the event failed to open.
+  int ValueIndex[NumEvents] = {-1, -1, -1, -1, -1, -1};
+  int Fds[NumEvents] = {-1, -1, -1, -1, -1, -1};
+  int OpenCount = 0;
+};
+
+/// RAII: start() on construction, stop() into \p Out on destruction.
+class ScopedCounters {
+public:
+  ScopedCounters(CounterGroup &Group, CounterReading &Out)
+      : Group(Group), Out(Out) {
+    Group.start();
+  }
+  ~ScopedCounters() { Out = Group.stop(); }
+  ScopedCounters(const ScopedCounters &) = delete;
+  ScopedCounters &operator=(const ScopedCounters &) = delete;
+
+private:
+  CounterGroup &Group;
+  CounterReading &Out;
+};
+
+/// Feeds a reading into the telemetry registry as counters named
+/// "pmu.<prefix>.{cycles,instructions,branches,branch_misses,
+/// cache_references,cache_misses}", so `sepedriver --metrics` dumps and
+/// bench-envelope telemetry sections carry PMU data alongside spans.
+/// No-op for invalid readings or when telemetry is off.
+void recordToTelemetry(const char *Prefix, const CounterReading &Reading);
+
+} // namespace sepe::perf
+
+#endif // SEPE_SUPPORT_PERF_COUNTERS_H

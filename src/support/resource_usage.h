@@ -1,0 +1,76 @@
+//===- support/resource_usage.h - Process resource reporting ---*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-process resource accounting for report footers: peak RSS and
+/// user/system CPU time via getrusage(RUSAGE_SELF), plus wall clock
+/// since static initialization (close enough to process start for a
+/// report epilogue). Header-only; on platforms without <sys/resource.h>
+/// the rusage fields read 0 and only wall time is reported.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_SUPPORT_RESOURCE_USAGE_H
+#define SEPE_SUPPORT_RESOURCE_USAGE_H
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#if __has_include(<sys/resource.h>)
+#define SEPE_HAVE_RUSAGE 1
+#include <sys/resource.h>
+#endif
+
+namespace sepe {
+
+namespace detail {
+/// ODR-merged across TUs; initialized during static init of the first
+/// TU that includes this header — i.e. at (or negligibly after)
+/// process start.
+inline const std::chrono::steady_clock::time_point ProcessStart =
+    std::chrono::steady_clock::now();
+} // namespace detail
+
+struct ResourceUsage {
+  double UserSec = 0;
+  double SysSec = 0;
+  double WallSec = 0;
+  /// ru_maxrss: kilobytes on Linux; 0 when rusage is unavailable.
+  long PeakRssKb = 0;
+
+  static ResourceUsage sinceProcessStart() {
+    ResourceUsage Usage;
+    Usage.WallSec = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() -
+                        detail::ProcessStart)
+                        .count();
+#if defined(SEPE_HAVE_RUSAGE)
+    rusage Self{};
+    if (getrusage(RUSAGE_SELF, &Self) == 0) {
+      Usage.UserSec = static_cast<double>(Self.ru_utime.tv_sec) +
+                      static_cast<double>(Self.ru_utime.tv_usec) * 1e-6;
+      Usage.SysSec = static_cast<double>(Self.ru_stime.tv_sec) +
+                     static_cast<double>(Self.ru_stime.tv_usec) * 1e-6;
+      Usage.PeakRssKb = Self.ru_maxrss;
+    }
+#endif
+    return Usage;
+  }
+
+  std::string toJson() const {
+    char Buffer[160];
+    std::snprintf(Buffer, sizeof(Buffer),
+                  "{\"peak_rss_kb\":%ld,\"user_sec\":%.3f,"
+                  "\"sys_sec\":%.3f,\"wall_sec\":%.3f}",
+                  PeakRssKb, UserSec, SysSec, WallSec);
+    return Buffer;
+  }
+};
+
+} // namespace sepe
+
+#endif // SEPE_SUPPORT_RESOURCE_USAGE_H

@@ -1,0 +1,576 @@
+//===- tools/sepebench.cpp - Unified suite runner + perf gate -------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One binary that runs the repo's perf-sensitive workloads — the
+/// micro_hash families (single and batch paths), the fig13/fig19/fig20
+/// experiment replays, and the FlatIndexMap/LowMixTable probe
+/// schedules — with warmup plus repeated trials, robust statistics
+/// (median, MAD, coefficient of variation; trials beyond 5 MADs of the
+/// median are discarded), and, when `perf_event_open` is usable, a
+/// PMU-instrumented pass per workload reporting cycles/key, IPC and
+/// miss rates. Everything lands in one consolidated BENCH_suite.json
+/// through the shared bench envelope.
+///
+///   sepebench [--trials=N] [--warmup=N] [--full] [--json=FILE]
+///             [--keys=SSN,IPv4,...] [--filter=SUBSTR] [--list]
+///
+/// The second mode is the regression gate:
+///
+///   sepebench --compare=BASE.json,NEW.json [--noise-k=K]
+///             [--abs-floor=X] [--rel-floor=F]
+///
+/// which diffs two suite reports with noise-aware thresholds (flag
+/// only deltas beyond max(abs floor, k * MAD) and a relative floor)
+/// and exits 1 on regression, 2 on malformed/mismatched reports —
+/// wired into CI as the soft-fail perf-smoke job.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_common.h"
+
+#include "container/flat_index_map.h"
+#include "container/low_mix_table.h"
+#include "core/regex_parser.h"
+#include "core/synthesizer.h"
+#include "driver/hash_registry.h"
+#include "keygen/distributions.h"
+#include "keygen/paper_formats.h"
+#include "stats/descriptive.h"
+#include "support/bench_compare.h"
+#include "support/perf_counters.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace sepe;
+using namespace sepe::bench;
+
+namespace {
+
+// --- Options ---------------------------------------------------------------
+
+struct SuiteOptions {
+  size_t Trials = 5;
+  size_t Warmup = 1;
+  bool Full = false;
+  bool List = false;
+  std::string JsonPath = "BENCH_suite.json";
+  std::string Filter;
+  std::vector<PaperKey> Keys = {PaperKey::SSN, PaperKey::IPv4,
+                                PaperKey::URL1};
+  // Comparator mode.
+  std::string CompareBase, CompareNew;
+  CompareThresholds Thresholds;
+};
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: sepebench [options]\n"
+      "  --trials=N        timed trials per workload (default 5)\n"
+      "  --warmup=N        discarded warmup trials (default 1)\n"
+      "  --quick           default-sized run (explicit form)\n"
+      "  --full            paper-sized run (all 8 key formats, bigger\n"
+      "                    workloads)\n"
+      "  --keys=SSN,...    restrict the key formats\n"
+      "  --filter=SUBSTR   run only workloads whose name contains SUBSTR\n"
+      "  --json=FILE       consolidated report (default BENCH_suite.json)\n"
+      "  --list            print workload names and exit\n"
+      "comparator mode:\n"
+      "  --compare=BASE.json,NEW.json   diff two reports; exit 1 on\n"
+      "                    regression, 2 on schema/parse errors\n"
+      "  --noise-k=K       MAD multiplier for the noise band (default 3)\n"
+      "  --abs-floor=X     absolute delta floor, report units "
+      "(default 0.05)\n"
+      "  --rel-floor=F     relative delta floor (default 0.05)\n");
+}
+
+bool parseSuiteOptions(int Argc, char **Argv, SuiteOptions &Options) {
+  for (int I = 1; I != Argc; ++I) {
+    const std::string Arg = Argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      std::exit(0);
+    } else if (Arg.rfind("--trials=", 0) == 0) {
+      Options.Trials = std::max<size_t>(1, std::stoul(Arg.substr(9)));
+    } else if (Arg.rfind("--warmup=", 0) == 0) {
+      Options.Warmup = std::stoul(Arg.substr(9));
+    } else if (Arg == "--quick") {
+      Options.Full = false;
+    } else if (Arg == "--full") {
+      Options.Full = true;
+      Options.Keys.assign(AllPaperKeys.begin(), AllPaperKeys.end());
+    } else if (Arg.rfind("--keys=", 0) == 0) {
+      Options.Keys.clear();
+      std::string List = Arg.substr(7);
+      size_t Pos = 0;
+      while (Pos != std::string::npos) {
+        const size_t Comma = List.find(',', Pos);
+        const std::string Name = List.substr(
+            Pos, Comma == std::string::npos ? Comma : Comma - Pos);
+        bool Ok = false;
+        const PaperKey Key = paperKeyByName(Name, Ok);
+        if (Ok)
+          Options.Keys.push_back(Key);
+        else
+          std::fprintf(stderr, "warning: unknown key type '%s'\n",
+                       Name.c_str());
+        Pos = Comma == std::string::npos ? Comma : Comma + 1;
+      }
+    } else if (Arg.rfind("--filter=", 0) == 0) {
+      Options.Filter = Arg.substr(9);
+    } else if (Arg.rfind("--json=", 0) == 0) {
+      Options.JsonPath = Arg.substr(7);
+    } else if (Arg == "--list") {
+      Options.List = true;
+    } else if (Arg.rfind("--compare=", 0) == 0) {
+      const std::string Pair = Arg.substr(10);
+      const size_t Comma = Pair.find(',');
+      if (Comma == std::string::npos) {
+        std::fprintf(stderr,
+                     "error: --compare needs BASE.json,NEW.json\n");
+        return false;
+      }
+      Options.CompareBase = Pair.substr(0, Comma);
+      Options.CompareNew = Pair.substr(Comma + 1);
+    } else if (Arg.rfind("--noise-k=", 0) == 0) {
+      Options.Thresholds.NoiseK = std::stod(Arg.substr(10));
+    } else if (Arg.rfind("--abs-floor=", 0) == 0) {
+      Options.Thresholds.AbsFloor = std::stod(Arg.substr(12));
+    } else if (Arg.rfind("--rel-floor=", 0) == 0) {
+      Options.Thresholds.RelFloor = std::stod(Arg.substr(12));
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      printUsage();
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- Workloads -------------------------------------------------------------
+
+/// One suite entry: a closure that runs a single timed trial and
+/// returns the value in Unit; UnitsPerTrial feeds cycles/key.
+struct SuiteWorkload {
+  std::string Name;
+  std::string Unit;
+  double UnitsPerTrial = 0;
+  std::function<double()> Run;
+};
+
+double nowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Shared per-format state the hashing workloads capture, built once.
+struct FormatFixture {
+  PaperKey Key;
+  std::shared_ptr<HashFunctionSet> Set;
+  std::shared_ptr<std::vector<std::string>> Text;
+  std::shared_ptr<std::vector<std::string_view>> Views;
+};
+
+FormatFixture makeFixture(PaperKey Key, size_t PoolSize) {
+  FormatFixture Fixture;
+  Fixture.Key = Key;
+  Fixture.Set =
+      std::make_shared<HashFunctionSet>(HashFunctionSet::create(Key));
+  KeyGenerator Gen(paperKeyFormat(Key), KeyDistribution::Uniform,
+                   0x5ebe + static_cast<uint64_t>(Key));
+  Fixture.Text = std::make_shared<std::vector<std::string>>(
+      Gen.distinct(PoolSize));
+  Fixture.Views = std::make_shared<std::vector<std::string_view>>(
+      Fixture.Text->begin(), Fixture.Text->end());
+  return Fixture;
+}
+
+void addHashWorkloads(std::vector<SuiteWorkload> &Suite,
+                      const FormatFixture &Fixture, size_t Passes) {
+  const std::vector<HashKind> Kinds = {HashKind::Naive, HashKind::OffXor,
+                                       HashKind::Aes, HashKind::Pext,
+                                       HashKind::Stl};
+  const std::string Format = paperKeyName(Fixture.Key);
+  const double Units =
+      static_cast<double>(Passes * Fixture.Views->size());
+  for (HashKind Kind : Kinds) {
+    SuiteWorkload Single;
+    Single.Name = "hash_single/" + Format + "/" + hashKindName(Kind);
+    Single.Unit = "ns_per_key";
+    Single.UnitsPerTrial = Units;
+    Single.Run = [Fixture, Kind, Passes, Units] {
+      const double Start = nowMs();
+      uint64_t Sink = 0;
+      Fixture.Set->visit(Kind, [&](const auto &Hasher) {
+        for (size_t P = 0; P != Passes; ++P)
+          for (const std::string_view V : *Fixture.Views)
+            Sink += static_cast<uint64_t>(Hasher(V));
+      });
+      asm volatile("" : : "r"(Sink) : "memory");
+      return (nowMs() - Start) * 1e6 / Units;
+    };
+    Suite.push_back(std::move(Single));
+
+    SuiteWorkload Batch;
+    Batch.Name = "hash_batch/" + Format + "/" + hashKindName(Kind);
+    Batch.Unit = "ns_per_key";
+    Batch.UnitsPerTrial = Units;
+    Batch.Run = [Fixture, Kind, Passes, Units] {
+      std::vector<uint64_t> Out(Fixture.Views->size());
+      const double Start = nowMs();
+      for (size_t P = 0; P != Passes; ++P) {
+        Fixture.Set->hashBatch(Kind, Fixture.Views->data(), Out.data(),
+                               Fixture.Views->size());
+        asm volatile("" : : "r"(Out.data()) : "memory");
+      }
+      return (nowMs() - Start) * 1e6 / Units;
+    };
+    Suite.push_back(std::move(Batch));
+  }
+}
+
+void addExperimentWorkloads(std::vector<SuiteWorkload> &Suite,
+                            const FormatFixture &Fixture,
+                            size_t Affectations) {
+  const std::string Format = paperKeyName(Fixture.Key);
+  // fig13 shape: Batched-mode full-schedule replay, U-Map, normal keys.
+  ExperimentConfig Config;
+  Config.Container = ContainerKind::Map;
+  Config.Distribution = KeyDistribution::Normal;
+  Config.Spread = 2000;
+  Config.Mode = ExecMode::Batched;
+  Config.Affectations = Affectations;
+  const auto Work =
+      std::make_shared<Workload>(makeWorkload(Fixture.Key, Config));
+  // One schedule replay is well under a millisecond in quick mode, so
+  // a trial averages Reps full replays to push the measured region
+  // past timer/scheduler granularity.
+  const size_t Reps = 8;
+  const double Units =
+      static_cast<double>(Reps * Work->Schedule.size());
+  for (HashKind Kind : {HashKind::Pext, HashKind::Stl}) {
+    SuiteWorkload Entry;
+    Entry.Name = std::string("fig13_btime/") + Format + "/" +
+                 hashKindName(Kind);
+    Entry.Unit = "ms";
+    Entry.UnitsPerTrial = Units;
+    Entry.Run = [Fixture, Work, Config, Kind, Reps] {
+      double Total = 0;
+      for (size_t R = 0; R != Reps; ++R)
+        Total += runExperiment(*Work, Config, Kind, *Fixture.Set).BTimeMs;
+      return Total / static_cast<double>(Reps);
+    };
+    Suite.push_back(std::move(Entry));
+  }
+
+  // fig20 shape: same schedule through every container, one fast hash.
+  for (ContainerKind Container : AllContainerKinds) {
+    ExperimentConfig PerContainer = Config;
+    PerContainer.Container = Container;
+    const auto ContainerWork = std::make_shared<Workload>(
+        makeWorkload(Fixture.Key, PerContainer));
+    SuiteWorkload Entry;
+    Entry.Name = std::string("fig20_container/") + Format + "/" +
+                 containerKindName(Container);
+    Entry.Unit = "ms";
+    Entry.UnitsPerTrial =
+        static_cast<double>(Reps * ContainerWork->Schedule.size());
+    Entry.Run = [Fixture, ContainerWork, PerContainer, Reps] {
+      double Total = 0;
+      for (size_t R = 0; R != Reps; ++R)
+        Total += runExperiment(*ContainerWork, PerContainer,
+                               HashKind::OffXor, *Fixture.Set)
+                     .BTimeMs;
+      return Total / static_cast<double>(Reps);
+    };
+    Suite.push_back(std::move(Entry));
+  }
+
+  // The specialized-storage probe replay (bijective plans only).
+  if (Fixture.Set->synthesized(HashFamily::Pext).plan().Bijective) {
+    SuiteWorkload Entry;
+    Entry.Name = std::string("flat_probe/") + Format;
+    Entry.Unit = "ms";
+    Entry.UnitsPerTrial = Units;
+    Entry.Run = [Fixture, Work, Reps] {
+      double Total = 0;
+      for (size_t R = 0; R != Reps; ++R) {
+        FlatIndexProbeResult Probe;
+        if (!runFlatIndexProbe(*Work, *Fixture.Set, Probe))
+          return 0.0;
+        Total += Probe.BTimeMs;
+      }
+      return Total / static_cast<double>(Reps);
+    };
+    Suite.push_back(std::move(Entry));
+  }
+
+  // LowMixTable chained inserts + lookups over the pool.
+  {
+    SuiteWorkload Entry;
+    const size_t LowMixReps = 64;
+    Entry.Name = std::string("lowmix/") + Format;
+    Entry.Unit = "ns_per_op";
+    Entry.UnitsPerTrial =
+        static_cast<double>(LowMixReps * 2 * Fixture.Text->size());
+    Entry.Run = [Fixture, LowMixReps] {
+      const double Start = nowMs();
+      uint64_t Sink = 0;
+      for (size_t R = 0; R != LowMixReps; ++R) {
+        LowMixTable<std::string, MurmurStlHash> Table{
+            MurmurStlHash{}, 0, Fixture.Text->size()};
+        for (const std::string &Key : *Fixture.Text)
+          Table.insert(Key);
+        for (const std::string &Key : *Fixture.Text)
+          Sink += Table.contains(Key) ? 1 : 0;
+      }
+      asm volatile("" : : "r"(Sink) : "memory");
+      return (nowMs() - Start) * 1e6 /
+             static_cast<double>(LowMixReps * 2 * Fixture.Text->size());
+    };
+    Suite.push_back(std::move(Entry));
+  }
+}
+
+void addScalingWorkload(std::vector<SuiteWorkload> &Suite, bool Full) {
+  // fig19 shape: one long-key Pext point (4 KiB of digits).
+  const size_t KeyBytes = 4096;
+  Expected<FormatSpec> Spec =
+      parseRegex("[0-9]{" + std::to_string(KeyBytes) + "}");
+  if (!Spec)
+    return;
+  Expected<HashPlan> Plan = synthesize(Spec->abstract(), HashFamily::Pext);
+  if (!Plan)
+    return;
+  const auto Pext = std::make_shared<SynthesizedHash>(Plan.take());
+  KeyGenerator Gen(*Spec, KeyDistribution::Uniform, 0xf19);
+  auto Keys = std::make_shared<std::vector<std::string>>();
+  for (int I = 0; I != 64; ++I)
+    Keys->push_back(Gen.next());
+  const size_t Rounds = Full ? 400 : 100;
+  SuiteWorkload Entry;
+  Entry.Name = "fig19_scaling/4096B/Pext";
+  Entry.Unit = "ns_per_key";
+  Entry.UnitsPerTrial = static_cast<double>(Rounds * Keys->size());
+  Entry.Run = [Pext, Keys, Rounds] {
+    const double Start = nowMs();
+    uint64_t Sink = 0;
+    for (size_t R = 0; R != Rounds; ++R)
+      for (const std::string &Key : *Keys)
+        Sink += (*Pext)(Key);
+    asm volatile("" : : "r"(Sink) : "memory");
+    return (nowMs() - Start) * 1e6 /
+           static_cast<double>(Rounds * Keys->size());
+  };
+  Suite.push_back(std::move(Entry));
+}
+
+std::vector<SuiteWorkload> buildSuite(const SuiteOptions &Options) {
+  std::vector<SuiteWorkload> Suite;
+  // Each timed trial must be macroscopic (hundreds of microseconds at
+  // least) or timer granularity and scheduling transients swamp the
+  // per-key estimate; 2000 passes over 512 keys is ~1M hashes/trial.
+  const size_t PoolSize = 512;
+  const size_t Passes = Options.Full ? 8000 : 2000;
+  const size_t Affectations = Options.Full ? 10000 : 2000;
+  for (PaperKey Key : Options.Keys) {
+    const FormatFixture Fixture = makeFixture(Key, PoolSize);
+    addHashWorkloads(Suite, Fixture, Passes);
+    addExperimentWorkloads(Suite, Fixture, Affectations);
+  }
+  addScalingWorkload(Suite, Options.Full);
+  if (!Options.Filter.empty()) {
+    std::erase_if(Suite, [&](const SuiteWorkload &W) {
+      return W.Name.find(Options.Filter) == std::string::npos;
+    });
+  }
+  return Suite;
+}
+
+// --- Trial loop + robust stats --------------------------------------------
+
+struct WorkloadResult {
+  const SuiteWorkload *Work = nullptr;
+  std::vector<double> Trials;
+  std::vector<double> Kept;
+  double Median = 0, Mad = 0, Cv = 0, Min = 0, Max = 0;
+  perf::CounterReading Pmu;
+};
+
+/// Robust reduction: median/MAD over all trials, discard trials beyond
+/// 5 MADs of the median (|x - med| > 5 * MAD, MAD > 0), then recompute
+/// the reported stats over the kept set.
+void reduce(WorkloadResult &Result) {
+  const double Med = median(Result.Trials);
+  const double Mad = medianAbsDeviation(Result.Trials);
+  Result.Kept.clear();
+  for (double V : Result.Trials)
+    if (Mad <= 0 || std::abs(V - Med) <= 5 * Mad)
+      Result.Kept.push_back(V);
+  if (Result.Kept.empty())
+    Result.Kept = Result.Trials;
+  Result.Median = median(Result.Kept);
+  Result.Mad = medianAbsDeviation(Result.Kept);
+  Result.Cv = coefficientOfVariation(Result.Kept);
+  Result.Min = *std::min_element(Result.Kept.begin(), Result.Kept.end());
+  Result.Max = *std::max_element(Result.Kept.begin(), Result.Kept.end());
+}
+
+/// Runs the whole suite with trials interleaved round-robin: every
+/// workload's Nth trial happens in the Nth sweep over the suite, so
+/// time-varying machine state (frequency ramps, a noisy neighbour
+/// mid-run) spreads across every workload's sample instead of landing
+/// entirely on whichever workload was executing at that moment — the
+/// dominant cross-run drift source for back-to-back compares.
+std::vector<WorkloadResult>
+runSuiteTrials(const std::vector<SuiteWorkload> &Suite,
+               const SuiteOptions &Options, perf::CounterGroup &Counters) {
+  std::vector<WorkloadResult> Results(Suite.size());
+  for (size_t I = 0; I != Suite.size(); ++I)
+    Results[I].Work = &Suite[I];
+  for (size_t W = 0; W != Options.Warmup; ++W)
+    for (const SuiteWorkload &Work : Suite)
+      (void)Work.Run();
+  for (size_t T = 0; T != Options.Trials; ++T)
+    for (size_t I = 0; I != Suite.size(); ++I)
+      Results[I].Trials.push_back(Suite[I].Run());
+  for (WorkloadResult &Result : Results) {
+    reduce(Result);
+    if (Counters.live()) {
+      // One extra instrumented pass; its wall time is not a trial, so
+      // the PMU read cannot perturb the reported medians.
+      perf::ScopedCounters Scope(Counters, Result.Pmu);
+      (void)Result.Work->Run();
+    }
+  }
+  return Results;
+}
+
+// --- Report ----------------------------------------------------------------
+
+void writeWorkloadJson(std::FILE *F, const WorkloadResult &Result,
+                       bool Last) {
+  std::fprintf(F,
+               "    {\"name\": \"%s\", \"unit\": \"%s\", "
+               "\"units_per_trial\": %.0f,\n"
+               "     \"median\": %.4f, \"mad\": %.4f, \"cv\": %.4f, "
+               "\"min\": %.4f, \"max\": %.4f,\n"
+               "     \"trials\": %zu, \"kept\": %zu, \"raw\": [",
+               Result.Work->Name.c_str(), Result.Work->Unit.c_str(),
+               Result.Work->UnitsPerTrial, Result.Median, Result.Mad,
+               Result.Cv, Result.Min, Result.Max, Result.Trials.size(),
+               Result.Kept.size());
+  for (size_t I = 0; I != Result.Trials.size(); ++I)
+    std::fprintf(F, "%s%.4f", I == 0 ? "" : ", ", Result.Trials[I]);
+  std::fprintf(F, "],\n     \"pmu\": %s}%s\n",
+               Result.Pmu.toJson(Result.Work->UnitsPerTrial).c_str(),
+               Last ? "" : ",");
+}
+
+int runSuite(const SuiteOptions &Options) {
+  std::vector<SuiteWorkload> Suite = buildSuite(Options);
+  if (Options.List) {
+    for (const SuiteWorkload &Work : Suite)
+      std::printf("%s\n", Work.Name.c_str());
+    return 0;
+  }
+
+  std::printf("== sepebench ==\n%zu workloads, %zu trials + %zu warmup "
+              "each (%s mode)\npmu: %s\n\n",
+              Suite.size(), Options.Trials, Options.Warmup,
+              Options.Full ? "full" : "quick",
+              perf::available() ? "available"
+                                : perf::unavailableReason().c_str());
+
+  perf::CounterGroup Counters;
+  const std::vector<WorkloadResult> Results =
+      runSuiteTrials(Suite, Options, Counters);
+  TextTable Table({"Workload", "Unit", "Median", "MAD", "CV", "cyc/unit",
+                   "IPC"});
+  for (const WorkloadResult &Result : Results) {
+    const SuiteWorkload &Work = *Result.Work;
+    Table.addRow(
+        {Work.Name, Work.Unit, formatDouble(Result.Median, 4),
+         formatDouble(Result.Mad, 4), formatDouble(Result.Cv, 3),
+         Result.Pmu.Valid
+             ? formatDouble(Result.Pmu.cyclesPer(Work.UnitsPerTrial), 1)
+             : "-",
+         Result.Pmu.Valid ? formatDouble(Result.Pmu.ipc(), 2) : "-"});
+  }
+  std::printf("%s\n", Table.str().c_str());
+
+  std::FILE *F = openJsonReport(Options.JsonPath, "sepebench");
+  if (!F)
+    return 1;
+  std::fprintf(F, "  \"mode\": \"%s\",\n  \"trials\": %zu,\n"
+               "  \"warmup\": %zu,\n  \"pmu_available\": %s,\n"
+               "  \"pmu_reason\": \"%s\",\n  \"workloads\": [\n",
+               Options.Full ? "full" : "quick", Options.Trials,
+               Options.Warmup, perf::available() ? "true" : "false",
+               perf::unavailableReason().c_str());
+  for (size_t I = 0; I != Results.size(); ++I)
+    writeWorkloadJson(F, Results[I], I + 1 == Results.size());
+  std::fprintf(F, "  ],\n");
+  closeJsonReport(F);
+  std::printf("wrote %s (%zu workloads)\n", Options.JsonPath.c_str(),
+              Results.size());
+  return 0;
+}
+
+// --- Comparator ------------------------------------------------------------
+
+int runCompare(const SuiteOptions &Options) {
+  const auto Slurp = [](const std::string &Path,
+                        std::string &Out) -> bool {
+    std::FILE *F = std::fopen(Path.c_str(), "rb");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+      return false;
+    }
+    char Buffer[4096];
+    size_t Got = 0;
+    while ((Got = std::fread(Buffer, 1, sizeof(Buffer), F)) != 0)
+      Out.append(Buffer, Got);
+    std::fclose(F);
+    return true;
+  };
+  std::string BaseText, NewText;
+  if (!Slurp(Options.CompareBase, BaseText) ||
+      !Slurp(Options.CompareNew, NewText))
+    return 2;
+  Expected<CompareReport> Report =
+      compareSuiteReports(BaseText, NewText, Options.Thresholds);
+  if (!Report) {
+    std::fprintf(stderr, "error: %s\n", Report.error().Message.c_str());
+    return 2;
+  }
+  std::printf("== sepebench --compare ==\nbase: %s\nnew:  %s\n"
+              "thresholds: noise-k %.1f, abs floor %.3f, rel floor "
+              "%.1f%%\n\n%s",
+              Options.CompareBase.c_str(), Options.CompareNew.c_str(),
+              Options.Thresholds.NoiseK, Options.Thresholds.AbsFloor,
+              Options.Thresholds.RelFloor * 100, Report->render().c_str());
+  return Report->hasRegression() ? 1 : 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  SuiteOptions Options;
+  if (!parseSuiteOptions(Argc, Argv, Options))
+    return 2;
+  if (!Options.CompareBase.empty())
+    return runCompare(Options);
+  return runSuite(Options);
+}

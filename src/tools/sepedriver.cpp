@@ -19,6 +19,8 @@
 #include "driver/experiment.h"
 #include "driver/report.h"
 #include "support/cpu_features.h"
+#include "support/perf_counters.h"
+#include "support/resource_usage.h"
 #include "support/telemetry.h"
 
 #include <cstdio>
@@ -41,10 +43,13 @@ void printUsage(const char *Argv0) {
       "  --affectations=N                             (default 10000)\n"
       "  --seed=N                                     (default 0x5e9e)\n"
       "  --isa=native|nobext|portable                 (default native)\n"
-      "  --metrics=FILE.json   dump the telemetry registry (counters,\n"
-      "                        histograms, spans) as JSON after the run;\n"
-      "                        needs a -DSEPE_TELEMETRY=ON build for\n"
-      "                        non-empty data\n",
+      "  --metrics=FILE.json   dump the run's observability data as\n"
+      "                        JSON: the telemetry registry (counters,\n"
+      "                        histograms, spans; needs a\n"
+      "                        -DSEPE_TELEMETRY=ON build for non-empty\n"
+      "                        data), PMU counters for the experiment\n"
+      "                        loop when perf_event_open works here,\n"
+      "                        and getrusage resource totals\n",
       Argv0);
 }
 
@@ -189,18 +194,39 @@ int main(int Argc, char **Argv) {
   }
   std::printf("\n\n");
 
+  // The whole experiment loop runs under one PMU group (when the
+  // kernel lets us open one); the reading lands in the pmu.driver.*
+  // telemetry counters so --metrics carries it.
+  perf::CounterGroup Counters;
+  perf::CounterReading Pmu;
   TextTable Table(
       {"Function", "B-Time (ms)", "H-Time (ms)", "B-Coll", "T-Coll"});
-  for (HashKind Kind : AllHashKinds) {
-    if (Isa != IsaLevel::Native && Kind == HashKind::Pext)
-      continue; // No bext on this target (RQ4).
-    const ExperimentResult Result = runExperiment(Work, Config, Kind, Set);
-    Table.addRow({hashKindName(Kind), formatDouble(Result.BTimeMs),
-                  formatDouble(Result.HTimeMs, 4),
-                  std::to_string(Result.BucketCollisions),
-                  std::to_string(Result.TrueCollisions)});
+  {
+    perf::ScopedCounters Scope(Counters, Pmu);
+    for (HashKind Kind : AllHashKinds) {
+      if (Isa != IsaLevel::Native && Kind == HashKind::Pext)
+        continue; // No bext on this target (RQ4).
+      const ExperimentResult Result =
+          runExperiment(Work, Config, Kind, Set);
+      Table.addRow({hashKindName(Kind), formatDouble(Result.BTimeMs),
+                    formatDouble(Result.HTimeMs, 4),
+                    std::to_string(Result.BucketCollisions),
+                    std::to_string(Result.TrueCollisions)});
+    }
   }
+  perf::recordToTelemetry("driver", Pmu);
   std::printf("%s", Table.str().c_str());
+  if (Pmu.Valid)
+    std::printf("\npmu (experiment loop): %.0fM cycles, %.0fM "
+                "instructions, IPC %.2f, branch miss %.2f%%, cache miss "
+                "%.2f%%%s\n",
+                static_cast<double>(Pmu.Cycles) / 1e6,
+                static_cast<double>(Pmu.Instructions) / 1e6, Pmu.ipc(),
+                Pmu.branchMissRate() * 100, Pmu.cacheMissRate() * 100,
+                Pmu.Multiplexed ? " (multiplexed)" : "");
+  else
+    std::printf("\npmu: unavailable (%s)\n",
+                perf::unavailableReason().c_str());
 
   if (Config.Mode == ExecMode::Batched) {
     // The batch-kernel ladder: the same scheduled keys hashed through
@@ -235,6 +261,12 @@ int main(int Argc, char **Argv) {
                 formatDouble(Probe.BTimeMs).c_str(), Probe.FinalSize,
                 Probe.MaxProbeGroups, Probe.Tombstones);
 
+  const ResourceUsage Usage = ResourceUsage::sinceProcessStart();
+  std::printf("\nresources: peak RSS %.1f MiB, user %.2f s, sys %.2f s, "
+              "wall %.2f s\n",
+              static_cast<double>(Usage.PeakRssKb) / 1024.0, Usage.UserSec,
+              Usage.SysSec, Usage.WallSec);
+
   if (!MetricsPath.empty()) {
     std::FILE *Out = std::fopen(MetricsPath.c_str(), "w");
     if (!Out) {
@@ -242,11 +274,13 @@ int main(int Argc, char **Argv) {
                    MetricsPath.c_str());
       return 1;
     }
-    const std::string Json = telemetry::toJson();
-    std::fwrite(Json.data(), 1, Json.size(), Out);
-    std::fputc('\n', Out);
+    std::fprintf(Out,
+                 "{\n\"telemetry\": %s,\n\"pmu\": %s,\n"
+                 "\"resources\": %s\n}\n",
+                 telemetry::toJson().c_str(), Pmu.toJson().c_str(),
+                 Usage.toJson().c_str());
     std::fclose(Out);
-    std::printf("\nmetrics written to %s\n", MetricsPath.c_str());
+    std::printf("metrics written to %s\n", MetricsPath.c_str());
   }
   return 0;
 }

@@ -1,0 +1,213 @@
+//===- tests/test_bench_compare.cpp - Perf-regression gate ----------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Golden-pair tests for the noise-aware comparator behind
+// `sepebench --compare`: identical reports, a clear regression, an
+// improvement, jitter inside the noise band, the absolute floor on
+// near-zero workloads, added/removed workloads, schema-version
+// mismatch, and malformed input. The fixtures are small literal
+// BENCH_suite.json documents, so each verdict is pinned to exact
+// numbers rather than to whatever the host machine measures today.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/bench_compare.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace sepe;
+using namespace sepe::bench;
+
+namespace {
+
+/// A minimal suite report: schema + workloads with the fields the
+/// comparator reads (name, unit, median, mad).
+std::string suiteJson(const std::string &WorkloadsJson,
+                      int SchemaVersion = 1) {
+  return "{\"schema_version\": " + std::to_string(SchemaVersion) +
+         ", \"benchmark\": \"sepebench\", \"workloads\": [" +
+         WorkloadsJson + "]}";
+}
+
+std::string workload(const char *Name, double Median, double Mad) {
+  char Buffer[192];
+  std::snprintf(Buffer, sizeof(Buffer),
+                "{\"name\": \"%s\", \"unit\": \"ns_per_key\", "
+                "\"median\": %.4f, \"mad\": %.4f}",
+                Name, Median, Mad);
+  return Buffer;
+}
+
+const WorkloadDelta *findDelta(const CompareReport &Report,
+                               const std::string &Name) {
+  for (const WorkloadDelta &Delta : Report.Deltas)
+    if (Delta.Name == Name)
+      return &Delta;
+  return nullptr;
+}
+
+TEST(BenchCompare, IdenticalReportsAreClean) {
+  const std::string Text =
+      suiteJson(workload("hash/SSN/Pext", 2.5, 0.02) + "," +
+                workload("lowmix/SSN", 45.0, 0.8));
+  Expected<CompareReport> Report = compareSuiteReports(Text, Text);
+  ASSERT_TRUE(Report);
+  EXPECT_FALSE(Report->hasRegression());
+  EXPECT_EQ(Report->Regressions, 0u);
+  EXPECT_EQ(Report->Improvements, 0u);
+  ASSERT_EQ(Report->Deltas.size(), 2u);
+  for (const WorkloadDelta &Delta : Report->Deltas)
+    EXPECT_EQ(Delta.Verdict, DeltaVerdict::Unchanged);
+}
+
+TEST(BenchCompare, ClearRegressionGates) {
+  // +40% with tight MADs: far beyond every floor.
+  const std::string Base = suiteJson(workload("hash/SSN/Pext", 2.5, 0.02));
+  const std::string New = suiteJson(workload("hash/SSN/Pext", 3.5, 0.02));
+  Expected<CompareReport> Report = compareSuiteReports(Base, New);
+  ASSERT_TRUE(Report);
+  EXPECT_TRUE(Report->hasRegression());
+  const WorkloadDelta *Delta = findDelta(*Report, "hash/SSN/Pext");
+  ASSERT_NE(Delta, nullptr);
+  EXPECT_EQ(Delta->Verdict, DeltaVerdict::Regression);
+  EXPECT_NEAR(Delta->DeltaPct, 40.0, 0.01);
+}
+
+TEST(BenchCompare, ImprovementIsReportedNotGated) {
+  const std::string Base = suiteJson(workload("hash/SSN/Aes", 4.0, 0.03));
+  const std::string New = suiteJson(workload("hash/SSN/Aes", 3.0, 0.03));
+  Expected<CompareReport> Report = compareSuiteReports(Base, New);
+  ASSERT_TRUE(Report);
+  EXPECT_FALSE(Report->hasRegression());
+  EXPECT_EQ(Report->Improvements, 1u);
+  EXPECT_EQ(findDelta(*Report, "hash/SSN/Aes")->Verdict,
+            DeltaVerdict::Improvement);
+}
+
+TEST(BenchCompare, JitterInsideNoiseBandIsUnchanged) {
+  // +6% — beyond the 5% relative floor — but the MADs say this
+  // workload wobbles by ~0.15, so 3*MAD = 0.45 swallows the 0.15 move.
+  const std::string Base = suiteJson(workload("fig13/SSN", 2.50, 0.15));
+  const std::string New = suiteJson(workload("fig13/SSN", 2.65, 0.15));
+  Expected<CompareReport> Report = compareSuiteReports(Base, New);
+  ASSERT_TRUE(Report);
+  EXPECT_FALSE(Report->hasRegression());
+  EXPECT_EQ(findDelta(*Report, "fig13/SSN")->Verdict,
+            DeltaVerdict::Unchanged);
+}
+
+TEST(BenchCompare, RelativeFloorIgnoresTightButTinyMoves) {
+  // MADs are nearly zero so the noise band is just the 0.05 absolute
+  // floor; a +0.06 move clears it — but that is only +1.2% of a 5.0
+  // median, under the 5% relative floor. Both conditions must hold.
+  const std::string Base = suiteJson(workload("hash/URL1/Stl", 5.00, 0.001));
+  const std::string New = suiteJson(workload("hash/URL1/Stl", 5.06, 0.001));
+  Expected<CompareReport> Report = compareSuiteReports(Base, New);
+  ASSERT_TRUE(Report);
+  EXPECT_FALSE(Report->hasRegression());
+}
+
+TEST(BenchCompare, AbsoluteFloorShieldsNearZeroWorkloads) {
+  // +50% relative, but 0.02 -> 0.03 is a 0.01 absolute move, far under
+  // the 0.05 floor: sub-floor workloads can never gate.
+  const std::string Base = suiteJson(workload("hash/SSN/OffXor", 0.02, 0.0));
+  const std::string New = suiteJson(workload("hash/SSN/OffXor", 0.03, 0.0));
+  Expected<CompareReport> Report = compareSuiteReports(Base, New);
+  ASSERT_TRUE(Report);
+  EXPECT_FALSE(Report->hasRegression());
+}
+
+TEST(BenchCompare, ThresholdsAreConfigurable) {
+  // The same +6% move from the jitter test becomes a regression once
+  // the caller tightens the noise multiplier and relative floor.
+  const std::string Base = suiteJson(workload("fig13/SSN", 2.50, 0.01));
+  const std::string New = suiteJson(workload("fig13/SSN", 2.65, 0.01));
+  CompareThresholds Tight;
+  Tight.NoiseK = 1.0;
+  Tight.AbsFloor = 0.01;
+  Tight.RelFloor = 0.01;
+  Expected<CompareReport> Report = compareSuiteReports(Base, New, Tight);
+  ASSERT_TRUE(Report);
+  EXPECT_TRUE(Report->hasRegression());
+
+  CompareThresholds Loose;
+  Loose.RelFloor = 0.50;
+  Report = compareSuiteReports(Base, New, Loose);
+  ASSERT_TRUE(Report);
+  EXPECT_FALSE(Report->hasRegression());
+}
+
+TEST(BenchCompare, AddedAndRemovedNeverGate) {
+  const std::string Base =
+      suiteJson(workload("hash/SSN/Pext", 2.5, 0.02) + "," +
+                workload("hash/SSN/Gone", 1.0, 0.01));
+  const std::string New =
+      suiteJson(workload("hash/SSN/Pext", 2.5, 0.02) + "," +
+                workload("hash/SSN/Fresh", 9.9, 0.01));
+  Expected<CompareReport> Report = compareSuiteReports(Base, New);
+  ASSERT_TRUE(Report);
+  EXPECT_FALSE(Report->hasRegression());
+  EXPECT_EQ(findDelta(*Report, "hash/SSN/Gone")->Verdict,
+            DeltaVerdict::Removed);
+  EXPECT_EQ(findDelta(*Report, "hash/SSN/Fresh")->Verdict,
+            DeltaVerdict::Added);
+}
+
+TEST(BenchCompare, SchemaMismatchIsAnError) {
+  const std::string Base = suiteJson(workload("hash/SSN/Pext", 2.5, 0.02), 1);
+  const std::string New = suiteJson(workload("hash/SSN/Pext", 2.5, 0.02), 2);
+  Expected<CompareReport> Report = compareSuiteReports(Base, New);
+  EXPECT_FALSE(Report);
+  EXPECT_NE(Report.error().Message.find("schema_version"),
+            std::string::npos);
+}
+
+TEST(BenchCompare, MissingSchemaIsAnError) {
+  const std::string Base = suiteJson(workload("hash/SSN/Pext", 2.5, 0.02));
+  const std::string New =
+      "{\"benchmark\": \"sepebench\", \"workloads\": []}";
+  EXPECT_FALSE(compareSuiteReports(Base, New));
+}
+
+TEST(BenchCompare, MalformedJsonIsAnError) {
+  const std::string Good = suiteJson(workload("hash/SSN/Pext", 2.5, 0.02));
+  EXPECT_FALSE(compareSuiteReports(Good, "{\"workloads\": ["));
+  EXPECT_FALSE(compareSuiteReports("not json at all", Good));
+  EXPECT_FALSE(compareSuiteReports(Good, "{\"schema_version\": 1}"));
+}
+
+TEST(BenchCompare, MalformedWorkloadEntriesAreSkipped) {
+  // Entries without a name or median cannot be judged; they must not
+  // poison the rest of the report.
+  const std::string Base = suiteJson(
+      workload("hash/SSN/Pext", 2.5, 0.02) +
+      ",{\"unit\": \"ns\"},{\"name\": \"no_median\", \"unit\": \"ns\"}");
+  const std::string New = suiteJson(workload("hash/SSN/Pext", 2.5, 0.02));
+  Expected<CompareReport> Report = compareSuiteReports(Base, New);
+  ASSERT_TRUE(Report);
+  EXPECT_FALSE(Report->hasRegression());
+  EXPECT_NE(findDelta(*Report, "hash/SSN/Pext"), nullptr);
+  EXPECT_EQ(findDelta(*Report, "no_median"), nullptr);
+}
+
+TEST(BenchCompare, RenderMentionsEveryMovedWorkload) {
+  const std::string Base =
+      suiteJson(workload("hash/A", 2.0, 0.01) + "," +
+                workload("hash/B", 3.0, 0.01));
+  const std::string New =
+      suiteJson(workload("hash/A", 3.0, 0.01) + "," +
+                workload("hash/B", 2.0, 0.01));
+  Expected<CompareReport> Report = compareSuiteReports(Base, New);
+  ASSERT_TRUE(Report);
+  const std::string Text = Report->render();
+  EXPECT_NE(Text.find("hash/A"), std::string::npos);
+  EXPECT_NE(Text.find("hash/B"), std::string::npos);
+  EXPECT_NE(Text.find("REGRESSION"), std::string::npos);
+}
+
+} // namespace
