@@ -1014,6 +1014,258 @@ SynthesizedHash::selectBatch(const HashPlan &Plan, IsaLevel Isa,
   unreachable("all plan shapes handled above");
 }
 
+namespace {
+
+/// Fused scalar lane of the guarded fixed-xor kernel: hashes and guards
+/// one key, returning true when admitted (Out written) and false when
+/// rejected (Out untouched). Shared by the 4-wide loop's epilogue and
+/// its rare mixed-length groups.
+template <size_t NSteps = 0>
+bool guardedFixedXorOne(const HashPlan &Plan, const BatchGuard &G,
+                        std::string_view Key, uint64_t *Out) {
+  if (Key.size() != G.KeyLen)
+    return false;
+  const PlanStep *Steps = Plan.Steps.data();
+  const size_t M = NSteps != 0 ? NSteps : Plan.Steps.size();
+  const char *D = Key.data();
+  uint64_t Hash = 0, Bad = 0;
+  for (size_t S = 0; S != M; ++S) {
+    const uint64_t W = loadU64Le(D + Steps[S].Offset);
+    Hash ^= W;
+    Bad |= (W & G.StepMasks[S]) ^ G.StepValues[S];
+  }
+  for (const BatchGuard::Check &C : G.Extra)
+    Bad |= (loadU64Le(D + C.Offset) & C.Mask) ^ C.Value;
+  if (Bad != 0)
+    return false;
+  *Out = Hash;
+  return true;
+}
+
+/// Guarded fixed-xor batch kernel: the interleaved 4-wide loop of
+/// batchFixedXor with the membership compare folded onto each loaded
+/// word. Admitted keys land in Out at their own index; rejected key
+/// indices append to MissIdx and their Out slots are non-contractual
+/// (the caller's fallback lane overwrites them).
+///
+/// The hot loop is branch-free: per-key badness accumulates into a
+/// side array and one chunk-level OR, so on a clean stream the only
+/// guard cost is the AND/XOR/OR pair on each word the hash loads
+/// anyway plus one predictable branch per chunk. Key lengths are swept
+/// branchlessly per chunk before any plan-offset load happens — a
+/// wrong-length key must not be dereferenced at the plan's offsets,
+/// and a chunk containing one (rare under drift, impossible on a
+/// steady stream) falls back to the per-key lane.
+template <size_t NSteps = 0>
+size_t guardedFixedXorBatch(const HashPlan &Plan, const BatchGuard &G,
+                            const std::string_view *Keys, uint64_t *Out,
+                            size_t N, uint32_t *MissIdx) {
+  const PlanStep *Steps = Plan.Steps.data();
+  const size_t M = NSteps != 0 ? NSteps : Plan.Steps.size();
+  const uint64_t *GM = G.StepMasks.data();
+  const uint64_t *GV = G.StepValues.data();
+  const BatchGuard::Check *Extra = G.Extra.data();
+  const size_t NumExtra = G.Extra.size();
+  const size_t Len = G.KeyLen;
+  constexpr size_t Chunk = 64;
+  uint64_t Bad[Chunk];
+  size_t Misses = 0;
+  for (size_t Base = 0; Base < N; Base += Chunk) {
+    const size_t Count = N - Base < Chunk ? N - Base : Chunk;
+    const std::string_view *K = Keys + Base;
+    uint64_t LenBad = 0;
+    for (size_t I = 0; I != Count; ++I)
+      LenBad |= K[I].size() ^ Len;
+    if (LenBad != 0) {
+      for (size_t I = 0; I != Count; ++I)
+        if (!guardedFixedXorOne<NSteps>(Plan, G, K[I], Out + Base + I))
+          MissIdx[Misses++] = static_cast<uint32_t>(Base + I);
+      continue;
+    }
+    uint64_t AnyBad = 0;
+    size_t I = 0;
+    for (; I + 4 <= Count; I += 4) {
+      const char *D0 = K[I + 0].data();
+      const char *D1 = K[I + 1].data();
+      const char *D2 = K[I + 2].data();
+      const char *D3 = K[I + 3].data();
+      uint64_t H0 = 0, H1 = 0, H2 = 0, H3 = 0;
+      uint64_t B0 = 0, B1 = 0, B2 = 0, B3 = 0;
+      for (size_t S = 0; S != M; ++S) {
+        const uint32_t Off = Steps[S].Offset;
+        const uint64_t Ma = GM[S], Va = GV[S];
+        uint64_t W;
+        W = loadU64Le(D0 + Off), H0 ^= W, B0 |= (W & Ma) ^ Va;
+        W = loadU64Le(D1 + Off), H1 ^= W, B1 |= (W & Ma) ^ Va;
+        W = loadU64Le(D2 + Off), H2 ^= W, B2 |= (W & Ma) ^ Va;
+        W = loadU64Le(D3 + Off), H3 ^= W, B3 |= (W & Ma) ^ Va;
+      }
+      for (size_t E = 0; E != NumExtra; ++E) {
+        const uint32_t Off = Extra[E].Offset;
+        const uint64_t Ma = Extra[E].Mask, Va = Extra[E].Value;
+        B0 |= (loadU64Le(D0 + Off) & Ma) ^ Va;
+        B1 |= (loadU64Le(D1 + Off) & Ma) ^ Va;
+        B2 |= (loadU64Le(D2 + Off) & Ma) ^ Va;
+        B3 |= (loadU64Le(D3 + Off) & Ma) ^ Va;
+      }
+      Out[Base + I + 0] = H0;
+      Out[Base + I + 1] = H1;
+      Out[Base + I + 2] = H2;
+      Out[Base + I + 3] = H3;
+      Bad[I + 0] = B0;
+      Bad[I + 1] = B1;
+      Bad[I + 2] = B2;
+      Bad[I + 3] = B3;
+      AnyBad |= B0 | B1 | B2 | B3;
+    }
+    for (; I != Count; ++I) {
+      const char *D = K[I].data();
+      uint64_t H = 0, B = 0;
+      for (size_t S = 0; S != M; ++S) {
+        const uint64_t W = loadU64Le(D + Steps[S].Offset);
+        H ^= W;
+        B |= (W & GM[S]) ^ GV[S];
+      }
+      for (size_t E = 0; E != NumExtra; ++E)
+        B |= (loadU64Le(D + Extra[E].Offset) & Extra[E].Mask) ^
+             Extra[E].Value;
+      Out[Base + I] = H;
+      Bad[I] = B;
+      AnyBad |= B;
+    }
+    if (AnyBad != 0)
+      for (size_t J = 0; J != Count; ++J)
+        if (Bad[J] != 0)
+          MissIdx[Misses++] = static_cast<uint32_t>(Base + J);
+  }
+  return Misses;
+}
+
+using GuardedBatchFnT = size_t (*)(const HashPlan &, const BatchGuard &,
+                                   const std::string_view *, uint64_t *,
+                                   size_t, uint32_t *);
+
+GuardedBatchFnT selectGuardedFixedXorBatch(size_t M) {
+  switch (M) {
+  case 1:
+    return guardedFixedXorBatch<1>;
+  case 2:
+    return guardedFixedXorBatch<2>;
+  case 3:
+    return guardedFixedXorBatch<3>;
+  case 4:
+    return guardedFixedXorBatch<4>;
+  default:
+    return guardedFixedXorBatch<>;
+  }
+}
+
+} // namespace
+
+BatchGuard SynthesizedHash::compileGuard(const KeyPattern &Guard) const {
+  BatchGuard G;
+  if (!Plan || Plan->FallbackToStl || Plan->PartialLoad || !Plan->FixedLength)
+    return G;
+  if (Plan->Family != HashFamily::Naive && Plan->Family != HashFamily::OffXor)
+    return G;
+  if (!Guard.isFixedLength() || Guard.maxLength() < 8)
+    return G;
+  const size_t Len = Guard.maxLength();
+  for (const PlanStep &S : Plan->Steps)
+    if (S.Offset + 8 > Len)
+      return G; // Plan loads outside the guarded length; stay two-pass.
+
+  // Express the guard's constant bits on the windows the kernel loads.
+  const auto PackWindow = [&](size_t Offset, uint64_t &Mask,
+                              uint64_t &Value) {
+    for (size_t I = 0; I != 8; ++I) {
+      const BytePattern &B = Guard.byteAt(Offset + I);
+      Mask |= uint64_t{B.constMask()} << (8 * I);
+      Value |= uint64_t{B.constValue()} << (8 * I);
+    }
+  };
+  std::vector<bool> Covered(Len, false);
+  for (const PlanStep &S : Plan->Steps) {
+    uint64_t Mask = 0, Value = 0;
+    PackWindow(S.Offset, Mask, Value);
+    G.StepMasks.push_back(Mask);
+    G.StepValues.push_back(Value);
+    for (size_t I = 0; I != 8; ++I)
+      Covered[S.Offset + I] = true;
+  }
+  // Constant positions the hash never loads (e.g. the URL formats'
+  // literal prefix, which the synthesizer's skip table elides) get
+  // standalone windows, clamped so they never read past the key.
+  for (size_t P = 0; P != Len; ++P) {
+    if (Covered[P] || Guard.byteAt(P).constMask() == 0)
+      continue;
+    const size_t Offset = P < Len - 8 ? P : Len - 8;
+    BatchGuard::Check C;
+    C.Offset = static_cast<uint32_t>(Offset);
+    PackWindow(Offset, C.Mask, C.Value);
+    G.Extra.push_back(C);
+    for (size_t I = 0; I != 8; ++I)
+      Covered[Offset + I] = true;
+  }
+  G.KeyLen = Len;
+  G.Fused = true;
+  return G;
+}
+
+size_t SynthesizedHash::hashBatchGuarded(const KeyPattern &Guard,
+                                         const BatchGuard &Compiled,
+                                         const std::string_view *Keys,
+                                         uint64_t *Out, size_t N,
+                                         uint32_t *MissIdx) const {
+  assert(Plan && "hashing with an empty SynthesizedHash");
+  if (!Compiled.Fused)
+    return hashBatchGuarded(Guard, Keys, Out, N, MissIdx);
+  assert(Compiled.StepMasks.size() == Plan->Steps.size() &&
+         "guard compiled against a different plan");
+  return selectGuardedFixedXorBatch(Plan->Steps.size())(*Plan, Compiled, Keys,
+                                                        Out, N, MissIdx);
+}
+
+size_t SynthesizedHash::hashBatchGuarded(const KeyPattern &Guard,
+                                         const std::string_view *Keys,
+                                         uint64_t *Out, size_t N,
+                                         uint32_t *MissIdx) const {
+  assert(Plan && "hashing with an empty SynthesizedHash");
+  // Stack-block size mirrors FlatIndexMap::insertBatch: big enough to
+  // amortize the per-call dispatch, small enough to stay in L1.
+  constexpr size_t Block = 256;
+  uint8_t Admit[Block];
+  std::string_view Pass[Block];
+  uint64_t PassOut[Block];
+  uint32_t PassIdx[Block];
+  size_t Misses = 0;
+  for (size_t Base = 0; Base < N; Base += Block) {
+    const size_t Count = N - Base < Block ? N - Base : Block;
+    const size_t Admitted = Guard.matchesBatch(Keys + Base, Admit, Count);
+    if (Admitted == Count) {
+      // Whole block in-format: hash in place, no compaction copy.
+      hashBatch(Keys + Base, Out + Base, Count);
+      continue;
+    }
+    size_t P = 0;
+    for (size_t I = 0; I != Count; ++I) {
+      if (Admit[I]) {
+        Pass[P] = Keys[Base + I];
+        PassIdx[P] = static_cast<uint32_t>(Base + I);
+        ++P;
+      } else {
+        MissIdx[Misses++] = static_cast<uint32_t>(Base + I);
+      }
+    }
+    if (P != 0) {
+      hashBatch(Pass, PassOut, P);
+      for (size_t I = 0; I != P; ++I)
+        Out[PassIdx[I]] = PassOut[I];
+    }
+  }
+  return Misses;
+}
+
 SynthesizedHash::SynthesizedHash(std::shared_ptr<const HashPlan> Plan,
                                  IsaLevel Isa, BatchPath Preferred)
     : Plan(std::move(Plan)) {

@@ -16,8 +16,10 @@
 #define SEPE_CORE_KEY_PATTERN_H
 
 #include "core/byte_pattern.h"
+#include "support/bit_ops.h"
 
 #include <cassert>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -34,6 +36,7 @@ public:
     KeyPattern P;
     P.MinLen = P.MaxLen = Bytes.size();
     P.Bytes = std::move(Bytes);
+    P.buildWords();
     return P;
   }
 
@@ -45,6 +48,7 @@ public:
     P.MinLen = MinLen;
     P.MaxLen = Bytes.size();
     P.Bytes = std::move(Bytes);
+    P.buildWords();
     return P;
   }
 
@@ -62,14 +66,59 @@ public:
   const std::vector<BytePattern> &bytes() const { return Bytes; }
 
   /// True when \p Key is admitted: its length lies in [MinLen, MaxLen]
-  /// and every byte satisfies the pattern at its position.
+  /// and every byte satisfies the pattern at its position. Word-at-a-time:
+  /// the per-position (ConstMask, ConstValue) pairs are precomputed into
+  /// 8-byte words at construction, so membership costs one masked
+  /// compare-and-branch per 8 key bytes instead of a per-byte loop —
+  /// cheap enough to guard every key on a hashing fast path.
   bool matches(std::string_view Key) const {
-    if (Key.size() < MinLen || Key.size() > MaxLen)
-      return false;
-    for (size_t I = 0; I != Key.size(); ++I)
-      if (!Bytes[I].matches(static_cast<uint8_t>(Key[I])))
+    if (!FixedChecks.empty()) {
+      if (Key.size() != MaxLen)
         return false;
-    return true;
+      const char *P = Key.data();
+      for (const WordCheck &C : FixedChecks)
+        if ((loadU64Le(P + C.Offset) & C.Mask) != C.Value)
+          return false;
+      return true;
+    }
+    return matchesGeneral(Key);
+  }
+
+  /// Batch membership: Out[I] = matches(Keys[I]) for I in [0, N); returns
+  /// the number of admitted keys. The batch shape lets a guarded
+  /// dispatcher test a whole block before committing it to the
+  /// specialized batch kernel (core/executor.h hashBatchGuarded).
+  size_t matchesBatch(const std::string_view *Keys, uint8_t *Out,
+                      size_t N) const {
+    size_t Admitted = 0;
+    if (!FixedChecks.empty()) {
+      // Hoist the check table out of the key loop: Out is a byte
+      // pointer, so without locals every Out[I] store would force the
+      // member vectors to be reloaded. The inner compare is branchless
+      // (&=) — on an in-format stream every check passes, so early
+      // exits buy nothing and cost a branch per word.
+      const WordCheck *Checks = FixedChecks.data();
+      const size_t NumChecks = FixedChecks.size();
+      const size_t Len = MaxLen;
+      for (size_t I = 0; I != N; ++I) {
+        bool M = Keys[I].size() == Len;
+        if (M) {
+          const char *P = Keys[I].data();
+          for (size_t C = 0; C != NumChecks; ++C)
+            M &= (loadU64Le(P + Checks[C].Offset) & Checks[C].Mask) ==
+                 Checks[C].Value;
+        }
+        Out[I] = M;
+        Admitted += M;
+      }
+      return Admitted;
+    }
+    for (size_t I = 0; I != N; ++I) {
+      const bool M = matchesGeneral(Keys[I]);
+      Out[I] = M;
+      Admitted += M;
+    }
+    return Admitted;
   }
 
   /// Total number of free (non-constant) bits over all positions; the
@@ -110,7 +159,85 @@ public:
   }
 
 private:
+  /// One precomputed word compare of the fixed-length fast path:
+  /// (loadU64Le(Key + Offset) & Mask) == Value.
+  struct WordCheck {
+    uint32_t Offset = 0;
+    uint64_t Mask = 0;
+    uint64_t Value = 0;
+  };
+
+  /// The slow path: variable-length and sub-word patterns. Walks the
+  /// aligned word tables with a masked partial load for the tail.
+  bool matchesGeneral(std::string_view Key) const {
+    if (Key.size() < MinLen || Key.size() > MaxLen)
+      return false;
+    const char *P = Key.data();
+    size_t I = 0, W = 0;
+    for (; I + 8 <= Key.size(); I += 8, ++W)
+      if ((loadU64Le(P + I) & MaskWords[W]) != ValueWords[W])
+        return false;
+    const size_t Tail = Key.size() - I;
+    if (Tail != 0) {
+      // Exclude positions past the key's end from the compare: they are
+      // optional (length already checked), and the zero-padding of the
+      // partial load must not be tested against their constant bits.
+      const uint64_t TailMask = ~uint64_t{0} >> (8 * (8 - Tail));
+      if ((loadBytesLe(P + I, Tail) & MaskWords[W] & TailMask) !=
+          (ValueWords[W] & TailMask))
+        return false;
+    }
+    return true;
+  }
+
+  /// Packs a window of eight BytePatterns starting at \p Offset into one
+  /// (mask, value) word compare.
+  WordCheck packWindow(size_t Offset) const {
+    WordCheck C;
+    C.Offset = static_cast<uint32_t>(Offset);
+    for (size_t I = 0; I != 8; ++I) {
+      C.Mask |= uint64_t{Bytes[Offset + I].constMask()} << (8 * I);
+      C.Value |= uint64_t{Bytes[Offset + I].constValue()} << (8 * I);
+    }
+    return C;
+  }
+
+  /// Packs the per-position (ConstMask, ConstValue) pairs into little-
+  /// endian 8-byte words, zero-padded past MaxLen (a zero mask admits
+  /// anything, so the padding can never reject). Derived state: every
+  /// factory rebuilds it, operator== ignores it.
+  void buildWords() {
+    const size_t NumWords = (Bytes.size() + 7) / 8;
+    MaskWords.assign(NumWords, 0);
+    ValueWords.assign(NumWords, 0);
+    for (size_t I = 0; I != Bytes.size(); ++I) {
+      const unsigned Shift = 8 * (I % 8);
+      MaskWords[I / 8] |= uint64_t{Bytes[I].constMask()} << Shift;
+      ValueWords[I / 8] |= uint64_t{Bytes[I].constValue()} << Shift;
+    }
+    // Fixed-length patterns of at least a word get full-word checks with
+    // an overlapping final window ending exactly at the key's last byte
+    // — no partial tail load, every compare is one unaligned 8-byte
+    // read. Reading backwards from the end never runs past the buffer
+    // because the guard only fires on keys of exactly MaxLen bytes.
+    FixedChecks.clear();
+    if (MinLen == MaxLen && MaxLen >= 8) {
+      size_t Off = 0;
+      for (; Off + 8 <= MaxLen; Off += 8)
+        FixedChecks.push_back(packWindow(Off));
+      if (Off != MaxLen) {
+        const WordCheck Overlap = packWindow(MaxLen - 8);
+        // An all-constant key would leave the window mask-only zero;
+        // keep the check anyway — Mask 0 compares 0 == 0 and is free.
+        FixedChecks.push_back(Overlap);
+      }
+    }
+  }
+
   std::vector<BytePattern> Bytes;
+  std::vector<uint64_t> MaskWords;
+  std::vector<uint64_t> ValueWords;
+  std::vector<WordCheck> FixedChecks;
   size_t MinLen = 0;
   size_t MaxLen = 0;
 };

@@ -1,0 +1,60 @@
+//===- runtime/resynthesizer.h - Background resynthesis worker --*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A single background thread that runs a resynthesis callback whenever
+/// triggered. Triggers coalesce: any number of trigger() calls while the
+/// callback runs collapse into one more run, so a burst of tripped drift
+/// windows costs one synthesis, not one per window. The hashing fast
+/// path never blocks on this thread — trigger() takes the mutex only
+/// long enough to flip a flag, and only the (already slow) tripped-
+/// window path calls it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_RUNTIME_RESYNTHESIZER_H
+#define SEPE_RUNTIME_RESYNTHESIZER_H
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace sepe {
+
+/// Owns one worker thread running a user callback on demand.
+class Resynthesizer {
+public:
+  using Work = std::function<void()>;
+
+  /// Starts the worker; \p Fn runs on it after each trigger().
+  explicit Resynthesizer(Work Fn);
+
+  /// Stops and joins the worker (equivalent to stop()).
+  ~Resynthesizer();
+
+  /// Requests one more callback run. Never blocks on the callback;
+  /// triggers arriving while it runs coalesce into a single rerun.
+  void trigger();
+
+  /// Stops the worker after any in-flight callback finishes and joins
+  /// it. Idempotent. Pending (coalesced) triggers are dropped.
+  void stop();
+
+private:
+  void run();
+
+  Work Fn;
+  std::mutex Mutex;
+  std::condition_variable Cond;
+  bool Pending = false;
+  bool Stopping = false;
+  std::thread Worker;
+};
+
+} // namespace sepe
+
+#endif // SEPE_RUNTIME_RESYNTHESIZER_H

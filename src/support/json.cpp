@@ -203,9 +203,10 @@ private:
           else
             return fail("invalid \\u escape digit");
         }
-        // The repo's writers only escape '"' and '\'; decode ASCII and
-        // degrade the rest — comparator keys never carry non-ASCII.
-        Out += Code < 0x80 ? static_cast<char>(Code) : '?';
+        // escapeString() emits every non-ASCII byte as \u00XX, so code
+        // points through U+00FF decode back to the raw byte (the
+        // round-trip contract); anything beyond one byte degrades.
+        Out += Code < 0x100 ? static_cast<char>(Code) : '?';
         break;
       }
       default:
@@ -240,6 +241,51 @@ private:
 };
 
 } // namespace
+
+std::string json::escapeString(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (const char C : S) {
+    const auto Byte = static_cast<unsigned char>(C);
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      continue;
+    case '\\':
+      Out += "\\\\";
+      continue;
+    case '\b':
+      Out += "\\b";
+      continue;
+    case '\f':
+      Out += "\\f";
+      continue;
+    case '\n':
+      Out += "\\n";
+      continue;
+    case '\r':
+      Out += "\\r";
+      continue;
+    case '\t':
+      Out += "\\t";
+      continue;
+    default:
+      break;
+    }
+    if (Byte < 0x20 || Byte > 0x7E) {
+      // Control bytes must be escaped per RFC 8259; non-ASCII bytes are
+      // escaped too so the document stays pure ASCII regardless of what
+      // encoding the sampled keys were in.
+      static const char Hex[] = "0123456789abcdef";
+      Out += "\\u00";
+      Out += Hex[Byte >> 4];
+      Out += Hex[Byte & 0xF];
+    } else {
+      Out += C;
+    }
+  }
+  return Out;
+}
 
 Expected<Value> json::parse(std::string_view Text) {
   return Parser(Text).run();

@@ -114,6 +114,15 @@ private:
   std::vector<std::pair<std::string, Value>> Obj;
 };
 
+/// Escapes \p S for embedding between the quotes of a JSON string
+/// literal: '"' and '\\' get a backslash, the short escapes cover
+/// \b \f \n \r \t, and every other control byte plus every non-ASCII
+/// byte becomes \u00XX. The input is treated as raw bytes (sampled keys
+/// in --metrics dumps are arbitrary binary), and parse() decodes
+/// \u0000..\u00FF back to single bytes, so escapeString -> parse
+/// round-trips any byte string exactly.
+std::string escapeString(std::string_view S);
+
 /// Parses one JSON document; trailing non-whitespace is an error. The
 /// Error position is a byte offset into \p Text.
 Expected<Value> parse(std::string_view Text);

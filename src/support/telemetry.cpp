@@ -7,6 +7,8 @@
 #include "support/telemetry.h"
 
 #if defined(SEPE_TELEMETRY)
+#include "support/json.h"
+
 #include <cstdlib>
 #include <map>
 #include <mutex>
@@ -40,11 +42,10 @@ bool envEnabled() {
 }
 
 void appendEscaped(std::string &Out, const std::string &S) {
-  for (char C : S) {
-    if (C == '"' || C == '\\')
-      Out += '\\';
-    Out += C;
-  }
+  // Full RFC 8259 escaping (shared with the sampled-key exporters):
+  // metric names are ASCII today, but the registry is open to any
+  // literal an instrumentation site passes.
+  Out += json::escapeString(S);
 }
 
 /// One histogram as {"count":..,"sum":..,"max":..,"buckets":[..]} with

@@ -39,6 +39,7 @@
 #include "driver/hash_registry.h"
 #include "keygen/distributions.h"
 #include "keygen/paper_formats.h"
+#include "runtime/adaptive_hash.h"
 #include "stats/descriptive.h"
 #include "support/bench_compare.h"
 #include "support/perf_counters.h"
@@ -240,6 +241,71 @@ void addHashWorkloads(std::vector<SuiteWorkload> &Suite,
   }
 }
 
+void addAdaptiveWorkloads(std::vector<SuiteWorkload> &Suite,
+                          const FormatFixture &Fixture, size_t Passes) {
+  const std::string Format = paperKeyName(Fixture.Key);
+  const double Units = static_cast<double>(Passes * Fixture.Views->size());
+
+  // Steady state: guarded dispatch over an in-format pool. The guard
+  // overhead acceptance number is this against hash_batch/<fmt>/OffXor
+  // (same pool, same passes, same batch kernel underneath).
+  AdaptiveOptions GuardOptions;
+  GuardOptions.Background = false;
+  auto Adaptive = std::make_shared<AdaptiveHash>(
+      paperKeyFormat(Fixture.Key).abstract(), GuardOptions);
+  SuiteWorkload Guard;
+  Guard.Name = "adaptive_guard/" + Format;
+  Guard.Unit = "ns_per_key";
+  Guard.UnitsPerTrial = Units;
+  Guard.Run = [Fixture, Adaptive, Passes, Units] {
+    std::vector<uint64_t> Out(Fixture.Views->size());
+    const double Start = nowMs();
+    for (size_t P = 0; P != Passes; ++P) {
+      Adaptive->hashBatch(Fixture.Views->data(), Out.data(),
+                          Fixture.Views->size());
+      asm volatile("" : : "r"(Out.data()) : "memory");
+    }
+    return (nowMs() - Start) * 1e6 / Units;
+  };
+  Suite.push_back(std::move(Guard));
+
+  // Drift recovery: wall ms from the first out-of-format batch until a
+  // resynthesized generation is live — detector windows, sampling, the
+  // joined synthesis, and the hot swap all inside the measured region.
+  // Every trial builds a fresh AdaptiveHash so trials are independent.
+  const KeyPattern Pattern = paperKeyFormat(Fixture.Key).abstract();
+  const DriftProbe Probe = findDriftProbe(Pattern);
+  if (!Probe.Valid)
+    return; // An all-top pattern cannot be drifted out of.
+  auto Drifted =
+      std::make_shared<std::vector<std::string>>(*Fixture.Text);
+  for (std::string &Key : *Drifted)
+    Key[Probe.Pos] = Probe.Byte;
+  auto DriftViews = std::make_shared<std::vector<std::string_view>>(
+      Drifted->begin(), Drifted->end());
+  SuiteWorkload Recovery;
+  Recovery.Name = "adaptive_recovery/" + Format;
+  Recovery.Unit = "ms";
+  Recovery.UnitsPerTrial = 1;
+  Recovery.Run = [Pattern, Drifted, DriftViews] {
+    AdaptiveOptions Options;
+    Options.Background = false;
+    Options.Cooldown = std::chrono::milliseconds(0);
+    AdaptiveHash Fresh(Pattern, Options);
+    std::vector<uint64_t> Out(DriftViews->size());
+    const double Start = nowMs();
+    bool Swapped = false;
+    for (size_t Round = 0; Round != 64 && !Swapped; ++Round) {
+      Fresh.hashBatch(DriftViews->data(), Out.data(), DriftViews->size());
+      asm volatile("" : : "r"(Out.data()) : "memory");
+      if (Fresh.resynthesisPending())
+        Swapped = Fresh.pumpResynthesis();
+    }
+    return nowMs() - Start;
+  };
+  Suite.push_back(std::move(Recovery));
+}
+
 void addExperimentWorkloads(std::vector<SuiteWorkload> &Suite,
                             const FormatFixture &Fixture,
                             size_t Affectations) {
@@ -387,6 +453,7 @@ std::vector<SuiteWorkload> buildSuite(const SuiteOptions &Options) {
   for (PaperKey Key : Options.Keys) {
     const FormatFixture Fixture = makeFixture(Key, PoolSize);
     addHashWorkloads(Suite, Fixture, Passes);
+    addAdaptiveWorkloads(Suite, Fixture, Passes);
     addExperimentWorkloads(Suite, Fixture, Affectations);
   }
   addScalingWorkload(Suite, Options.Full);

@@ -18,14 +18,18 @@
 
 #include "driver/experiment.h"
 #include "driver/report.h"
+#include "runtime/adaptive_hash.h"
 #include "support/cpu_features.h"
+#include "support/json.h"
 #include "support/perf_counters.h"
 #include "support/resource_usage.h"
 #include "support/telemetry.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 using namespace sepe;
 
@@ -43,6 +47,14 @@ void printUsage(const char *Argv0) {
       "  --affectations=N                             (default 10000)\n"
       "  --seed=N                                     (default 0x5e9e)\n"
       "  --isa=native|nobext|portable                 (default native)\n"
+      "  --adaptive            replay a drifting key stream through the\n"
+      "                        adaptive runtime instead of the Section-4\n"
+      "                        experiment: steady-state guarded hashing\n"
+      "                        on --key, then a drifted stream until the\n"
+      "                        detector trips and a hot swap lands, then\n"
+      "                        post-swap steady state (recovery)\n"
+      "  --drift-key=FMT       drift into a second paper format instead\n"
+      "                        of single-byte-mutated --key keys\n"
       "  --metrics=FILE.json   dump the run's observability data as\n"
       "                        JSON: the telemetry registry (counters,\n"
       "                        histograms, spans; needs a\n"
@@ -74,6 +86,185 @@ const char *isaLevelName(IsaLevel Isa) {
   return "?";
 }
 
+double nowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Streams \p Keys through the adaptive hash \p Passes times in
+/// 256-key batches; returns ns/key.
+double timedAdaptivePasses(const AdaptiveHash &Adaptive,
+                           const std::vector<std::string_view> &Keys,
+                           size_t Passes) {
+  std::vector<uint64_t> Out(Keys.size());
+  const double Start = nowMs();
+  for (size_t P = 0; P != Passes; ++P) {
+    Adaptive.hashBatch(Keys.data(), Out.data(), Keys.size());
+    asm volatile("" : : "r"(Out.data()) : "memory");
+  }
+  return (nowMs() - Start) * 1e6 /
+         static_cast<double>(Passes * Keys.size());
+}
+
+/// The --adaptive replay: steady state on the base format, a drifted
+/// stream until the detector trips and a (manually pumped, so the run
+/// is deterministic) resynthesis hot-swaps a widened generation in,
+/// then post-swap steady state over the same drifted keys.
+int runAdaptiveReplay(PaperKey Key, const ExperimentConfig &Config,
+                      IsaLevel Isa, bool HaveDriftKey, PaperKey DriftKey,
+                      const std::string &MetricsPath) {
+  AdaptiveOptions Options;
+  Options.Isa = Isa;
+  Options.Background = false; // Pump explicitly: deterministic replay.
+  AdaptiveHash Adaptive(paperKeyFormat(Key).abstract(), Options);
+  if (!Adaptive.specialized().valid()) {
+    std::fprintf(stderr, "error: no specialized plan for %s\n",
+                 paperKeyName(Key));
+    return 1;
+  }
+
+  const size_t StreamKeys = std::max<size_t>(Config.Affectations, 2048);
+  KeyGenerator Gen(paperKeyFormat(Key), Config.Distribution, Config.Seed);
+  std::vector<std::string> Base;
+  Base.reserve(StreamKeys);
+  for (size_t I = 0; I != StreamKeys; ++I)
+    Base.push_back(Gen.next());
+
+  std::vector<std::string> Drift;
+  if (HaveDriftKey) {
+    KeyGenerator DriftGen(paperKeyFormat(DriftKey), Config.Distribution,
+                          Config.Seed + 1);
+    Drift.reserve(StreamKeys);
+    for (size_t I = 0; I != StreamKeys; ++I)
+      Drift.push_back(DriftGen.next());
+  } else {
+    const DriftProbe Probe = findDriftProbe(Adaptive.pattern());
+    if (!Probe.Valid) {
+      std::fprintf(stderr,
+                   "error: %s's pattern admits every byte; nothing to "
+                   "drift (pass --drift-key=FMT)\n",
+                   paperKeyName(Key));
+      return 1;
+    }
+    Drift = Base;
+    for (std::string &K : Drift)
+      K[Probe.Pos] = Probe.Byte;
+  }
+  const std::vector<std::string_view> BaseViews(Base.begin(), Base.end());
+  const std::vector<std::string_view> DriftViews(Drift.begin(),
+                                                 Drift.end());
+
+  std::printf("adaptive replay: key=%s drift=%s stream=%zu keys "
+              "window=%zu threshold=%.3f\n",
+              paperKeyName(Key),
+              HaveDriftKey ? paperKeyName(DriftKey) : "mutated",
+              StreamKeys, Options.DriftWindow, Options.DriftThreshold);
+
+  // Phase 1: steady state. A couple of warmup passes, then timed.
+  (void)timedAdaptivePasses(Adaptive, BaseViews, 2);
+  const double SteadyNs = timedAdaptivePasses(Adaptive, BaseViews, 8);
+  const SynthesizedHash Raw = Adaptive.specialized();
+  std::vector<uint64_t> RawOut(BaseViews.size());
+  double RawStart = nowMs();
+  for (size_t P = 0; P != 8; ++P) {
+    Raw.hashBatch(BaseViews.data(), RawOut.data(), BaseViews.size());
+    asm volatile("" : : "r"(RawOut.data()) : "memory");
+  }
+  const double RawNs =
+      (nowMs() - RawStart) * 1e6 / static_cast<double>(8 * BaseViews.size());
+  std::printf("\nphase 1 (steady state, in-format):\n"
+              "  guarded  %.3f ns/key\n  raw      %.3f ns/key "
+              "(specialized batch, no guard)\n  overhead %.1f%%\n",
+              SteadyNs, RawNs,
+              RawNs > 0 ? (SteadyNs / RawNs - 1.0) * 100 : 0.0);
+
+  // Phase 2: the drifted stream, windowed. Pump the resynthesizer as
+  // soon as a tripped window latches it, and report the swap point.
+  std::printf("\nphase 2 (drifted stream):\n");
+  std::vector<uint64_t> Out(256);
+  size_t KeysToSwap = 0;
+  const double DriftStart = nowMs();
+  for (size_t Banner = 0, I = 0; I < DriftViews.size(); I += 256) {
+    const size_t Count = std::min<size_t>(256, DriftViews.size() - I);
+    Adaptive.hashBatch(DriftViews.data() + I, Out.data(), Count);
+    if (Adaptive.resynthesisPending() && Adaptive.pumpResynthesis())
+      KeysToSwap = I + Count;
+    if (I + Count >= Banner + 4096 || I + Count == DriftViews.size()) {
+      Banner = I + Count;
+      std::printf("  %6zu keys: window ratio %.3f, epoch %llu\n", Banner,
+                  Adaptive.windowMismatchRatio(),
+                  static_cast<unsigned long long>(Adaptive.epoch()));
+    }
+  }
+  const double DriftMs = nowMs() - DriftStart;
+  if (Adaptive.swaps() == 0) {
+    std::printf("  no swap: stream never tripped the detector\n");
+  } else {
+    std::printf("  hot swap after %zu drifted keys (%.2f ms into the "
+                "stream); pattern now %zu..%zu bytes\n",
+                KeysToSwap, DriftMs, Adaptive.pattern().minLength(),
+                Adaptive.pattern().maxLength());
+  }
+
+  // Phase 3: post-swap steady state over the once-drifted keys.
+  (void)timedAdaptivePasses(Adaptive, DriftViews, 2);
+  const double RecoveredNs = timedAdaptivePasses(Adaptive, DriftViews, 8);
+  std::printf("\nphase 3 (post-swap steady state, drifted keys):\n"
+              "  guarded  %.3f ns/key (%.1f%% vs pre-drift steady "
+              "state)\n",
+              RecoveredNs,
+              SteadyNs > 0 ? (RecoveredNs / SteadyNs - 1.0) * 100 : 0.0);
+
+  std::printf("\nsummary: swaps %llu, epoch %llu, guard passes %llu, "
+              "guard misses %llu, sampled %zu keys\n",
+              static_cast<unsigned long long>(Adaptive.swaps()),
+              static_cast<unsigned long long>(Adaptive.epoch()),
+              static_cast<unsigned long long>(Adaptive.guardPasses()),
+              static_cast<unsigned long long>(Adaptive.guardMisses()),
+              Adaptive.sampledKeys().size());
+
+  const ResourceUsage Usage = ResourceUsage::sinceProcessStart();
+  std::printf("resources: peak RSS %.1f MiB, user %.2f s, sys %.2f s, "
+              "wall %.2f s\n",
+              static_cast<double>(Usage.PeakRssKb) / 1024.0, Usage.UserSec,
+              Usage.SysSec, Usage.WallSec);
+
+  if (!MetricsPath.empty()) {
+    std::FILE *F = std::fopen(MetricsPath.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot open metrics file '%s'\n",
+                   MetricsPath.c_str());
+      return 1;
+    }
+    std::string Sampled;
+    const std::vector<std::string> SampledKeys = Adaptive.sampledKeys();
+    for (size_t I = 0; I != SampledKeys.size(); ++I) {
+      Sampled += I == 0 ? "\"" : ", \"";
+      Sampled += json::escapeString(SampledKeys[I]);
+      Sampled += '"';
+    }
+    std::fprintf(
+        F,
+        "{\n\"adaptive\": {\"epoch\": %llu, \"swaps\": %llu, "
+        "\"guard_passes\": %llu, \"guard_misses\": %llu,\n"
+        "  \"window_ratio\": %.6f, \"steady_ns_per_key\": %.4f, "
+        "\"raw_ns_per_key\": %.4f, \"recovered_ns_per_key\": %.4f,\n"
+        "  \"keys_to_swap\": %zu,\n  \"sampled_keys\": [%s]},\n"
+        "\"telemetry\": %s,\n\"resources\": %s\n}\n",
+        static_cast<unsigned long long>(Adaptive.epoch()),
+        static_cast<unsigned long long>(Adaptive.swaps()),
+        static_cast<unsigned long long>(Adaptive.guardPasses()),
+        static_cast<unsigned long long>(Adaptive.guardMisses()),
+        Adaptive.windowMismatchRatio(), SteadyNs, RawNs, RecoveredNs,
+        KeysToSwap, Sampled.c_str(), telemetry::toJson().c_str(),
+        Usage.toJson().c_str());
+    std::fclose(F);
+    std::printf("metrics written to %s\n", MetricsPath.c_str());
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -81,6 +272,9 @@ int main(int Argc, char **Argv) {
   ExperimentConfig Config;
   IsaLevel Isa = IsaLevel::Native;
   std::string MetricsPath;
+  bool Adaptive = false;
+  bool HaveDriftKey = false;
+  PaperKey DriftKey = PaperKey::SSN;
 
   for (int I = 1; I != Argc; ++I) {
     const std::string Arg = Argv[I];
@@ -148,6 +342,21 @@ int main(int Argc, char **Argv) {
       Config.Seed = std::stoull(Value);
     } else if (parseValue(Arg, "metrics", Value)) {
       MetricsPath = Value;
+    } else if (Arg == "--adaptive") {
+      Adaptive = true;
+    } else if (parseValue(Arg, "drift-key", Value)) {
+      bool Found = false;
+      for (PaperKey Candidate : AllPaperKeys)
+        if (Value == paperKeyName(Candidate)) {
+          DriftKey = Candidate;
+          Found = true;
+        }
+      if (!Found) {
+        std::fprintf(stderr, "error: unknown drift key type '%s'\n",
+                     Value.c_str());
+        return 1;
+      }
+      HaveDriftKey = true;
     } else if (parseValue(Arg, "isa", Value)) {
       if (Value == "native")
         Isa = IsaLevel::Native;
@@ -173,6 +382,10 @@ int main(int Argc, char **Argv) {
                    "without -DSEPE_TELEMETRY=ON; the dump will be empty\n");
     telemetry::setEnabled(true);
   }
+
+  if (Adaptive)
+    return runAdaptiveReplay(Key, Config, Isa, HaveDriftKey, DriftKey,
+                             MetricsPath);
 
   std::printf("experiment: key=%s container=%s distribution=%s spread=%zu "
               "mode=%s affectations=%zu\n",

@@ -25,6 +25,7 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -299,5 +300,75 @@ TEST(BatchAdapterTest, FallbackLoopCoversUnspecializedHashers) {
   for (size_t I = 0; I != Views.size(); ++I)
     EXPECT_EQ(Out[I], Polymur(Views[I]));
 }
+
+// The fused guarded kernel (compileGuard + the precompiled-guard
+// hashBatchGuarded overload) must agree exactly with the matches()
+// oracle on admit/reject and with the plain batch kernel on every
+// admitted key — across every paper format, with mutated bytes, wrong
+// lengths, and chunk-boundary placements in one stream.
+class FusedGuardEquivalence : public ::testing::TestWithParam<PaperKey> {};
+
+TEST_P(FusedGuardEquivalence, AgreesWithMembershipOracle) {
+  const PaperKey Key = GetParam();
+  const KeyPattern Pattern = paperKeyFormat(Key).abstract();
+  Expected<HashPlan> Plan = synthesize(Pattern, HashFamily::OffXor);
+  ASSERT_TRUE(Plan) << Plan.error().Message;
+  const SynthesizedHash Hash(Plan.take());
+  const BatchGuard Compiled = Hash.compileGuard(Pattern);
+  ASSERT_TRUE(Compiled.fused()) << paperKeyName(Key)
+                                << " should compile to a fused guard";
+
+  KeyGenerator Gen(paperKeyFormat(Key), KeyDistribution::Uniform,
+                   0xfeed + static_cast<uint64_t>(Key));
+  // 331 keys: several 64-key guard chunks plus a 4-wide remainder.
+  std::vector<std::string> Text = Gen.distinct(331);
+  // Sprinkle rejections everywhere a kernel lane could mishandle them:
+  // mutated bytes at chunk starts/ends, wrong lengths mid-chunk (which
+  // demote their whole chunk to the scalar lane), and a constant-prefix
+  // violation when the format has uncovered constant positions.
+  std::mt19937_64 Rng(99);
+  for (const size_t I : {size_t{0}, size_t{63}, size_t{64}, size_t{127},
+                         size_t{200}, Text.size() - 1})
+    Text[I].back() = '\xff';
+  Text[70] += "tail";
+  Text[130].pop_back();
+  Text[131].clear();
+  for (size_t I = 0; I != 40; ++I) {
+    std::string &K = Text[Rng() % Text.size()];
+    if (!K.empty())
+      K[Rng() % K.size()] ^= 0x80;
+  }
+  const std::vector<std::string_view> Views = viewsOf(Text);
+
+  std::vector<uint64_t> Out(Views.size(), 0);
+  std::vector<uint32_t> MissIdx(Views.size());
+  const size_t Misses = Hash.hashBatchGuarded(
+      Pattern, Compiled, Views.data(), Out.data(), Views.size(),
+      MissIdx.data());
+
+  std::vector<bool> Missed(Views.size(), false);
+  for (size_t I = 0; I != Misses; ++I) {
+    ASSERT_LT(MissIdx[I], Views.size());
+    ASSERT_FALSE(Missed[MissIdx[I]]) << "duplicate miss index";
+    Missed[MissIdx[I]] = true;
+  }
+  size_t OracleMisses = 0;
+  for (size_t I = 0; I != Views.size(); ++I) {
+    const bool InFormat = Pattern.matches(Views[I]);
+    OracleMisses += !InFormat;
+    EXPECT_EQ(Missed[I], !InFormat)
+        << paperKeyName(Key) << " key[" << I << "]";
+    if (InFormat)
+      EXPECT_EQ(Out[I], Hash(Views[I]))
+          << paperKeyName(Key) << " key[" << I << "]";
+  }
+  EXPECT_EQ(Misses, OracleMisses);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, FusedGuardEquivalence,
+                         ::testing::ValuesIn(AllPaperKeys),
+                         [](const auto &Info) {
+                           return std::string(paperKeyName(Info.param));
+                         });
 
 } // namespace

@@ -17,7 +17,9 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
 #include <string>
+#include <string_view>
 
 using namespace sepe;
 
@@ -113,6 +115,44 @@ TEST(Json, DuplicateKeysKeepFirst) {
 
 TEST(Json, ParseFileErrors) {
   EXPECT_FALSE(json::parseFile("/nonexistent/path/report.json"));
+}
+
+TEST(Json, EscapeStringHandlesControlAndNonAscii) {
+  EXPECT_EQ(json::escapeString("plain"), "plain");
+  EXPECT_EQ(json::escapeString("a\"b\\c"), R"(a\"b\\c)");
+  EXPECT_EQ(json::escapeString("\n\t\r\b\f"), R"(\n\t\r\b\f)");
+  EXPECT_EQ(json::escapeString(std::string_view("\0x", 2)), R"(\u0000x)");
+  EXPECT_EQ(json::escapeString("\x1f"), R"(\u001f)");
+  EXPECT_EQ(json::escapeString("\x7f"), R"(\u007f)");
+  EXPECT_EQ(json::escapeString("\xff"), R"(\u00ff)");
+}
+
+TEST(Json, EscapeStringRoundTripsEveryByte) {
+  std::string All;
+  for (int B = 0; B != 256; ++B)
+    All += static_cast<char>(B);
+  const json::Value Doc = parseOk("\"" + json::escapeString(All) + "\"");
+  EXPECT_EQ(Doc.string(), All);
+}
+
+TEST(Json, EscapeStringRoundTripsRandomStrings) {
+  // The writer/parser pair must round-trip arbitrary byte strings —
+  // sampled key dumps (runtime/adaptive_hash.h sampledKeys) can carry
+  // any byte the drifted stream does.
+  std::mt19937_64 Rng(1234);
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    std::string S;
+    const size_t Len = Rng() % 64;
+    for (size_t I = 0; I != Len; ++I)
+      S += static_cast<char>(Rng() % 256);
+    const std::string Escaped = json::escapeString(S);
+    for (char C : Escaped)
+      EXPECT_TRUE(static_cast<unsigned char>(C) >= 0x20 &&
+                  static_cast<unsigned char>(C) <= 0x7E)
+          << "escaped text must be printable ASCII";
+    const json::Value Doc = parseOk("\"" + Escaped + "\"");
+    EXPECT_EQ(Doc.string(), S) << "trial " << Trial;
+  }
 }
 
 } // namespace

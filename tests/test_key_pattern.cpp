@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+#include <string_view>
+
 using namespace sepe;
 
 namespace {
@@ -73,6 +76,84 @@ TEST(KeyPatternTest, JoinIsPointwise) {
 TEST(KeyPatternTest, StrSeparatesBytes) {
   const KeyPattern P = KeyPattern::fixed(literalBytes("JF"));
   EXPECT_EQ(P.str(), "01001010|01000110");
+}
+
+/// The per-byte definition matches() is specified against: length in
+/// bounds and every position's BytePattern satisfied.
+bool matchesReference(const KeyPattern &P, std::string_view Key) {
+  if (Key.size() < P.minLength() || Key.size() > P.maxLength())
+    return false;
+  for (size_t I = 0; I != Key.size(); ++I)
+    if (!P.byteAt(I).matches(static_cast<uint8_t>(Key[I])))
+      return false;
+  return true;
+}
+
+TEST(KeyPatternTest, WordMatcherAgreesWithPerByteReference) {
+  // Widths straddling the 8-byte word boundary, mixing constant, quad
+  // and top positions; probe with mutations at every position.
+  std::mt19937_64 Rng(11);
+  for (size_t Width : {1u, 7u, 8u, 9u, 15u, 16u, 17u, 31u}) {
+    std::vector<BytePattern> Bytes;
+    std::string Member;
+    for (size_t I = 0; I != Width; ++I) {
+      switch (I % 3) {
+      case 0:
+        Bytes.push_back(BytePattern::fromByte('a' + I % 26));
+        Member += static_cast<char>('a' + I % 26);
+        break;
+      case 1:
+        Bytes.push_back(join(BytePattern::fromByte('0'),
+                             BytePattern::fromByte('9')));
+        Member += '4';
+        break;
+      default:
+        Bytes.push_back(BytePattern::top());
+        Member += static_cast<char>(Rng() % 256);
+        break;
+      }
+    }
+    const KeyPattern P = KeyPattern::fixed(std::move(Bytes));
+    ASSERT_TRUE(P.matches(Member)) << Width;
+    for (size_t I = 0; I != Width; ++I)
+      for (int Probe = 0; Probe != 8; ++Probe) {
+        std::string Key = Member;
+        Key[I] = static_cast<char>(Rng() % 256);
+        EXPECT_EQ(P.matches(Key), matchesReference(P, Key))
+            << "width " << Width << " pos " << I;
+      }
+  }
+}
+
+TEST(KeyPatternTest, WordMatcherAgreesOnVariableLengths) {
+  std::vector<BytePattern> Bytes = literalBytes("ab");
+  for (int I = 0; I != 10; ++I)
+    Bytes.push_back(BytePattern::top());
+  const KeyPattern P = KeyPattern::variable(std::move(Bytes), 2);
+  std::mt19937_64 Rng(12);
+  for (size_t Len = 0; Len != 14; ++Len)
+    for (int Probe = 0; Probe != 32; ++Probe) {
+      std::string Key;
+      for (size_t I = 0; I != Len; ++I)
+        Key += static_cast<char>(Probe < 16 && I < 2 ? "ab"[I]
+                                                     : Rng() % 256);
+      EXPECT_EQ(P.matches(Key), matchesReference(P, Key)) << Len;
+    }
+}
+
+TEST(KeyPatternTest, MatchesBatchCountsAndFlags) {
+  const KeyPattern P = KeyPattern::fixed(literalBytes("abcdefghij"));
+  const std::vector<std::string> Keys = {"abcdefghij", "Xbcdefghij",
+                                         "abcdefghij", "abcdefghiX",
+                                         "short"};
+  std::vector<std::string_view> Views(Keys.begin(), Keys.end());
+  uint8_t Out[5] = {9, 9, 9, 9, 9};
+  EXPECT_EQ(P.matchesBatch(Views.data(), Out, Views.size()), 2u);
+  EXPECT_EQ(Out[0], 1);
+  EXPECT_EQ(Out[1], 0);
+  EXPECT_EQ(Out[2], 1);
+  EXPECT_EQ(Out[3], 0);
+  EXPECT_EQ(Out[4], 0);
 }
 
 } // namespace
