@@ -121,6 +121,39 @@ inline uint32_t matchEmptyOrDeleted(const int8_t *Ctrl) {
 
 } // namespace swiss
 
+/// The slot-mapping arithmetic FlatIndexMap probes with, exposed so
+/// composing containers (container/sharded_index_map.h) can route by
+/// the same image without re-deriving the constants. Shard selection
+/// deliberately uses a *different* odd multiplier than the in-map group
+/// mapping: if both read the top bits of the same product, every key of
+/// one shard would share its leading group bits and collapse into a
+/// fraction of that shard's groups.
+namespace probe {
+
+/// Fibonacci scramble: one multiply spreads the image's entropy across
+/// the word. FlatIndexMap reads the group index from the top bits and
+/// the 7-bit tag from the bottom bits, so the two stay independent.
+inline uint64_t scramble(uint64_t Image) {
+  return Image * 0x9E3779B97F4A7C15ULL;
+}
+
+/// Independent mix for shard routing (a distinct odd constant,
+/// splitmix64's second round), decorrelated from scramble() above.
+inline uint64_t shardScramble(uint64_t Image) {
+  return Image * 0xBF58476D1CE4E5B9ULL;
+}
+
+/// Shard index for an image in a 2^ShardBits-way sharded container:
+/// the top bits of the shard scramble. ShardBits == 0 is a single
+/// shard (a shift by 64 would be UB).
+inline size_t shardOf(uint64_t Image, unsigned ShardBits) {
+  return ShardBits == 0
+             ? 0
+             : static_cast<size_t>(shardScramble(Image) >> (64 - ShardBits));
+}
+
+} // namespace probe
+
 /// Open-addressed map from format keys to \p Value, keyed by the image
 /// of a bijective synthesized hash.
 template <typename Value> class FlatIndexMap {
@@ -265,6 +298,25 @@ public:
   /// tests and the ablation benchmark.
   size_t tombstones() const { return Tombstones; }
 
+  /// Dense probe over pre-hashed images: Out[I] = findHashed(Images[I])
+  /// (nullptr when absent). The shard-composable form of the lookup —
+  /// ShardedIndexMap partitions a batch-hashed chunk by shard and runs
+  /// each shard's dense group through this under one lock acquisition.
+  void findHashedBatch(const uint64_t *Images, Value **Out, size_t N) {
+    for (size_t I = 0; I != N; ++I)
+      Out[I] = findImage(Images[I]);
+  }
+
+  /// Visits every live (image, value) mapping; \p Fn is called as
+  /// Fn(uint64_t Image, const Value &V). The enumeration primitive the
+  /// sharded migration copies a sealed shard with (the map stores no
+  /// key text, so images are all there is to enumerate).
+  template <typename Fn> void forEachEntry(Fn &&F) const {
+    for (size_t S = 0; S != Slots.size(); ++S)
+      if (Ctrl[S] >= 0)
+        F(Slots[S].Image, Slots[S].V);
+  }
+
   /// Migration across a hash swap (runtime/adaptive_hash.h): builds a
   /// new map keyed by \p NewHash holding exactly this map's key->value
   /// mappings. Because this container stores only images, the caller
@@ -307,12 +359,7 @@ private:
     Value V{};
   };
 
-  /// Fibonacci scramble: one multiply spreads the image's entropy
-  /// across the word. The group index reads the top bits, the 7-bit tag
-  /// the bottom bits, so the two stay independent.
-  static uint64_t scramble(uint64_t Image) {
-    return Image * 0x9E3779B97F4A7C15ULL;
-  }
+  static uint64_t scramble(uint64_t Image) { return probe::scramble(Image); }
 
   static int8_t tagOf(uint64_t Scrambled) {
     return static_cast<int8_t>(Scrambled & 0x7F);

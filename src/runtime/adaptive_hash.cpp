@@ -136,11 +136,74 @@ void AdaptiveHash::hashBatch(const std::string_view *Keys, uint64_t *Out,
   }
 }
 
+AdaptiveHash::Routed AdaptiveHash::route(std::string_view Key) const {
+  const Generation *G = active();
+  if (G->Fast.valid() && G->Pattern.matches(Key)) {
+    const uint64_t H = G->Fast(Key);
+    if (Detector.observe(1, 0) == DriftDetector::Window::Tripped)
+      onTripped();
+    return {H, G->Epoch, true};
+  }
+  SEPE_COUNT("adaptive.guard.miss_keys");
+  Sampler.offer(Key);
+  if (Detector.observe(1, 1) == DriftDetector::Window::Tripped)
+    onTripped();
+  return {fallbackHash(Key), G->Epoch, false};
+}
+
+size_t AdaptiveHash::routeBatch(const std::string_view *Keys, uint64_t *Out,
+                                size_t N, uint32_t *MissIdx,
+                                uint64_t &Epoch) const {
+  const Generation *G = active();
+  Epoch = G->Epoch;
+  size_t Misses = 0;
+  if (!G->Fast.valid()) {
+    for (size_t I = 0; I != N; ++I) {
+      Out[I] = fallbackHash(Keys[I]);
+      Sampler.offer(Keys[I]);
+      MissIdx[Misses++] = static_cast<uint32_t>(I);
+    }
+  } else {
+    constexpr size_t Block = 1024;
+    uint32_t Local[Block];
+    for (size_t Base = 0; Base < N; Base += Block) {
+      const size_t Count = N - Base < Block ? N - Base : Block;
+      const size_t M = G->Fast.hashBatchGuarded(
+          G->Pattern, G->Guard, Keys + Base, Out + Base, Count, Local);
+      for (size_t I = 0; I != M; ++I) {
+        const size_t K = Base + Local[I];
+        Out[K] = fallbackHash(Keys[K]);
+        Sampler.offer(Keys[K]);
+        MissIdx[Misses++] = static_cast<uint32_t>(K);
+      }
+    }
+  }
+  SEPE_COUNT_N("adaptive.guard.pass_keys", N - Misses);
+  SEPE_COUNT_N("adaptive.guard.miss_keys", Misses);
+  if (Detector.observe(N, Misses) == DriftDetector::Window::Tripped) {
+    SEPE_RECORD("adaptive.window.mismatch_ppm",
+                static_cast<uint64_t>(Detector.lastRatio() * 1e6));
+    onTripped();
+  }
+  return Misses;
+}
+
 uint64_t AdaptiveHash::epoch() const { return active()->Epoch; }
 
 KeyPattern AdaptiveHash::pattern() const { return active()->Pattern; }
 
 SynthesizedHash AdaptiveHash::specialized() const { return active()->Fast; }
+
+AdaptiveHash::Snapshot AdaptiveHash::snapshot() const {
+  const Generation *G = active();
+  return {G->Epoch, G->Pattern, G->Fast};
+}
+
+void AdaptiveHash::setSwapListener(
+    std::function<void(uint64_t)> Listener) {
+  std::lock_guard<std::mutex> Lock(SwapMutex);
+  SwapListener = std::move(Listener);
+}
 
 bool AdaptiveHash::pumpResynthesis() {
   return performResynthesis(/*RespectCooldown=*/false);
@@ -148,51 +211,62 @@ bool AdaptiveHash::pumpResynthesis() {
 
 bool AdaptiveHash::performResynthesis(bool RespectCooldown) {
   SEPE_SPAN("adaptive.resynthesis");
-  std::lock_guard<std::mutex> Lock(SwapMutex);
-  Pending.store(false, std::memory_order_release);
-  if (RespectCooldown) {
-    const int64_t Last = LastSwapNs.load(std::memory_order_relaxed);
-    const int64_t CooldownNs =
-        std::chrono::duration_cast<std::chrono::nanoseconds>(Options.Cooldown)
-            .count();
-    if (Last != 0 && nowNs() - Last < CooldownNs) {
-      SEPE_COUNT("adaptive.resynthesis.skipped_cooldown");
+  uint64_t NewEpoch = 0;
+  std::function<void(uint64_t)> Listener;
+  {
+    std::lock_guard<std::mutex> Lock(SwapMutex);
+    Pending.store(false, std::memory_order_release);
+    if (RespectCooldown) {
+      const int64_t Last = LastSwapNs.load(std::memory_order_relaxed);
+      const int64_t CooldownNs =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              Options.Cooldown)
+              .count();
+      if (Last != 0 && nowNs() - Last < CooldownNs) {
+        SEPE_COUNT("adaptive.resynthesis.skipped_cooldown");
+        return false;
+      }
+    }
+    if (Sampler.size() < Options.MinSamples) {
+      SEPE_COUNT("adaptive.resynthesis.skipped_few_samples");
       return false;
     }
+    const Generation *Cur = Active.load(std::memory_order_relaxed);
+    const std::vector<std::string> Samples = Sampler.drain();
+    const KeyPattern Sampled = inferPattern(Samples);
+    // Cold start joins nothing: joining with an empty pattern would widen
+    // MinLen to 0 and every position to near-top, destroying the structure
+    // the samples just revealed.
+    const KeyPattern Joined = (!Cur->Fast.valid() && Cur->Pattern.empty())
+                                  ? Sampled
+                                  : join(Cur->Pattern, Sampled);
+    if (Joined == Cur->Pattern) {
+      SEPE_COUNT("adaptive.resynthesis.skipped_unchanged");
+      return false;
+    }
+    Expected<HashPlan> Plan = synthesize(Joined, Options.Family);
+    if (!Plan) {
+      SEPE_COUNT("adaptive.resynthesis.synthesis_failed");
+      FailedSyntheses.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    auto G = std::make_unique<Generation>();
+    G->Pattern = Joined;
+    G->Fast = SynthesizedHash(Plan.take(), Options.Isa, Options.Preferred);
+    G->Guard = G->Fast.compileGuard(G->Pattern);
+    G->Epoch = Cur->Epoch + 1;
+    NewEpoch = G->Epoch;
+    publish(std::move(G));
+    Swaps.fetch_add(1, std::memory_order_relaxed);
+    LastSwapNs.store(nowNs(), std::memory_order_relaxed);
+    Detector.reset();
+    SEPE_COUNT("adaptive.swap");
+    Listener = SwapListener;
   }
-  if (Sampler.size() < Options.MinSamples) {
-    SEPE_COUNT("adaptive.resynthesis.skipped_few_samples");
-    return false;
-  }
-  const Generation *Cur = Active.load(std::memory_order_relaxed);
-  const std::vector<std::string> Samples = Sampler.drain();
-  const KeyPattern Sampled = inferPattern(Samples);
-  // Cold start joins nothing: joining with an empty pattern would widen
-  // MinLen to 0 and every position to near-top, destroying the structure
-  // the samples just revealed.
-  const KeyPattern Joined = (!Cur->Fast.valid() && Cur->Pattern.empty())
-                                ? Sampled
-                                : join(Cur->Pattern, Sampled);
-  if (Joined == Cur->Pattern) {
-    SEPE_COUNT("adaptive.resynthesis.skipped_unchanged");
-    return false;
-  }
-  Expected<HashPlan> Plan = synthesize(Joined, Options.Family);
-  if (!Plan) {
-    SEPE_COUNT("adaptive.resynthesis.synthesis_failed");
-    FailedSyntheses.fetch_add(1, std::memory_order_relaxed);
-    return false;
-  }
-  auto G = std::make_unique<Generation>();
-  G->Pattern = Joined;
-  G->Fast = SynthesizedHash(Plan.take(), Options.Isa, Options.Preferred);
-  G->Guard = G->Fast.compileGuard(G->Pattern);
-  G->Epoch = Cur->Epoch + 1;
-  publish(std::move(G));
-  Swaps.fetch_add(1, std::memory_order_relaxed);
-  LastSwapNs.store(nowNs(), std::memory_order_relaxed);
-  Detector.reset();
-  SEPE_COUNT("adaptive.swap");
+  // Outside SwapMutex so a listener may call back into the hash (e.g.
+  // pump again, or read snapshot()) without self-deadlocking.
+  if (Listener)
+    Listener(NewEpoch);
   return true;
 }
 

@@ -40,6 +40,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string_view>
@@ -137,6 +138,46 @@ public:
   /// cold start). A copy: safe to hold across swaps.
   SynthesizedHash specialized() const;
 
+  /// One internally consistent view of a published generation. epoch(),
+  /// pattern() and specialized() are three separate acquire loads — a
+  /// hot swap between them hands the caller epoch N with generation
+  /// N+1's plan, which is exactly the tear a shard migration must not
+  /// build on. snapshot() reads the generation pointer once.
+  struct Snapshot {
+    uint64_t Epoch = 0;
+    KeyPattern Pattern;
+    SynthesizedHash Fast; ///< Invalid during a cold start.
+  };
+  Snapshot snapshot() const;
+
+  /// Lane decision + hash for one key: Admitted means the guard passed
+  /// and Hash came from the specialized kernel of generation Epoch;
+  /// otherwise Hash is the fallback value. The sharded serving layer
+  /// routes on this — admitted keys into the image-keyed fast lane,
+  /// the rest into the spill lane — so it must know which lane
+  /// produced the value, which operator() deliberately hides.
+  struct Routed {
+    uint64_t Hash = 0;
+    uint64_t Epoch = 0;
+    bool Admitted = false;
+  };
+  Routed route(std::string_view Key) const;
+
+  /// Batch form of route(): Out[I] receives the hash, the indices of
+  /// guard-rejected keys land in MissIdx (caller provides capacity for
+  /// N) and the generation epoch all admitted hashes came from is
+  /// stored in Epoch. Returns the miss count. Drift observation and
+  /// sampling happen exactly as in hashBatch.
+  size_t routeBatch(const std::string_view *Keys, uint64_t *Out, size_t N,
+                    uint32_t *MissIdx, uint64_t &Epoch) const;
+
+  /// Registers \p Listener to run after every hot swap publish, on the
+  /// publishing thread, outside SwapMutex (so a listener may call back
+  /// into the AdaptiveHash). The serving layer uses it to kick shard
+  /// migration instead of polling epoch(). Must be set before
+  /// concurrent hashing starts; one listener at a time.
+  void setSwapListener(std::function<void(uint64_t NewEpoch)> Listener);
+
   /// Hot swaps completed.
   uint64_t swaps() const { return Swaps.load(std::memory_order_relaxed); }
 
@@ -197,6 +238,9 @@ private:
 
   /// Serializes resynthesis + publish (never taken by readers).
   std::mutex SwapMutex;
+
+  /// Post-swap hook (setSwapListener); invoked outside SwapMutex.
+  std::function<void(uint64_t)> SwapListener;
 
   mutable KeySampler Sampler;
   mutable DriftDetector Detector;

@@ -1,0 +1,493 @@
+//===- runtime/serving_table.h - Adaptive sharded serving layer -*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end serving story: an AdaptiveHash (guarded dispatch,
+/// drift detection, hot re-synthesis) in front of a ShardedIndexMap
+/// (the image-keyed concurrent fast lane), plus a small sharded spill
+/// lane for keys the guard rejects — out-of-format traffic is served
+/// from an ordinary string-keyed map until a re-synthesis widens the
+/// pattern, at which point maintain() migrates the fast lane to the new
+/// plan and sweeps newly admitted spill keys into it.
+///
+/// Routing discipline (the part that makes hot swaps lossless):
+///
+///   - The steady-state path uses AdaptiveHash::routeBatch images and
+///     the fast lane's *labeled* entry points: every probe validates
+///     that the image's generation still keys the active table, inside
+///     one table load, so a migration landing between hash and probe is
+///     detected, never silently probed across (ProbeResult::Stale).
+///   - Stale probes redo through the fast lane's *guarded* entry points
+///     (pattern check + hash + probe against one table load).
+///   - A key the guard rejects lives in the spill lane. Pattern updates
+///     only ever widen (the quad join is monotone), so a rejected key
+///     cannot be sitting in the fast lane — no double bookkeeping.
+///   - Lookups that miss the fast lane check the spill lane and then
+///     retry the fast lane once: a concurrent sweep moves keys
+///     spill -> fast (insert first, then remove, under the spill shard
+///     lock), so a racing reader that misses both lanes mid-move finds
+///     the key on the retry. Erase takes the lanes in the opposite
+///     order (spill first), which closes the symmetric race.
+///
+/// The acceptance property — a hot swap under full read/write/drift
+/// traffic completes with zero failed lookups for keys that are present
+/// throughout — follows: every present key is in the old fast table
+/// (kept current by the container's dual-write protocol), the successor
+/// table (seal copy), or the spill lane at every instant, and the probe
+/// order above visits whichever lane it can be in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_RUNTIME_SERVING_TABLE_H
+#define SEPE_RUNTIME_SERVING_TABLE_H
+
+#include "container/sharded_index_map.h"
+#include "runtime/adaptive_hash.h"
+#include "support/telemetry.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sepe {
+
+/// Concurrent key-value table served through an adaptive synthesized
+/// hash. Any number of threads may call get/put/erase/getBatch/putBatch
+/// concurrently; maintain() may run concurrently with all of them (at
+/// most one maintain() makes progress at a time). Destruction requires
+/// external quiescence, like AdaptiveHash.
+template <typename Value> class ServingTable {
+public:
+  struct Stats {
+    size_t FastSize = 0;
+    size_t SpillSize = 0;
+    uint64_t FastEpoch = 0;
+    uint64_t AdaptiveEpoch = 0;
+    uint64_t Migrations = 0;
+    uint64_t SweptKeys = 0;
+    bool FastLane = false;
+  };
+
+  /// \p Pattern seeds the adaptive hash (empty cold-starts on the spill
+  /// lane). The fast lane appears as soon as a generation's plan is
+  /// bijective — FlatIndexMap's soundness condition — which in practice
+  /// means AdaptiveOptions::Family should be a bijective family
+  /// (HashFamily::Pext) for the fast lane to engage.
+  explicit ServingTable(KeyPattern Pattern, AdaptiveOptions Options = {},
+                        size_t ShardCountHint = 16)
+      : ShardHint(ShardCountHint), Adaptive(std::move(Pattern), Options) {
+    const AdaptiveHash::Snapshot Snap = Adaptive.snapshot();
+    if (Snap.Fast.valid() && Snap.Fast.plan().Bijective) {
+      FastStorage = std::make_unique<ShardedIndexMap<Value>>(
+          Snap.Fast, Snap.Pattern, Snap.Epoch, ShardHint);
+      FastPtr.store(FastStorage.get(), std::memory_order_release);
+    }
+  }
+
+  ServingTable(const ServingTable &) = delete;
+  ServingTable &operator=(const ServingTable &) = delete;
+
+  /// The adaptive hash driving lane routing; exposed so callers can
+  /// pump re-synthesis deterministically and read drift statistics.
+  AdaptiveHash &adaptive() { return Adaptive; }
+  const AdaptiveHash &adaptive() const { return Adaptive; }
+
+  bool hasFastLane() const { return fast() != nullptr; }
+
+  /// Copies the value for \p Key into \p Out; false when absent.
+  bool get(std::string_view Key, Value &Out) const {
+    const AdaptiveHash::Routed R = Adaptive.route(Key);
+    const ShardedIndexMap<Value> *F = fast();
+    if (F && R.Admitted) {
+      switch (F->getHashed(R.Hash, R.Epoch, Out)) {
+      case ProbeResult::Hit:
+        return true;
+      case ProbeResult::Stale:
+        if (F->getGuarded(Key, Out) == ProbeResult::Hit)
+          return true;
+        break;
+      default:
+        break;
+      }
+    }
+    if (spillFind(Key, Out))
+      return true;
+    // A concurrent spill->fast sweep may have moved the key after our
+    // fast probe and before our spill probe; one guarded retry closes
+    // the window (moves only ever go in that direction). The retry must
+    // NOT be gated on R.Admitted: admission was judged by the (possibly
+    // retired) generation route() saw, while the sweep moves exactly
+    // the keys the *new* generation admits — getGuarded re-judges
+    // against the current pattern internally. Reload the lane pointer
+    // too, for the cold-start case where maintain() created it
+    // mid-call.
+    if (const ShardedIndexMap<Value> *F2 = fast();
+        F2 && F2->getGuarded(Key, Out) == ProbeResult::Hit) {
+      SEPE_COUNT("serving_table.get.retry_hit");
+      return true;
+    }
+    return false;
+  }
+
+  /// Inserts (key, value); returns false (keeping the old value) when
+  /// already present.
+  bool put(std::string_view Key, Value V) {
+    const AdaptiveHash::Routed R = Adaptive.route(Key);
+    ShardedIndexMap<Value> *F = fast();
+    if (F) {
+      bool Inserted = false;
+      if (R.Admitted && F->putHashed(Key, R.Hash, R.Epoch, V, Inserted))
+        return Inserted;
+      // Stale epoch, or route()'s admission verdict came from a retired
+      // generation: let the fast lane re-judge against its own current
+      // pattern. A key it rejects spills until a widened generation's
+      // sweep picks it up; probing even when R.Admitted is false keeps a
+      // re-put of an already-swept key out of the spill lane.
+      if (F->putGuarded(Key, V, Inserted))
+        return Inserted;
+    }
+    return spillInsert(Key, std::move(V));
+  }
+
+  /// Removes \p Key; returns false when absent. Spill lane first: the
+  /// sweep moves keys spill -> fast under the spill shard lock, so
+  /// probing spill before fast guarantees one of the two sees the key
+  /// wherever the move is.
+  bool erase(std::string_view Key) {
+    const AdaptiveHash::Routed R = Adaptive.route(Key);
+    const bool SpillErased = spillErase(Key);
+    bool FastErased = false;
+    ShardedIndexMap<Value> *F = fast();
+    if (F) {
+      // Probe the fast lane even when route() said not-admitted: the
+      // verdict may predate a swap whose sweep moved this key into the
+      // fast lane (eraseGuarded re-judges against the current pattern).
+      bool Erased = false;
+      if (R.Admitted && F->eraseHashed(Key, R.Hash, R.Epoch, Erased))
+        FastErased = Erased;
+      else if (F->eraseGuarded(Key, Erased))
+        FastErased = Erased;
+    }
+    return FastErased || SpillErased;
+  }
+
+  /// Batch lookup: Found[I] = 1 and Out[I] = value when present.
+  /// Returns the hit count. Admitted keys run the dense
+  /// hash -> partition -> per-shard probe pipeline; guard misses and
+  /// fast-lane misses fall through to the spill lane per key.
+  size_t getBatch(const std::string_view *Keys, Value *Out, uint8_t *Found,
+                  size_t N) const {
+    const ShardedIndexMap<Value> *F = fast();
+    size_t Hits = 0;
+    uint64_t Hashes[RouteBlock];
+    uint32_t MissIdx[RouteBlock];
+    uint16_t AdmIdx[RouteBlock];
+    uint64_t AdmImages[RouteBlock];
+    Value AdmOut[RouteBlock];
+    uint8_t AdmFound[RouteBlock];
+    for (size_t Base = 0; Base < N; Base += RouteBlock) {
+      const size_t Count = std::min(RouteBlock, N - Base);
+      uint64_t Epoch = 0;
+      const size_t Misses =
+          Adaptive.routeBatch(Keys + Base, Hashes, Count, MissIdx, Epoch);
+      for (size_t I = 0; I != Count; ++I)
+        Found[Base + I] = 2; // Sentinel: undecided.
+      for (size_t I = 0; I != Misses; ++I)
+        Found[Base + MissIdx[I]] = 0;
+      size_t Admitted = 0;
+      for (size_t I = 0; I != Count; ++I)
+        if (Found[Base + I] == 2) {
+          AdmIdx[Admitted] = static_cast<uint16_t>(I);
+          AdmImages[Admitted] = Hashes[I];
+          ++Admitted;
+        }
+      size_t FastHits = 0;
+      if (F && Admitted != 0 &&
+          F->getBatchHashed(AdmImages, Epoch, AdmOut, AdmFound, Admitted,
+                            FastHits)) {
+        for (size_t I = 0; I != Admitted; ++I) {
+          const size_t K = Base + AdmIdx[I];
+          if (AdmFound[I]) {
+            Out[K] = AdmOut[I];
+            Found[K] = 1;
+          } else {
+            Found[K] = 0;
+          }
+        }
+      } else if (F && Admitted != 0) {
+        // Stale epoch (migration window): guarded per-key redo.
+        for (size_t I = 0; I != Admitted; ++I) {
+          const size_t K = Base + AdmIdx[I];
+          Found[K] =
+              F->getGuarded(Keys[K], Out[K]) == ProbeResult::Hit ? 1 : 0;
+        }
+      } else {
+        for (size_t I = 0; I != Admitted; ++I)
+          Found[Base + AdmIdx[I]] = 0;
+      }
+      // Spill lane + sweep-race retry for everything still unresolved
+      // (reload the lane pointer: see get() on why the retry must not
+      // depend on the admission verdict or the lane snapshot).
+      for (size_t I = 0; I != Count; ++I) {
+        const size_t K = Base + I;
+        if (Found[K] == 1) {
+          ++Hits;
+          continue;
+        }
+        if (spillFind(Keys[K], Out[K])) {
+          Found[K] = 1;
+          ++Hits;
+          continue;
+        }
+        // Loaded after the spill miss so a lane created mid-call is
+        // still seen.
+        const ShardedIndexMap<Value> *F2 = fast();
+        if (F2 && F2->getGuarded(Keys[K], Out[K]) == ProbeResult::Hit) {
+          SEPE_COUNT("serving_table.get.retry_hit");
+          Found[K] = 1;
+          ++Hits;
+        }
+      }
+    }
+    return Hits;
+  }
+
+  /// Batch insert; returns the number of keys newly inserted.
+  size_t putBatch(const std::string_view *Keys, const Value *Values,
+                  size_t N) {
+    ShardedIndexMap<Value> *F = fast();
+    size_t Inserted = 0;
+    uint64_t Hashes[RouteBlock];
+    uint32_t MissIdx[RouteBlock];
+    uint16_t AdmIdx[RouteBlock];
+    uint64_t AdmImages[RouteBlock];
+    std::string_view AdmKeys[RouteBlock];
+    Value AdmValues[RouteBlock];
+    uint8_t IsMiss[RouteBlock];
+    for (size_t Base = 0; Base < N; Base += RouteBlock) {
+      const size_t Count = std::min(RouteBlock, N - Base);
+      uint64_t Epoch = 0;
+      const size_t Misses =
+          Adaptive.routeBatch(Keys + Base, Hashes, Count, MissIdx, Epoch);
+      for (size_t I = 0; I != Count; ++I)
+        IsMiss[I] = 0;
+      for (size_t I = 0; I != Misses; ++I)
+        IsMiss[MissIdx[I]] = 1;
+      size_t Admitted = 0;
+      for (size_t I = 0; I != Count; ++I)
+        if (!IsMiss[I]) {
+          AdmIdx[Admitted] = static_cast<uint16_t>(I);
+          AdmImages[Admitted] = Hashes[I];
+          AdmKeys[Admitted] = Keys[Base + I];
+          AdmValues[Admitted] = Values[Base + I];
+          ++Admitted;
+        }
+      size_t FastInserted = 0;
+      if (F && Admitted != 0 &&
+          F->putBatchHashed(AdmKeys, AdmImages, AdmValues, Admitted, Epoch,
+                            FastInserted)) {
+        Inserted += FastInserted;
+      } else if (Admitted != 0) {
+        // No fast lane, or stale epoch: guarded per-key redo, spilling
+        // what the table's pattern rejects.
+        for (size_t I = 0; I != Admitted; ++I) {
+          bool One = false;
+          if (F && F->putGuarded(AdmKeys[I], AdmValues[I], One))
+            Inserted += One ? 1 : 0;
+          else
+            Inserted += spillInsert(AdmKeys[I], AdmValues[I]) ? 1 : 0;
+        }
+      }
+      // Guard-rejected keys: offer them to the fast lane's own pattern
+      // first (the routing generation may be retired — see put()),
+      // spill the true rejects.
+      for (size_t I = 0; I != Misses; ++I) {
+        const size_t K = Base + MissIdx[I];
+        bool One = false;
+        if (F && F->putGuarded(Keys[K], Values[K], One))
+          Inserted += One ? 1 : 0;
+        else
+          Inserted += spillInsert(Keys[K], Values[K]) ? 1 : 0;
+      }
+    }
+    return Inserted;
+  }
+
+  /// Converges the storage onto the adaptive hash's current generation:
+  /// creates the fast lane when a bijective plan first appears,
+  /// migrates it when the adaptive epoch moved, then sweeps spill keys
+  /// the current pattern admits into the fast lane. Cheap when nothing
+  /// changed; returns true when any work was done. Call after
+  /// pumpResynthesis(), or periodically from a maintenance thread in
+  /// background mode.
+  bool maintain() {
+    std::lock_guard<std::mutex> Lock(MaintainMutex);
+    const AdaptiveHash::Snapshot Snap = Adaptive.snapshot();
+    ShardedIndexMap<Value> *F = fast();
+    bool DidWork = false;
+    if (Snap.Fast.valid() && Snap.Fast.plan().Bijective) {
+      if (!F) {
+        FastStorage = std::make_unique<ShardedIndexMap<Value>>(
+            Snap.Fast, Snap.Pattern, Snap.Epoch, ShardHint);
+        FastPtr.store(FastStorage.get(), std::memory_order_release);
+        F = FastStorage.get();
+        SEPE_COUNT("serving_table.fast_lane.created");
+        DidWork = true;
+      } else if (F->epoch() != Snap.Epoch) {
+        F->migrate(Snap.Fast, Snap.Pattern, Snap.Epoch);
+        SEPE_COUNT("serving_table.fast_lane.migrated");
+        DidWork = true;
+      }
+    }
+    if (F && SpillCount.load(std::memory_order_acquire) != 0)
+      DidWork |= sweepSpill(*F) != 0;
+    return DidWork;
+  }
+
+  Stats stats() const {
+    const ShardedIndexMap<Value> *F = fast();
+    Stats S;
+    S.FastLane = F != nullptr;
+    S.FastSize = F ? F->size() : 0;
+    S.SpillSize = SpillCount.load(std::memory_order_relaxed);
+    S.FastEpoch = F ? F->epoch() : 0;
+    S.AdaptiveEpoch = Adaptive.epoch();
+    S.Migrations = F ? F->migrations() : 0;
+    S.SweptKeys = Swept.load(std::memory_order_relaxed);
+    return S;
+  }
+
+  /// Total elements across both lanes (moment-in-time per shard).
+  size_t size() const {
+    const ShardedIndexMap<Value> *F = fast();
+    return (F ? F->size() : 0) + SpillCount.load(std::memory_order_relaxed);
+  }
+
+private:
+  /// Keys per routeBatch block in the batch entry points; bounds the
+  /// stack scratch.
+  static constexpr size_t RouteBlock = 256;
+
+  static constexpr size_t SpillShardCount = 16; // Power of two.
+
+  struct TransparentHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view S) const {
+      return std::hash<std::string_view>{}(S);
+    }
+  };
+
+  /// One spill shard: plain string-keyed storage for out-of-format
+  /// keys. Write-heavy only under drift, so a mutex-per-shard map is
+  /// plenty.
+  struct alignas(64) SpillShard {
+    mutable std::shared_mutex Mutex;
+    std::unordered_map<std::string, Value, TransparentHash, std::equal_to<>>
+        Map;
+  };
+
+  const ShardedIndexMap<Value> *fast() const {
+    return FastPtr.load(std::memory_order_acquire);
+  }
+  ShardedIndexMap<Value> *fast() {
+    return FastPtr.load(std::memory_order_acquire);
+  }
+
+  SpillShard &spillShard(std::string_view Key) const {
+    return Spill[TransparentHash{}(Key) & (SpillShardCount - 1)];
+  }
+
+  bool spillFind(std::string_view Key, Value &Out) const {
+    if (SpillCount.load(std::memory_order_acquire) == 0)
+      return false;
+    const SpillShard &S = spillShard(Key);
+    std::shared_lock<std::shared_mutex> Lock(S.Mutex);
+    const auto It = S.Map.find(Key);
+    if (It == S.Map.end())
+      return false;
+    SEPE_COUNT("serving_table.spill.hit");
+    Out = It->second;
+    return true;
+  }
+
+  bool spillInsert(std::string_view Key, Value V) {
+    SpillShard &S = spillShard(Key);
+    std::unique_lock<std::shared_mutex> Lock(S.Mutex);
+    const bool Inserted =
+        S.Map.emplace(std::string(Key), std::move(V)).second;
+    if (Inserted) {
+      SpillCount.fetch_add(1, std::memory_order_release);
+      SEPE_COUNT("serving_table.spill.inserted");
+    }
+    return Inserted;
+  }
+
+  bool spillErase(std::string_view Key) {
+    if (SpillCount.load(std::memory_order_acquire) == 0)
+      return false;
+    SpillShard &S = spillShard(Key);
+    std::unique_lock<std::shared_mutex> Lock(S.Mutex);
+    const auto It = S.Map.find(Key);
+    if (It == S.Map.end())
+      return false;
+    S.Map.erase(It);
+    SpillCount.fetch_sub(1, std::memory_order_release);
+    return true;
+  }
+
+  /// Moves every spill key the fast lane's active pattern admits into
+  /// the fast lane: insert into fast first, erase from spill second,
+  /// both under the spill shard's write lock (lock order spill -> fast,
+  /// never reversed anywhere). Returns the number of keys moved.
+  size_t sweepSpill(ShardedIndexMap<Value> &F) {
+    size_t Moved = 0;
+    for (SpillShard &S : Spill) {
+      std::unique_lock<std::shared_mutex> Lock(S.Mutex);
+      for (auto It = S.Map.begin(); It != S.Map.end();) {
+        bool Inserted = false;
+        if (F.putGuarded(It->first, It->second, Inserted)) {
+          It = S.Map.erase(It);
+          SpillCount.fetch_sub(1, std::memory_order_release);
+          ++Moved;
+        } else {
+          ++It;
+        }
+      }
+    }
+    if (Moved != 0) {
+      Swept.fetch_add(Moved, std::memory_order_relaxed);
+      SEPE_COUNT_N("serving_table.sweep.moved", Moved);
+    }
+    return Moved;
+  }
+
+  size_t ShardHint;
+  AdaptiveHash Adaptive;
+
+  /// Created at most once (construction or first bijective generation),
+  /// then mutated in place by migrations; readers take one acquire
+  /// load. Null until a bijective plan exists (cold start).
+  std::atomic<ShardedIndexMap<Value> *> FastPtr{nullptr};
+  std::unique_ptr<ShardedIndexMap<Value>> FastStorage;
+
+  mutable std::array<SpillShard, SpillShardCount> Spill{};
+  std::atomic<size_t> SpillCount{0};
+  std::atomic<uint64_t> Swept{0};
+  std::mutex MaintainMutex;
+};
+
+} // namespace sepe
+
+#endif // SEPE_RUNTIME_SERVING_TABLE_H

@@ -34,22 +34,27 @@
 
 #include "container/flat_index_map.h"
 #include "container/low_mix_table.h"
+#include "container/sharded_index_map.h"
 #include "core/regex_parser.h"
 #include "core/synthesizer.h"
 #include "driver/hash_registry.h"
 #include "keygen/distributions.h"
 #include "keygen/paper_formats.h"
 #include "runtime/adaptive_hash.h"
+#include "runtime/serving_table.h"
 #include "stats/descriptive.h"
 #include "support/bench_compare.h"
 #include "support/perf_counters.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <regex>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace sepe;
@@ -66,6 +71,9 @@ struct SuiteOptions {
   bool List = false;
   std::string JsonPath = "BENCH_suite.json";
   std::string Filter;
+  /// 0: the fixed {1,2,4,8} ladder (stable workload names for the
+  /// baseline compare); N: a single-point ladder {N}.
+  size_t Threads = 0;
   std::vector<PaperKey> Keys = {PaperKey::SSN, PaperKey::IPv4,
                                 PaperKey::URL1};
   // Comparator mode.
@@ -83,7 +91,10 @@ void printUsage() {
       "  --full            paper-sized run (all 8 key formats, bigger\n"
       "                    workloads)\n"
       "  --keys=SSN,...    restrict the key formats\n"
-      "  --filter=SUBSTR   run only workloads whose name contains SUBSTR\n"
+      "  --filter=REGEX    run only workloads whose name matches REGEX\n"
+      "                    (ECMAScript, searched anywhere in the name)\n"
+      "  --threads=N       run the shard_scale workloads at N threads\n"
+      "                    only (default: the {1,2,4,8} ladder)\n"
       "  --json=FILE       consolidated report (default BENCH_suite.json)\n"
       "  --list            print workload names and exit\n"
       "comparator mode:\n"
@@ -129,6 +140,8 @@ bool parseSuiteOptions(int Argc, char **Argv, SuiteOptions &Options) {
       }
     } else if (Arg.rfind("--filter=", 0) == 0) {
       Options.Filter = Arg.substr(9);
+    } else if (Arg.rfind("--threads=", 0) == 0) {
+      Options.Threads = std::max<size_t>(1, std::stoul(Arg.substr(10)));
     } else if (Arg.rfind("--json=", 0) == 0) {
       Options.JsonPath = Arg.substr(7);
     } else if (Arg == "--list") {
@@ -442,6 +455,159 @@ void addScalingWorkload(std::vector<SuiteWorkload> &Suite, bool Full) {
   Suite.push_back(std::move(Entry));
 }
 
+// --- Multi-threaded scaling: the sharded serving layer ---------------------
+
+/// Spawns \p Threads workers running Body(tid), returns wall ms from
+/// first spawn to last join. Trials are macroscopic (hundreds of
+/// thousands of ops) so the spawn cost is noise.
+double runThreaded(size_t Threads, const std::function<void(size_t)> &Body) {
+  std::vector<std::thread> Workers;
+  Workers.reserve(Threads);
+  const double Start = nowMs();
+  for (size_t T = 0; T != Threads; ++T)
+    Workers.emplace_back(Body, T);
+  for (std::thread &W : Workers)
+    W.join();
+  return nowMs() - Start;
+}
+
+/// Concurrent shard workloads: read-heavy (the batch
+/// hash -> partition -> probe pipeline), write-heavy (per-shard lock
+/// churn) and a two-lane drift mix through the full ServingTable, each
+/// across a thread ladder. The unit is core-ns per op — wall time
+/// times thread count over total ops — so it is flat under perfect
+/// scaling, degrades when contention bites, and stays lower-is-better
+/// for the --compare gate (which thereby gates throughput-per-core).
+/// The ladder is fixed at {1,2,4,8} regardless of the host's core
+/// count so workload names are stable across machines and baselines;
+/// --threads=N collapses it to {N}.
+void addShardScaleWorkloads(std::vector<SuiteWorkload> &Suite,
+                            const SuiteOptions &Options) {
+  const PaperKey Key = PaperKey::SSN; // Fixed format: stable names.
+  const FormatSpec Format = paperKeyFormat(Key);
+  const KeyPattern Pattern = Format.abstract();
+  Expected<HashPlan> Plan = synthesize(Pattern, HashFamily::Pext);
+  if (!Plan)
+    return;
+  HashPlan Taken = Plan.take();
+  if (!Taken.Bijective)
+    return;
+  const SynthesizedHash Hash(std::move(Taken));
+
+  const size_t PoolSize = 4096;
+  KeyGenerator Gen(Format, KeyDistribution::Uniform, 0x54a2d);
+  auto Text =
+      std::make_shared<std::vector<std::string>>(Gen.distinct(PoolSize));
+  auto Views = std::make_shared<std::vector<std::string_view>>(
+      Text->begin(), Text->end());
+
+  std::vector<size_t> Ladder = {1, 2, 4, 8};
+  if (Options.Threads != 0)
+    Ladder = {Options.Threads};
+  const size_t TotalOps = Options.Full ? (1u << 20) : (1u << 18);
+
+  // Shared pre-populated map: reads don't mutate it and the write mix
+  // below balances put/erase, so trials stay comparable.
+  auto Map = std::make_shared<ShardedIndexMap<uint64_t>>(Hash, Pattern);
+  for (size_t I = 0; I != Views->size(); ++I)
+    Map->put((*Views)[I], I);
+
+  for (const size_t Threads : Ladder) {
+    SuiteWorkload Read;
+    Read.Name = "shard_scale/read_heavy/t" + std::to_string(Threads);
+    Read.Unit = "core_ns_per_op";
+    Read.UnitsPerTrial = static_cast<double>(TotalOps);
+    Read.Run = [Map, Views, Threads, TotalOps] {
+      const size_t OpsPerThread = TotalOps / Threads;
+      const double Ms = runThreaded(Threads, [&](size_t Tid) {
+        uint64_t Out[64];
+        uint8_t Found[64];
+        uint64_t Sink = 0;
+        size_t Pos = (Tid * 977) % Views->size();
+        for (size_t Done = 0; Done < OpsPerThread; Done += 64) {
+          if (Pos + 64 > Views->size())
+            Pos = 0;
+          Sink += Map->getBatch(Views->data() + Pos, Out, Found, 64);
+          Pos += 64;
+        }
+        asm volatile("" : : "r"(Sink) : "memory");
+      });
+      return Ms * 1e6 * Threads / static_cast<double>(TotalOps);
+    };
+    Suite.push_back(std::move(Read));
+
+    SuiteWorkload Write;
+    Write.Name = "shard_scale/write_heavy/t" + std::to_string(Threads);
+    Write.Unit = "core_ns_per_op";
+    Write.UnitsPerTrial = static_cast<double>(TotalOps);
+    Write.Run = [Map, Views, Threads, TotalOps] {
+      const size_t OpsPerThread = TotalOps / Threads;
+      const double Ms = runThreaded(Threads, [&](size_t Tid) {
+        // Balanced put/erase over a rotating window: every key erased
+        // is re-inserted two steps later, so the population is steady.
+        size_t Pos = (Tid * 1409) % Views->size();
+        for (size_t Done = 0; Done != OpsPerThread; ++Done) {
+          const std::string_view V = (*Views)[Pos];
+          if (Done & 1)
+            Map->put(V, Pos);
+          else
+            Map->erase(V);
+          Pos = Pos + 1 == Views->size() ? 0 : Pos + 1;
+        }
+      });
+      return Ms * 1e6 * Threads / static_cast<double>(TotalOps);
+    };
+    Suite.push_back(std::move(Write));
+  }
+
+  // Drift mix: the full two-lane ServingTable with 25% of lookups
+  // aimed at out-of-format keys (served by the spill lane). Measures
+  // the routed dispatch + lane fallthrough under concurrency, not
+  // recovery time (the swap itself is adaptive_recovery's job).
+  const DriftProbe Probe = findDriftProbe(Pattern);
+  if (!Probe.Valid)
+    return;
+  auto DriftText = std::make_shared<std::vector<std::string>>(*Text);
+  for (std::string &K : *DriftText)
+    K[Probe.Pos] = Probe.Byte;
+  auto DriftViews = std::make_shared<std::vector<std::string_view>>(
+      DriftText->begin(), DriftText->end());
+  AdaptiveOptions ServeOptions;
+  ServeOptions.Family = HashFamily::Pext;
+  ServeOptions.Background = false;
+  auto Serve = std::make_shared<ServingTable<uint64_t>>(Pattern,
+                                                        ServeOptions);
+  for (size_t I = 0; I != Views->size(); ++I) {
+    Serve->put((*Views)[I], I);
+    Serve->put((*DriftViews)[I], PoolSize + I);
+  }
+  for (const size_t Threads : Ladder) {
+    SuiteWorkload Drift;
+    Drift.Name = "shard_scale/drift_mix/t" + std::to_string(Threads);
+    Drift.Unit = "core_ns_per_op";
+    Drift.UnitsPerTrial = static_cast<double>(TotalOps);
+    Drift.Run = [Serve, Views, DriftViews, Threads, TotalOps] {
+      const size_t OpsPerThread = TotalOps / Threads;
+      const double Ms = runThreaded(Threads, [&](size_t Tid) {
+        uint64_t Sink = 0;
+        size_t Pos = (Tid * 2741) % Views->size();
+        for (size_t Done = 0; Done != OpsPerThread; ++Done) {
+          uint64_t V = 0;
+          const bool Spill = (Done & 3) == 3; // 25% out-of-format.
+          Sink += (Spill ? Serve->get((*DriftViews)[Pos], V)
+                         : Serve->get((*Views)[Pos], V))
+                      ? 1
+                      : 0;
+          Pos = Pos + 1 == Views->size() ? 0 : Pos + 1;
+        }
+        asm volatile("" : : "r"(Sink) : "memory");
+      });
+      return Ms * 1e6 * Threads / static_cast<double>(TotalOps);
+    };
+    Suite.push_back(std::move(Drift));
+  }
+}
+
 std::vector<SuiteWorkload> buildSuite(const SuiteOptions &Options) {
   std::vector<SuiteWorkload> Suite;
   // Each timed trial must be macroscopic (hundreds of microseconds at
@@ -457,10 +623,18 @@ std::vector<SuiteWorkload> buildSuite(const SuiteOptions &Options) {
     addExperimentWorkloads(Suite, Fixture, Affectations);
   }
   addScalingWorkload(Suite, Options.Full);
+  addShardScaleWorkloads(Suite, Options);
   if (!Options.Filter.empty()) {
-    std::erase_if(Suite, [&](const SuiteWorkload &W) {
-      return W.Name.find(Options.Filter) == std::string::npos;
-    });
+    try {
+      const std::regex Filter(Options.Filter);
+      std::erase_if(Suite, [&](const SuiteWorkload &W) {
+        return !std::regex_search(W.Name, Filter);
+      });
+    } catch (const std::regex_error &E) {
+      std::fprintf(stderr, "error: bad --filter regex '%s': %s\n",
+                   Options.Filter.c_str(), E.what());
+      std::exit(2);
+    }
   }
   return Suite;
 }

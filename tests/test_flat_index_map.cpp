@@ -18,6 +18,7 @@
 #include <map>
 #include <random>
 #include <thread>
+#include <unordered_map>
 
 using namespace sepe;
 
@@ -439,3 +440,83 @@ TEST(FlatIndexMapTest, RehashWithIsSafeUnderConcurrentReaders) {
 }
 
 } // namespace
+
+TEST(FlatIndexMapTest, PropertyInterleavedOpsMatchUnorderedMap) {
+  // Randomized insert/erase/find interleavings (with batch inserts and
+  // batch probes mixed in) mirrored against std::unordered_map: after
+  // every operation both maps agree on membership and value, and at
+  // checkpoints on the full keyset.
+  const char *Regex = R"([0-9]{9})";
+  FlatIndexMap<uint32_t> Map(bijectiveHash(Regex));
+  std::unordered_map<std::string, uint32_t> Mirror;
+
+  KeyGenerator Gen(*parseRegex(Regex), KeyDistribution::Uniform, 0x10a1);
+  const std::vector<std::string> Keys = Gen.distinct(600);
+  std::mt19937_64 Rng(0xfeed);
+
+  const auto Check = [&](const std::string &Key) {
+    const uint32_t *Mine = Map.find(Key);
+    const auto Theirs = Mirror.find(Key);
+    ASSERT_EQ(Mine != nullptr, Theirs != Mirror.end()) << Key;
+    if (Mine != nullptr)
+      ASSERT_EQ(*Mine, Theirs->second) << Key;
+  };
+
+  for (size_t Step = 0; Step != 4000; ++Step) {
+    const std::string &Key = Keys[Rng() % Keys.size()];
+    switch (Rng() % 4) {
+    case 0: { // Insert (first insert wins, like FlatIndexMap).
+      const uint32_t V = static_cast<uint32_t>(Rng());
+      const bool Mine = Map.insert(Key, V);
+      const bool Theirs = Mirror.emplace(Key, V).second;
+      ASSERT_EQ(Mine, Theirs) << Key;
+      break;
+    }
+    case 1: { // Erase.
+      const bool Mine = Map.erase(Key);
+      const bool Theirs = Mirror.erase(Key) != 0;
+      ASSERT_EQ(Mine, Theirs) << Key;
+      break;
+    }
+    case 2: { // Batch insert of a random slice.
+      const size_t Start = Rng() % Keys.size();
+      const size_t Len = std::min<size_t>(1 + Rng() % 48,
+                                          Keys.size() - Start);
+      std::vector<std::string_view> Views(Keys.begin() + Start,
+                                          Keys.begin() + Start + Len);
+      std::vector<uint32_t> Values(Len);
+      for (uint32_t &V : Values)
+        V = static_cast<uint32_t>(Rng());
+      const size_t Mine = Map.insertBatch(Views.data(), Values.data(), Len);
+      size_t Theirs = 0;
+      for (size_t I = 0; I != Len; ++I)
+        Theirs += Mirror.emplace(Keys[Start + I], Values[I]).second ? 1 : 0;
+      ASSERT_EQ(Mine, Theirs);
+      break;
+    }
+    default: // Find.
+      Check(Key);
+      break;
+    }
+    ASSERT_EQ(Map.size(), Mirror.size()) << "step " << Step;
+    if (Step % 512 == 0)
+      for (const std::string &K : Keys)
+        Check(K);
+  }
+
+  // Final sweep, through the batch probe path as well.
+  for (const std::string &K : Keys)
+    Check(K);
+  const SynthesizedHash Hash = Map.hasher();
+  std::vector<std::string_view> Views(Keys.begin(), Keys.end());
+  std::vector<uint64_t> Images(Keys.size());
+  Hash.hashBatch(Views.data(), Images.data(), Views.size());
+  std::vector<uint32_t *> Out(Keys.size());
+  Map.findHashedBatch(Images.data(), Out.data(), Images.size());
+  for (size_t I = 0; I != Keys.size(); ++I) {
+    const auto Theirs = Mirror.find(Keys[I]);
+    ASSERT_EQ(Out[I] != nullptr, Theirs != Mirror.end()) << Keys[I];
+    if (Out[I] != nullptr)
+      ASSERT_EQ(*Out[I], Theirs->second);
+  }
+}

@@ -1,0 +1,280 @@
+//===- tests/test_serving_table.cpp - Adaptive sharded serving layer ------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/serving_table.h"
+
+#include "core/regex_parser.h"
+#include "keygen/distributions.h"
+#include "keygen/paper_formats.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <thread>
+
+using namespace sepe;
+
+namespace {
+
+constexpr const char *SsnRegex = R"(\d{3}-\d{2}-\d{4})";
+
+KeyPattern patternOf(const std::string &Regex) {
+  Expected<FormatSpec> Spec = parseRegex(Regex);
+  EXPECT_TRUE(Spec);
+  return Spec->abstract();
+}
+
+std::vector<std::string> distinctKeys(const std::string &Regex, size_t N,
+                                      uint64_t Seed) {
+  Expected<FormatSpec> Spec = parseRegex(Regex);
+  EXPECT_TRUE(Spec);
+  KeyGenerator Gen(*Spec, KeyDistribution::Uniform, Seed);
+  return Gen.distinct(N);
+}
+
+/// Deterministic manual-pump options with the bijective family (the
+/// fast lane's soundness condition).
+AdaptiveOptions servingOptions() {
+  AdaptiveOptions Options;
+  Options.Family = HashFamily::Pext;
+  Options.Background = false;
+  Options.Cooldown = std::chrono::milliseconds(0);
+  Options.DriftWindow = 256;
+  return Options;
+}
+
+/// Copies of \p Keys driven out of \p Pattern through its drift probe.
+std::vector<std::string> driftedCopies(const std::vector<std::string> &Keys,
+                                       const KeyPattern &Pattern) {
+  const DriftProbe Probe = findDriftProbe(Pattern);
+  EXPECT_TRUE(Probe.Valid);
+  std::vector<std::string> Out(Keys);
+  for (std::string &Key : Out)
+    Key[Probe.Pos] = Probe.Byte;
+  return Out;
+}
+
+} // namespace
+
+TEST(ServingTableTest, FastLaneEngagesForBijectivePlans) {
+  ServingTable<uint64_t> Table(patternOf(SsnRegex), servingOptions());
+  EXPECT_TRUE(Table.hasFastLane());
+
+  EXPECT_TRUE(Table.put("123-45-6789", 1));
+  EXPECT_FALSE(Table.put("123-45-6789", 2)) << "first insert wins";
+  uint64_t V = 0;
+  ASSERT_TRUE(Table.get("123-45-6789", V));
+  EXPECT_EQ(V, 1u);
+  EXPECT_FALSE(Table.get("999-99-9999", V));
+
+  const auto Stats = Table.stats();
+  EXPECT_EQ(Stats.FastSize, 1u) << "conforming key belongs in fast lane";
+  EXPECT_EQ(Stats.SpillSize, 0u);
+
+  EXPECT_TRUE(Table.erase("123-45-6789"));
+  EXPECT_FALSE(Table.erase("123-45-6789"));
+  EXPECT_EQ(Table.size(), 0u);
+}
+
+TEST(ServingTableTest, SpillLaneServesNonConformingKeys) {
+  ServingTable<uint64_t> Table(patternOf(SsnRegex), servingOptions());
+  EXPECT_TRUE(Table.put("definitely-not-an-ssn", 7));
+  uint64_t V = 0;
+  ASSERT_TRUE(Table.get("definitely-not-an-ssn", V));
+  EXPECT_EQ(V, 7u);
+
+  const auto Stats = Table.stats();
+  EXPECT_EQ(Stats.FastSize, 0u);
+  EXPECT_EQ(Stats.SpillSize, 1u);
+
+  EXPECT_TRUE(Table.erase("definitely-not-an-ssn"));
+  EXPECT_EQ(Table.stats().SpillSize, 0u);
+}
+
+TEST(ServingTableTest, ColdStartServesFromSpillOnly) {
+  // Empty pattern: no generation to synthesize, so every key takes the
+  // spill lane until drift sampling infers one.
+  ServingTable<uint64_t> Table(KeyPattern{}, servingOptions());
+  EXPECT_FALSE(Table.hasFastLane());
+  EXPECT_TRUE(Table.put("123-45-6789", 3));
+  uint64_t V = 0;
+  ASSERT_TRUE(Table.get("123-45-6789", V));
+  EXPECT_EQ(V, 3u);
+  EXPECT_EQ(Table.stats().SpillSize, 1u);
+}
+
+TEST(ServingTableTest, BatchOpsMatchScalarAcrossBothLanes) {
+  const KeyPattern Pattern = patternOf(SsnRegex);
+  ServingTable<uint64_t> Table(Pattern, servingOptions());
+  const std::vector<std::string> InFormat = distinctKeys(SsnRegex, 300, 1);
+  const std::vector<std::string> Drifted = driftedCopies(InFormat, Pattern);
+
+  // Interleave the lanes so every batch chunk mixes admitted and
+  // rejected keys.
+  std::vector<std::string_view> Views;
+  std::vector<uint64_t> Values;
+  for (size_t I = 0; I != InFormat.size(); ++I) {
+    Views.push_back(InFormat[I]);
+    Values.push_back(2 * I);
+    Views.push_back(Drifted[I]);
+    Values.push_back(2 * I + 1);
+  }
+  EXPECT_EQ(Table.putBatch(Views.data(), Values.data(), Views.size()),
+            Views.size());
+  EXPECT_EQ(Table.putBatch(Views.data(), Values.data(), Views.size()), 0u)
+      << "re-inserting the same batch";
+  EXPECT_EQ(Table.stats().FastSize, InFormat.size());
+  EXPECT_EQ(Table.stats().SpillSize, Drifted.size());
+
+  std::vector<uint64_t> Out(Views.size(), ~0ull);
+  std::vector<uint8_t> Found(Views.size(), 0);
+  EXPECT_EQ(Table.getBatch(Views.data(), Out.data(), Found.data(),
+                           Views.size()),
+            Views.size());
+  for (size_t I = 0; I != Views.size(); ++I) {
+    ASSERT_TRUE(Found[I]) << Views[I];
+    ASSERT_EQ(Out[I], Values[I]);
+    uint64_t Scalar = 0;
+    ASSERT_TRUE(Table.get(Views[I], Scalar));
+    ASSERT_EQ(Scalar, Values[I]);
+  }
+}
+
+TEST(ServingTableTest, DriftSwapMigrateSweepKeepsEveryKeyVisible) {
+  // The full lifecycle, deterministically: load both lanes, drive
+  // drifted traffic until the detector trips, pump the re-synthesis
+  // (pattern join admits the drifted keys), then maintain() — fast
+  // lane migrates to the new generation and the sweep pulls the spill
+  // keys in. Every key must be visible with the right value at every
+  // step.
+  const KeyPattern Pattern = patternOf(SsnRegex);
+  AdaptiveOptions Options = servingOptions();
+  ServingTable<uint64_t> Table(Pattern, Options, /*ShardCountHint=*/8);
+  ASSERT_TRUE(Table.hasFastLane());
+
+  const std::vector<std::string> InFormat = distinctKeys(SsnRegex, 512, 2);
+  const std::vector<std::string> Drifted = driftedCopies(InFormat, Pattern);
+  for (size_t I = 0; I != InFormat.size(); ++I) {
+    Table.put(InFormat[I], I);
+    Table.put(Drifted[I], InFormat.size() + I);
+  }
+  EXPECT_EQ(Table.stats().SpillSize, Drifted.size());
+
+  // Drifted lookups are guard misses: they feed the sampler and trip
+  // the drift window.
+  for (int Round = 0; Round != 8; ++Round)
+    for (size_t I = 0; I != Drifted.size(); ++I) {
+      uint64_t V = 0;
+      ASSERT_TRUE(Table.get(Drifted[I], V)) << "pre-swap spill lookup";
+      ASSERT_EQ(V, InFormat.size() + I);
+    }
+  ASSERT_TRUE(Table.adaptive().resynthesisPending());
+  if (!Table.adaptive().pumpResynthesis())
+    GTEST_SKIP() << "joined pattern did not synthesize; lifecycle not "
+                    "exercisable for this format";
+  const uint64_t NewEpoch = Table.adaptive().epoch();
+  EXPECT_EQ(NewEpoch, 1u);
+
+  // Between swap and maintain: fast lane still labeled with the old
+  // epoch, every lookup still correct (labeled probes go Stale and
+  // redo guarded).
+  uint64_t V = 0;
+  ASSERT_TRUE(Table.get(InFormat[0], V));
+  EXPECT_EQ(V, 0u);
+
+  ASSERT_TRUE(Table.maintain());
+  const auto Stats = Table.stats();
+  EXPECT_EQ(Stats.FastEpoch, NewEpoch) << "fast lane migrated";
+  EXPECT_GE(Stats.Migrations, 1u);
+  if (Table.adaptive().pattern().matches(Drifted[0])) {
+    EXPECT_EQ(Stats.SpillSize, 0u)
+        << "widened pattern admits the drifted keys: sweep moves them";
+    EXPECT_EQ(Stats.FastSize, InFormat.size() + Drifted.size());
+    EXPECT_GE(Stats.SweptKeys, Drifted.size());
+  }
+
+  for (size_t I = 0; I != InFormat.size(); ++I) {
+    ASSERT_TRUE(Table.get(InFormat[I], V)) << InFormat[I];
+    ASSERT_EQ(V, I);
+    ASSERT_TRUE(Table.get(Drifted[I], V)) << Drifted[I];
+    ASSERT_EQ(V, InFormat.size() + I);
+  }
+
+  // maintain() with nothing to do reports no work.
+  EXPECT_FALSE(Table.maintain());
+}
+
+TEST(ServingTableTest, HotSwapUnderConcurrentTrafficLosesNoLookups) {
+  // The acceptance criterion, in-process (and the TSan target): client
+  // threads hammer both lanes while the main thread drives drift ->
+  // swap -> migrate -> sweep. Resident keys must hit with the right
+  // value on every probe, through every phase.
+  const KeyPattern Pattern = patternOf(SsnRegex);
+  ServingTable<uint64_t> Table(Pattern, servingOptions(),
+                               /*ShardCountHint=*/8);
+  ASSERT_TRUE(Table.hasFastLane());
+
+  const std::vector<std::string> Keys = distinctKeys(SsnRegex, 1024, 3);
+  const size_t Resident = Keys.size() / 2;
+  const std::vector<std::string> Drifted = driftedCopies(
+      std::vector<std::string>(Keys.begin(), Keys.begin() + Resident),
+      Pattern);
+  for (size_t I = 0; I != Resident; ++I) {
+    Table.put(Keys[I], I);
+    Table.put(Drifted[I], Resident + I);
+  }
+
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> FailedLookups{0};
+  std::vector<std::thread> Workers;
+  for (int T = 0; T != 2; ++T)
+    Workers.emplace_back([&, T] {
+      std::mt19937_64 Rng(200 + T);
+      while (!Stop.load(std::memory_order_relaxed)) {
+        const size_t I = Rng() % Resident;
+        uint64_t V = ~0ull;
+        if (!Table.get(Keys[I], V) || V != I)
+          FailedLookups.fetch_add(1, std::memory_order_relaxed);
+        if (!Table.get(Drifted[I], V) || V != Resident + I)
+          FailedLookups.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  Workers.emplace_back([&] {
+    // Churn writer on the non-resident half of the in-format pool.
+    std::mt19937_64 Rng(77);
+    while (!Stop.load(std::memory_order_relaxed)) {
+      const size_t I = Resident + Rng() % (Keys.size() - Resident);
+      if (Rng() & 1)
+        Table.put(Keys[I], I);
+      else
+        Table.erase(Keys[I]);
+    }
+  });
+
+  // Main thread: drive the lifecycle several times while traffic runs.
+  for (int Round = 0; Round != 3; ++Round) {
+    if (Table.adaptive().resynthesisPending())
+      Table.adaptive().pumpResynthesis();
+    Table.maintain();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  Stop.store(true, std::memory_order_relaxed);
+  for (std::thread &W : Workers)
+    W.join();
+
+  EXPECT_EQ(FailedLookups.load(), 0u);
+  if (Table.adaptive().resynthesisPending())
+    Table.adaptive().pumpResynthesis();
+  Table.maintain();
+  for (size_t I = 0; I != Resident; ++I) {
+    uint64_t V = ~0ull;
+    ASSERT_TRUE(Table.get(Keys[I], V));
+    ASSERT_EQ(V, I);
+    ASSERT_TRUE(Table.get(Drifted[I], V));
+    ASSERT_EQ(V, Resident + I);
+  }
+}
