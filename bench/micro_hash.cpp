@@ -173,7 +173,8 @@ std::vector<JsonRow> measureAll() {
         const SynthesizedHash &Attached =
             Set.synthesized(syntheticFamily(Kind));
         for (BatchPath Preferred :
-             {BatchPath::Scalar, BatchPath::Interleaved, BatchPath::Avx2}) {
+             {BatchPath::Scalar, BatchPath::Interleaved, BatchPath::Avx2,
+              BatchPath::Jit}) {
           const SynthesizedHash Forced(Attached.plan(), IsaLevel::Native,
                                        Preferred);
           const std::string Path = Forced.batchPathName();
@@ -240,10 +241,19 @@ void printJsonSummary(const std::vector<JsonRow> &Rows,
                 paperKeyName(R.Key), hashKindName(R.Kind), R.SingleNs,
                 R.BatchNs, R.BatchNs > 0 ? R.SingleNs / R.BatchNs : 0.0,
                 R.BatchPath.c_str());
-    for (const auto &[Name, Ns] : R.PathNs)
+    double JitNs = 0, ScalarNs = 0;
+    for (const auto &[Name, Ns] : R.PathNs) {
       if (Name != R.BatchPath)
         std::printf("  %-4s %-6s   %11s path: %6.2f\n", "", "",
                     Name.c_str(), Ns);
+      if (Name == "jit")
+        JitNs = Ns;
+      else if (Name == "scalar")
+        ScalarNs = Ns;
+    }
+    if (JitNs > 0 && ScalarNs > 0)
+      std::printf("  %-4s %-6s   jit vs interpreted scalar: %.2fx\n", "",
+                  "", ScalarNs / JitNs);
   }
 }
 

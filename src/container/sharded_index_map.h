@@ -201,6 +201,80 @@ public:
             S.Journal.size()};
   }
 
+  /// Per-shard lock-contention counters: how many read/write lock
+  /// acquisitions the shard saw and how many of them had to wait
+  /// (try-lock failed first). Counted relaxed by the acquire helpers —
+  /// the numbers are measurements, they order nothing. The counters
+  /// live on the *active* generation's shards: a migration publishes
+  /// fresh shards, so each epoch's numbers describe lock pressure
+  /// since that epoch was published.
+  struct ShardContention {
+    uint64_t SharedAcquires = 0;
+    uint64_t SharedContended = 0;
+    uint64_t UniqueAcquires = 0;
+    uint64_t UniqueContended = 0;
+  };
+
+  ShardContention shardContention(size_t Index) const {
+    const Table *T = active();
+    const Shard &S = *T->Shards[Index & (shardCount() - 1)];
+    return {S.SharedAcquires.load(std::memory_order_relaxed),
+            S.SharedContended.load(std::memory_order_relaxed),
+            S.UniqueAcquires.load(std::memory_order_relaxed),
+            S.UniqueContended.load(std::memory_order_relaxed)};
+  }
+
+  /// The contention histogram as JSON — one row per shard plus totals,
+  /// keyed by the active epoch. The shape sepeserve prints and the
+  /// bench reports embed, so the jit dispatch ladder can be read
+  /// against the lock pressure it ran under.
+  std::string contentionJson() const {
+    ShardContention Sum;
+    std::string Json = "{\"epoch\": " + std::to_string(epoch()) +
+                       ", \"shards\": [";
+    for (size_t I = 0; I != shardCount(); ++I) {
+      const ShardContention C = shardContention(I);
+      Sum.SharedAcquires += C.SharedAcquires;
+      Sum.SharedContended += C.SharedContended;
+      Sum.UniqueAcquires += C.UniqueAcquires;
+      Sum.UniqueContended += C.UniqueContended;
+      if (I != 0)
+        Json += ", ";
+      Json += "{\"shared_acquires\": " + std::to_string(C.SharedAcquires) +
+              ", \"shared_contended\": " + std::to_string(C.SharedContended) +
+              ", \"unique_acquires\": " + std::to_string(C.UniqueAcquires) +
+              ", \"unique_contended\": " + std::to_string(C.UniqueContended) +
+              "}";
+    }
+    Json += "], \"totals\": {\"shared_acquires\": " +
+            std::to_string(Sum.SharedAcquires) +
+            ", \"shared_contended\": " + std::to_string(Sum.SharedContended) +
+            ", \"unique_acquires\": " + std::to_string(Sum.UniqueAcquires) +
+            ", \"unique_contended\": " + std::to_string(Sum.UniqueContended) +
+            "}}";
+    return Json;
+  }
+
+  /// Mirrors the per-shard counters into telemetry histograms — one
+  /// sample per shard, so the exported histogram is the cross-shard
+  /// distribution (a hot shard shows up as a long tail). No-op without
+  /// -DSEPE_TELEMETRY=ON.
+  void recordContentionTelemetry() const {
+#if defined(SEPE_TELEMETRY)
+    for (size_t I = 0; I != shardCount(); ++I) {
+      const ShardContention C = shardContention(I);
+      SEPE_RECORD("sharded_index_map.shard.shared_acquires",
+                  C.SharedAcquires);
+      SEPE_RECORD("sharded_index_map.shard.shared_contended",
+                  C.SharedContended);
+      SEPE_RECORD("sharded_index_map.shard.unique_acquires",
+                  C.UniqueAcquires);
+      SEPE_RECORD("sharded_index_map.shard.unique_contended",
+                  C.UniqueContended);
+    }
+#endif
+  }
+
   /// Inserts (key, value); returns false (keeping the old value) when
   /// present. Precondition: \p Key conforms to the active plan's
   /// format.
@@ -208,7 +282,7 @@ public:
     Table *T = activeMutable();
     const uint64_t Image = T->Hash(Key);
     Shard &S = T->shardFor(Image);
-    std::unique_lock<std::shared_mutex> Lock(acquireUnique(S.Mutex),
+    std::unique_lock<std::shared_mutex> Lock(acquireUnique(S),
                                              std::adopt_lock);
     return putLocked(*T, S, Key, Image, std::move(V));
   }
@@ -218,7 +292,7 @@ public:
     Table *T = activeMutable();
     const uint64_t Image = T->Hash(Key);
     Shard &S = T->shardFor(Image);
-    std::unique_lock<std::shared_mutex> Lock(acquireUnique(S.Mutex),
+    std::unique_lock<std::shared_mutex> Lock(acquireUnique(S),
                                              std::adopt_lock);
     const bool Erased = S.Map.eraseHashed(Image);
     if (S.Sealed && Erased)
@@ -233,7 +307,7 @@ public:
     const Table *T = active();
     const uint64_t Image = T->Hash(Key);
     const Shard &S = T->shardFor(Image);
-    std::shared_lock<std::shared_mutex> Lock(acquireShared(S.Mutex),
+    std::shared_lock<std::shared_mutex> Lock(acquireShared(S),
                                              std::adopt_lock);
     if (const Value *V = S.Map.findHashed(Image)) {
       SEPE_COUNT("sharded_index_map.get.hit");
@@ -269,7 +343,7 @@ public:
         if (Offsets[S] == Offsets[S + 1])
           continue;
         const Shard &Sh = *T->Shards[S];
-        std::shared_lock<std::shared_mutex> Lock(acquireShared(Sh.Mutex),
+        std::shared_lock<std::shared_mutex> Lock(acquireShared(Sh),
                                                  std::adopt_lock);
         for (uint32_t I = Offsets[S]; I != Offsets[S + 1]; ++I) {
           const size_t K = Base + Order[I];
@@ -306,7 +380,7 @@ public:
         if (Offsets[S] == Offsets[S + 1])
           continue;
         Shard &Sh = *T->Shards[S];
-        std::unique_lock<std::shared_mutex> Lock(acquireUnique(Sh.Mutex),
+        std::unique_lock<std::shared_mutex> Lock(acquireUnique(Sh),
                                                  std::adopt_lock);
         for (uint32_t I = Offsets[S]; I != Offsets[S + 1]; ++I) {
           const size_t K = Base + Order[I];
@@ -332,7 +406,7 @@ public:
       return ProbeResult::Stale;
     }
     const Shard &S = T->shardFor(Image);
-    std::shared_lock<std::shared_mutex> Lock(acquireShared(S.Mutex),
+    std::shared_lock<std::shared_mutex> Lock(acquireShared(S),
                                              std::adopt_lock);
     if (const Value *V = S.Map.findHashed(Image)) {
       SEPE_COUNT("sharded_index_map.get.hit");
@@ -354,7 +428,7 @@ public:
       return false;
     }
     Shard &S = T->shardFor(Image);
-    std::unique_lock<std::shared_mutex> Lock(acquireUnique(S.Mutex),
+    std::unique_lock<std::shared_mutex> Lock(acquireUnique(S),
                                              std::adopt_lock);
     Inserted = putLocked(*T, S, Key, Image, std::move(V));
     return true;
@@ -369,7 +443,7 @@ public:
       return false;
     }
     Shard &S = T->shardFor(Image);
-    std::unique_lock<std::shared_mutex> Lock(acquireUnique(S.Mutex),
+    std::unique_lock<std::shared_mutex> Lock(acquireUnique(S),
                                              std::adopt_lock);
     Erased = S.Map.eraseHashed(Image);
     if (S.Sealed && Erased)
@@ -398,7 +472,7 @@ public:
         if (Offsets[S] == Offsets[S + 1])
           continue;
         const Shard &Sh = *T->Shards[S];
-        std::shared_lock<std::shared_mutex> Lock(acquireShared(Sh.Mutex),
+        std::shared_lock<std::shared_mutex> Lock(acquireShared(Sh),
                                                  std::adopt_lock);
         for (uint32_t I = Offsets[S]; I != Offsets[S + 1]; ++I) {
           const size_t K = Base + Order[I];
@@ -437,7 +511,7 @@ public:
         if (Offsets[S] == Offsets[S + 1])
           continue;
         Shard &Sh = *T->Shards[S];
-        std::unique_lock<std::shared_mutex> Lock(acquireUnique(Sh.Mutex),
+        std::unique_lock<std::shared_mutex> Lock(acquireUnique(Sh),
                                                  std::adopt_lock);
         for (uint32_t I = Offsets[S]; I != Offsets[S + 1]; ++I) {
           const size_t K = Base + Order[I];
@@ -461,7 +535,7 @@ public:
       return ProbeResult::NotAdmitted;
     const uint64_t Image = T->Hash(Key);
     const Shard &S = T->shardFor(Image);
-    std::shared_lock<std::shared_mutex> Lock(acquireShared(S.Mutex),
+    std::shared_lock<std::shared_mutex> Lock(acquireShared(S),
                                              std::adopt_lock);
     if (const Value *V = S.Map.findHashed(Image)) {
       Out = *V;
@@ -479,7 +553,7 @@ public:
       return false;
     const uint64_t Image = T->Hash(Key);
     Shard &S = T->shardFor(Image);
-    std::unique_lock<std::shared_mutex> Lock(acquireUnique(S.Mutex),
+    std::unique_lock<std::shared_mutex> Lock(acquireUnique(S),
                                              std::adopt_lock);
     Inserted = putLocked(*T, S, Key, Image, std::move(V));
     return true;
@@ -493,7 +567,7 @@ public:
       return false;
     const uint64_t Image = T->Hash(Key);
     Shard &S = T->shardFor(Image);
-    std::unique_lock<std::shared_mutex> Lock(acquireUnique(S.Mutex),
+    std::unique_lock<std::shared_mutex> Lock(acquireUnique(S),
                                              std::adopt_lock);
     Erased = S.Map.eraseHashed(Image);
     if (S.Sealed && Erased)
@@ -541,6 +615,13 @@ private:
     explicit Shard(const SynthesizedHash &Hash, size_t InitialCapacity)
         : Map(Hash, InitialCapacity) {}
     mutable std::shared_mutex Mutex;
+    /// Per-shard lock pressure, counted by the acquire helpers
+    /// (relaxed — the counts order nothing, they are measurements).
+    /// Mutable for the same reason Mutex is: read paths count too.
+    mutable std::atomic<uint64_t> SharedAcquires{0};
+    mutable std::atomic<uint64_t> SharedContended{0};
+    mutable std::atomic<uint64_t> UniqueAcquires{0};
+    mutable std::atomic<uint64_t> UniqueContended{0};
     FlatIndexMap<Value> Map;
     /// Keys inserted into this shard, appended under the write lock.
     /// May hold erased keys (skipped at migration) and re-inserted
@@ -582,21 +663,27 @@ private:
   const Table *active() const { return Active.load(std::memory_order_acquire); }
   Table *activeMutable() { return Active.load(std::memory_order_acquire); }
 
-  /// try-lock-first acquisition so contended acquisitions are counted;
-  /// returns the (locked) mutex for std::adopt_lock guards.
-  static std::shared_mutex &acquireShared(std::shared_mutex &M) {
-    if (!M.try_lock_shared()) {
+  /// try-lock-first acquisition so contended acquisitions are counted
+  /// — globally in telemetry and per shard in the Shard's own relaxed
+  /// counters (shardContention/contentionJson read them back); returns
+  /// the (locked) mutex for std::adopt_lock guards.
+  static std::shared_mutex &acquireShared(const Shard &S) {
+    S.SharedAcquires.fetch_add(1, std::memory_order_relaxed);
+    if (!S.Mutex.try_lock_shared()) {
+      S.SharedContended.fetch_add(1, std::memory_order_relaxed);
       SEPE_COUNT("sharded_index_map.lock.contended_read");
-      M.lock_shared();
+      S.Mutex.lock_shared();
     }
-    return M;
+    return S.Mutex;
   }
-  static std::shared_mutex &acquireUnique(std::shared_mutex &M) {
-    if (!M.try_lock()) {
+  static std::shared_mutex &acquireUnique(const Shard &S) {
+    S.UniqueAcquires.fetch_add(1, std::memory_order_relaxed);
+    if (!S.Mutex.try_lock()) {
+      S.UniqueContended.fetch_add(1, std::memory_order_relaxed);
       SEPE_COUNT("sharded_index_map.lock.contended_write");
-      M.lock();
+      S.Mutex.lock();
     }
-    return M;
+    return S.Mutex;
   }
 
   /// Insert under \p S's write lock, journaling and (when sealed)
@@ -621,7 +708,7 @@ private:
     Table &Next = *T.Successor;
     const uint64_t Image = Next.Hash(Key);
     Shard &S = Next.shardFor(Image);
-    std::unique_lock<std::shared_mutex> Lock(acquireUnique(S.Mutex),
+    std::unique_lock<std::shared_mutex> Lock(acquireUnique(S),
                                              std::adopt_lock);
     if (S.Map.insertHashed(Image, std::move(V)))
       S.Journal.emplace_back(Key);
@@ -632,7 +719,7 @@ private:
     Table &Next = *T.Successor;
     const uint64_t Image = Next.Hash(Key);
     Shard &S = Next.shardFor(Image);
-    std::unique_lock<std::shared_mutex> Lock(acquireUnique(S.Mutex),
+    std::unique_lock<std::shared_mutex> Lock(acquireUnique(S),
                                              std::adopt_lock);
     S.Map.eraseHashed(Image);
   }
@@ -661,7 +748,7 @@ private:
         if (!V)
           continue; // Erased since it was journaled.
         Shard &Dest = Next.shardFor(NewImages[I]);
-        std::unique_lock<std::shared_mutex> Lock(acquireUnique(Dest.Mutex),
+        std::unique_lock<std::shared_mutex> Lock(acquireUnique(Dest),
                                                  std::adopt_lock);
         if (Dest.Map.insertHashed(NewImages[I], *V)) {
           Dest.Journal.emplace_back(KeyViews[I]);

@@ -6,6 +6,7 @@
 
 #include "core/executor.h"
 
+#include "core/jit.h"
 #include "hashes/aes_round.h"
 #include "hashes/murmur.h"
 #include "support/bit_ops.h"
@@ -836,6 +837,8 @@ const char *sepe::batchPathName(BatchPath Path) {
     return "interleaved";
   case BatchPath::Avx2:
     return "avx2";
+  case BatchPath::Jit:
+    return "jit";
   }
   unreachable("covered enum");
 }
@@ -1271,9 +1274,35 @@ SynthesizedHash::SynthesizedHash(std::shared_ptr<const HashPlan> Plan,
     : Plan(std::move(Plan)) {
   assert(this->Plan && "SynthesizedHash requires a plan");
   Eval = selectEval(*this->Plan, Isa);
-  const BatchChoice Choice = selectBatch(*this->Plan, Isa, Preferred);
+  // A Jit preference resolves through the interpreted ladder first (as
+  // if Auto) so an unhonorable request lands on the same rung Auto
+  // would pick; the takeover below then upgrades to compiled code when
+  // host and shape allow.
+  const BatchPath Want =
+      Preferred == BatchPath::Jit ? BatchPath::Auto : Preferred;
+  const BatchChoice Choice = selectBatch(*this->Plan, Isa, Want);
   Batch = Choice.Fn;
   Resolved = Choice.Path;
+  // The JIT rung. Gated on the request (Auto or an explicit Jit pin —
+  // a forced interpreted rung must stay interpreted, the property
+  // tests use it as the reference), the IsaLevel ceiling, the runtime
+  // cpuid/env gate, and the plan shape. Under Auto the AVX2 quad-xor
+  // wins are kept (the wide kernel's fused loads beat four scalar
+  // lanes); an explicit Jit pin overrides them. compileJitProgram can
+  // still refuse (mmap denied), in which case the interpreted choice
+  // above simply stands — the fallback lane is always attached first.
+  if ((Preferred == BatchPath::Auto || Preferred == BatchPath::Jit) &&
+      Isa == IsaLevel::Native && jitAvailable() &&
+      jitSupportsPlan(*this->Plan) &&
+      (Preferred == BatchPath::Jit || Resolved != BatchPath::Avx2)) {
+    if (std::shared_ptr<const JitProgram> Prog =
+            compileJitProgram(*this->Plan)) {
+      Jit = std::move(Prog);
+      Eval = Jit->eval();
+      Batch = Jit->batch();
+      Resolved = BatchPath::Jit;
+    }
+  }
 #if defined(SEPE_TELEMETRY)
   // Attach-time kernel selection: how often each rung wins, and how
   // often a non-Auto request could not be honored as asked (resolved
@@ -1290,6 +1319,9 @@ SynthesizedHash::SynthesizedHash(std::shared_ptr<const HashPlan> Plan,
     break;
   case BatchPath::Avx2:
     SEPE_COUNT("executor.attach.batch_path.avx2");
+    break;
+  case BatchPath::Jit:
+    SEPE_COUNT("executor.attach.batch_path.jit");
     break;
   }
   if (Preferred != BatchPath::Auto && Preferred != Resolved)

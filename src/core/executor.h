@@ -35,6 +35,8 @@
 
 namespace sepe {
 
+class JitProgram;
+
 /// Which specialized instructions the executor may use. NoBitExtract
 /// models the paper's Jetson (RQ4): AES hardware present, pext/bext
 /// absent. Portable forces the bit-exact software routines for
@@ -46,17 +48,19 @@ enum class IsaLevel { Native, NoBitExtract, Portable };
 
 /// The batch kernel families hashBatch can dispatch to, in increasing
 /// width: a per-key loop over the single-key kernel, the four-way
-/// interleaved scalar kernels (PR 1), and the eight-key AVX2 vertical
-/// kernels. Auto picks the widest path the plan shape, the IsaLevel,
-/// and the host CPU allow; the explicit values exist so the driver and
+/// interleaved scalar kernels (PR 1), the eight-key AVX2 vertical
+/// kernels, and the attach-time JIT (core/jit.h) — straight-line
+/// machine code emitted for the exact plan, no interpreter dispatch at
+/// all. Auto picks the widest path the plan shape, the IsaLevel, and
+/// the host CPU allow; the explicit values exist so the driver and
 /// benchmarks can measure the ladder rung by rung. A request the plan
-/// or host cannot honor resolves downward (Avx2 -> Interleaved ->
-/// Scalar), never upward.
-enum class BatchPath { Auto, Scalar, Interleaved, Avx2 };
+/// or host cannot honor resolves downward (Jit -> Avx2 -> Interleaved
+/// -> Scalar), never upward.
+enum class BatchPath { Auto, Scalar, Interleaved, Avx2, Jit };
 
-/// Lower-case path name ("auto", "scalar", "interleaved", "avx2") —
-/// the strings BENCH_*.json records so trajectories name the kernel
-/// actually dispatched at runtime, not the compiled-in ceiling.
+/// Lower-case path name ("auto", "scalar", "interleaved", "avx2",
+/// "jit") — the strings BENCH_*.json records so trajectories name the
+/// kernel actually dispatched at runtime, not the compiled-in ceiling.
 const char *batchPathName(BatchPath Path);
 
 #if defined(SEPE_TELEMETRY)
@@ -80,6 +84,10 @@ inline void recordBatchDispatch(BatchPath Resolved, size_t N) {
   case BatchPath::Avx2:
     SEPE_COUNT("executor.batch.calls.avx2");
     SEPE_RECORD("executor.batch.keys.avx2", N);
+    break;
+  case BatchPath::Jit:
+    SEPE_COUNT("executor.batch.calls.jit");
+    SEPE_RECORD("executor.batch.keys.jit", N);
     break;
   }
   SEPE_RECORD("executor.batch.tail_keys", N % 4);
@@ -200,8 +208,16 @@ public:
   BatchPath batchPath() const { return Resolved; }
 
   /// Name of the resolved batch path ("scalar" | "interleaved" |
-  /// "avx2"); what the benchmarks record.
+  /// "avx2" | "jit"); what the benchmarks record.
   const char *batchPathName() const { return sepe::batchPathName(Resolved); }
+
+  /// The compiled program when the JIT rung resolved, nullptr on every
+  /// interpreted rung — exposed so tests can assert the W^X property
+  /// of the live mapping and benchmarks can report code bytes. The
+  /// shared_ptr rides along with every copy of the hash, which is what
+  /// keeps emitted code alive RCU-style inside retired adaptive-runtime
+  /// generations until their last reader drops them.
+  const JitProgram *jitProgram() const { return Jit.get(); }
 
 private:
   using EvalFn = uint64_t (*)(const HashPlan &, const char *, size_t);
@@ -218,6 +234,7 @@ private:
                                  BatchPath Preferred);
 
   std::shared_ptr<const HashPlan> Plan;
+  std::shared_ptr<const JitProgram> Jit;
   EvalFn Eval = nullptr;
   BatchFn Batch = nullptr;
   BatchPath Resolved = BatchPath::Scalar;

@@ -294,8 +294,8 @@ sepe::measureBatchLadder(const Workload &Work, HashKind Kind,
 
   const SynthesizedHash &Attached =
       Set.synthesized(syntheticFamily(Kind));
-  for (BatchPath Preferred :
-       {BatchPath::Scalar, BatchPath::Interleaved, BatchPath::Avx2}) {
+  for (BatchPath Preferred : {BatchPath::Scalar, BatchPath::Interleaved,
+                              BatchPath::Avx2, BatchPath::Jit}) {
     const SynthesizedHash Forced(Attached.plan(), Set.isa(), Preferred);
     const std::string Path = Forced.batchPathName();
     bool Seen = false;

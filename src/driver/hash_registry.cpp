@@ -60,7 +60,8 @@ HashFamily sepe::syntheticFamily(HashKind Kind) {
   unreachable("syntheticFamily requires a synthetic kind");
 }
 
-HashFunctionSet HashFunctionSet::create(PaperKey Key, IsaLevel Isa) {
+HashFunctionSet HashFunctionSet::create(PaperKey Key, IsaLevel Isa,
+                                        BatchPath Preferred) {
   HashFunctionSet Set;
   Set.Key = Key;
   Set.Isa = Isa;
@@ -72,7 +73,7 @@ HashFunctionSet HashFunctionSet::create(PaperKey Key, IsaLevel Isa) {
     std::abort();
   }
   for (size_t I = 0; I != 4; ++I)
-    Set.Synthesized[I] = SynthesizedHash((*Plans)[I], Isa);
+    Set.Synthesized[I] = SynthesizedHash((*Plans)[I], Isa, Preferred);
 
   // Gperf is trained with 1000 random keys (Section 4, "Baseline Hash
   // Functions"), so it is perfect only on that sample.

@@ -70,9 +70,11 @@ class HashFunctionSet {
 public:
   /// Builds the set for one paper key format. \p Isa selects the
   /// executor paths; IsaLevel::NoBitExtract is the RQ4 aarch64
-  /// substitute (AES hardware, no pext).
-  static HashFunctionSet create(PaperKey Key,
-                                IsaLevel Isa = IsaLevel::Native);
+  /// substitute (AES hardware, no pext). \p Preferred pins the
+  /// synthesized hashers' batch rung (sepedriver/sepebench --path=);
+  /// Auto dispatches on plan shape and host as usual.
+  static HashFunctionSet create(PaperKey Key, IsaLevel Isa = IsaLevel::Native,
+                                BatchPath Preferred = BatchPath::Auto);
 
   PaperKey key() const { return Key; }
 

@@ -375,6 +375,23 @@ public:
     return (F ? F->size() : 0) + SpillCount.load(std::memory_order_relaxed);
   }
 
+  /// The fast lane's per-shard lock-contention export
+  /// (ShardedIndexMap::contentionJson), or "null" when the fast lane
+  /// has not been created yet — sepeserve embeds it in its report so
+  /// serving throughput can be read against lock pressure.
+  std::string fastLaneContentionJson() const {
+    const ShardedIndexMap<Value> *F = fast();
+    return F ? F->contentionJson() : std::string("null");
+  }
+
+  /// Mirrors the fast lane's contention counters into telemetry
+  /// histograms (no-op without -DSEPE_TELEMETRY=ON or before the fast
+  /// lane exists).
+  void recordContentionTelemetry() const {
+    if (const ShardedIndexMap<Value> *F = fast())
+      F->recordContentionTelemetry();
+  }
+
 private:
   /// Keys per routeBatch block in the batch entry points; bounds the
   /// stack scratch.

@@ -16,7 +16,8 @@
 /// through the shared bench envelope.
 ///
 ///   sepebench [--trials=N] [--warmup=N] [--full] [--json=FILE]
-///             [--keys=SSN,IPv4,...] [--filter=SUBSTR] [--list]
+///             [--keys=SSN,IPv4,...] [--filter=SUBSTR] [--path=RUNG]
+///             [--list]
 ///
 /// The second mode is the regression gate:
 ///
@@ -71,6 +72,9 @@ struct SuiteOptions {
   bool List = false;
   std::string JsonPath = "BENCH_suite.json";
   std::string Filter;
+  /// Pins the synthesized hashers' batch rung for the hash_* and
+  /// adaptive workloads; Auto keeps the usual shape/host dispatch.
+  BatchPath Path = BatchPath::Auto;
   /// 0: the fixed {1,2,4,8} ladder (stable workload names for the
   /// baseline compare); N: a single-point ladder {N}.
   size_t Threads = 0;
@@ -93,6 +97,10 @@ void printUsage() {
       "  --keys=SSN,...    restrict the key formats\n"
       "  --filter=REGEX    run only workloads whose name matches REGEX\n"
       "                    (ECMAScript, searched anywhere in the name)\n"
+      "  --path=auto|scalar|interleaved|avx2|jit\n"
+      "                    pin the synthesized hashers' batch rung\n"
+      "                    (default auto; unhonorable pins resolve\n"
+      "                    downward like the executor's ladder)\n"
       "  --threads=N       run the shard_scale workloads at N threads\n"
       "                    only (default: the {1,2,4,8} ladder)\n"
       "  --json=FILE       consolidated report (default BENCH_suite.json)\n"
@@ -140,6 +148,22 @@ bool parseSuiteOptions(int Argc, char **Argv, SuiteOptions &Options) {
       }
     } else if (Arg.rfind("--filter=", 0) == 0) {
       Options.Filter = Arg.substr(9);
+    } else if (Arg.rfind("--path=", 0) == 0) {
+      const std::string Name = Arg.substr(7);
+      if (Name == "auto")
+        Options.Path = BatchPath::Auto;
+      else if (Name == "scalar")
+        Options.Path = BatchPath::Scalar;
+      else if (Name == "interleaved")
+        Options.Path = BatchPath::Interleaved;
+      else if (Name == "avx2")
+        Options.Path = BatchPath::Avx2;
+      else if (Name == "jit")
+        Options.Path = BatchPath::Jit;
+      else {
+        std::fprintf(stderr, "error: unknown --path '%s'\n", Name.c_str());
+        return false;
+      }
     } else if (Arg.rfind("--threads=", 0) == 0) {
       Options.Threads = std::max<size_t>(1, std::stoul(Arg.substr(10)));
     } else if (Arg.rfind("--json=", 0) == 0) {
@@ -196,11 +220,12 @@ struct FormatFixture {
   std::shared_ptr<std::vector<std::string_view>> Views;
 };
 
-FormatFixture makeFixture(PaperKey Key, size_t PoolSize) {
+FormatFixture makeFixture(PaperKey Key, size_t PoolSize,
+                          BatchPath Path = BatchPath::Auto) {
   FormatFixture Fixture;
   Fixture.Key = Key;
-  Fixture.Set =
-      std::make_shared<HashFunctionSet>(HashFunctionSet::create(Key));
+  Fixture.Set = std::make_shared<HashFunctionSet>(
+      HashFunctionSet::create(Key, IsaLevel::Native, Path));
   KeyGenerator Gen(paperKeyFormat(Key), KeyDistribution::Uniform,
                    0x5ebe + static_cast<uint64_t>(Key));
   Fixture.Text = std::make_shared<std::vector<std::string>>(
@@ -251,6 +276,71 @@ void addHashWorkloads(std::vector<SuiteWorkload> &Suite,
       return (nowMs() - Start) * 1e6 / Units;
     };
     Suite.push_back(std::move(Batch));
+  }
+}
+
+void addJitWorkloads(std::vector<SuiteWorkload> &Suite,
+                     const FormatFixture &Fixture, size_t Passes) {
+  // Compiled-vs-interpreted columns for the families the x86-64
+  // emitter handles. Each pair pins one hasher to the Jit rung and one
+  // to interpreted Scalar over the same plan; on hosts without BMI2 or
+  // for plan shapes the emitter rejects, the Jit pin resolves downward,
+  // so the workload set stays stable for the comparator and the paired
+  // columns simply converge.
+  const std::string Format = paperKeyName(Fixture.Key);
+  const double Units = static_cast<double>(Passes * Fixture.Views->size());
+  for (HashKind Kind : {HashKind::Pext, HashKind::OffXor}) {
+    const SynthesizedHash &Attached =
+        Fixture.Set->synthesized(syntheticFamily(Kind));
+    const std::string Family = Kind == HashKind::Pext ? "pext" : "offxor";
+    struct Lane {
+      const char *Suffix;
+      std::shared_ptr<SynthesizedHash> Hash;
+    };
+    const Lane Lanes[2] = {
+        {"", std::make_shared<SynthesizedHash>(Attached.plan(),
+                                               Fixture.Set->isa(),
+                                               BatchPath::Jit)},
+        {"_interp", std::make_shared<SynthesizedHash>(Attached.plan(),
+                                                      Fixture.Set->isa(),
+                                                      BatchPath::Scalar)}};
+    for (const Lane &L : Lanes) {
+      SuiteWorkload Batch;
+      Batch.Name = "jit/" + Format + "/" + Family + "_batch" + L.Suffix;
+      Batch.Unit = "ns_per_key";
+      Batch.UnitsPerTrial = Units;
+      Batch.Run = [Fixture, Hash = L.Hash, Passes, Units] {
+        std::vector<uint64_t> Out(Fixture.Views->size());
+        const double Start = nowMs();
+        for (size_t P = 0; P != Passes; ++P) {
+          Hash->hashBatch(Fixture.Views->data(), Out.data(),
+                          Fixture.Views->size());
+          asm volatile("" : : "r"(Out.data()) : "memory");
+        }
+        return (nowMs() - Start) * 1e6 / Units;
+      };
+      Suite.push_back(std::move(Batch));
+
+      // Single-key lanes only for Pext: the acceptance metric is the
+      // batch kernel, and one single-key pair per format is enough to
+      // see the per-call JIT entry overhead.
+      if (Kind != HashKind::Pext)
+        continue;
+      SuiteWorkload Single;
+      Single.Name = "jit/" + Format + "/" + Family + "_single" + L.Suffix;
+      Single.Unit = "ns_per_key";
+      Single.UnitsPerTrial = Units;
+      Single.Run = [Fixture, Hash = L.Hash, Passes, Units] {
+        const double Start = nowMs();
+        uint64_t Sink = 0;
+        for (size_t P = 0; P != Passes; ++P)
+          for (const std::string_view V : *Fixture.Views)
+            Sink += static_cast<uint64_t>((*Hash)(V));
+        asm volatile("" : : "r"(Sink) : "memory");
+        return (nowMs() - Start) * 1e6 / Units;
+      };
+      Suite.push_back(std::move(Single));
+    }
   }
 }
 
@@ -617,8 +707,9 @@ std::vector<SuiteWorkload> buildSuite(const SuiteOptions &Options) {
   const size_t Passes = Options.Full ? 8000 : 2000;
   const size_t Affectations = Options.Full ? 10000 : 2000;
   for (PaperKey Key : Options.Keys) {
-    const FormatFixture Fixture = makeFixture(Key, PoolSize);
+    const FormatFixture Fixture = makeFixture(Key, PoolSize, Options.Path);
     addHashWorkloads(Suite, Fixture, Passes);
+    addJitWorkloads(Suite, Fixture, Passes);
     addAdaptiveWorkloads(Suite, Fixture, Passes);
     addExperimentWorkloads(Suite, Fixture, Affectations);
   }

@@ -47,6 +47,7 @@ void printUsage(const char *Argv0) {
       "  --affectations=N                             (default 10000)\n"
       "  --seed=N                                     (default 0x5e9e)\n"
       "  --isa=native|nobext|portable                 (default native)\n"
+      "  --path=auto|scalar|interleaved|avx2|jit      (default auto)\n"
       "  --adaptive            replay a drifting key stream through the\n"
       "                        adaptive runtime instead of the Section-4\n"
       "                        experiment: steady-state guarded hashing\n"
@@ -271,6 +272,7 @@ int main(int Argc, char **Argv) {
   PaperKey Key = PaperKey::SSN;
   ExperimentConfig Config;
   IsaLevel Isa = IsaLevel::Native;
+  BatchPath Path = BatchPath::Auto;
   std::string MetricsPath;
   bool Adaptive = false;
   bool HaveDriftKey = false;
@@ -368,6 +370,21 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "error: unknown isa '%s'\n", Value.c_str());
         return 1;
       }
+    } else if (parseValue(Arg, "path", Value)) {
+      if (Value == "auto")
+        Path = BatchPath::Auto;
+      else if (Value == "scalar")
+        Path = BatchPath::Scalar;
+      else if (Value == "interleaved")
+        Path = BatchPath::Interleaved;
+      else if (Value == "avx2")
+        Path = BatchPath::Avx2;
+      else if (Value == "jit")
+        Path = BatchPath::Jit;
+      else {
+        std::fprintf(stderr, "error: unknown path '%s'\n", Value.c_str());
+        return 1;
+      }
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
       printUsage(Argv[0]);
@@ -395,7 +412,9 @@ int main(int Argc, char **Argv) {
   std::printf("isa: requested=%s resolved=%s\n", isaLevelName(Isa),
               cpuFeatureString().c_str());
 
-  const HashFunctionSet Set = HashFunctionSet::create(Key, Isa);
+  const HashFunctionSet Set = HashFunctionSet::create(Key, Isa, Path);
+  std::printf("path: requested=%s resolved=%s\n", batchPathName(Path),
+              Set.synthesized(HashFamily::Pext).batchPathName());
   const Workload Work = makeWorkload(Key, Config);
 
   std::printf("batch path:");

@@ -35,6 +35,7 @@
 #include "keygen/distributions.h"
 #include "keygen/paper_formats.h"
 #include "runtime/serving_table.h"
+#include "support/json.h"
 
 #include <atomic>
 #include <chrono>
@@ -345,6 +346,28 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(Total.FailedLookups),
               static_cast<unsigned long long>(FinalFailures));
 
+  // Per-shard lock pressure on the fast lane (the active generation's
+  // counters; summarized here, embedded shard-by-shard in the JSON).
+  const std::string Contention = Table.fastLaneContentionJson();
+  Table.recordContentionTelemetry();
+  {
+    uint64_t SharedAcq = 0, SharedCon = 0, UniqueAcq = 0, UniqueCon = 0;
+    if (Expected<json::Value> Doc = json::parse(Contention)) {
+      if (const json::Value *T = Doc->find("totals")) {
+        SharedAcq = static_cast<uint64_t>(T->numberOr("shared_acquires", 0));
+        SharedCon = static_cast<uint64_t>(T->numberOr("shared_contended", 0));
+        UniqueAcq = static_cast<uint64_t>(T->numberOr("unique_acquires", 0));
+        UniqueCon = static_cast<uint64_t>(T->numberOr("unique_contended", 0));
+      }
+    }
+    std::printf("  lock pressure  reads %llu (%llu contended), "
+                "writes %llu (%llu contended)\n",
+                static_cast<unsigned long long>(SharedAcq),
+                static_cast<unsigned long long>(SharedCon),
+                static_cast<unsigned long long>(UniqueAcq),
+                static_cast<unsigned long long>(UniqueCon));
+  }
+
   if (!Options.JsonPath.empty()) {
     if (std::FILE *F = std::fopen(Options.JsonPath.c_str(), "w")) {
       std::fprintf(
@@ -365,7 +388,8 @@ int main(int Argc, char **Argv) {
           "  \"migrations\": %llu,\n"
           "  \"swept_keys\": %llu,\n"
           "  \"fast_size\": %zu,\n"
-          "  \"spill_size\": %zu\n"
+          "  \"spill_size\": %zu,\n"
+          "  \"fast_contention\": %s\n"
           "}\n",
           paperKeyName(Options.Key), Options.Threads, ElapsedS,
           static_cast<unsigned long long>(Ops), OpsPerSec,
@@ -378,7 +402,7 @@ int main(int Argc, char **Argv) {
           static_cast<unsigned long long>(Table.adaptive().swaps()),
           static_cast<unsigned long long>(Stats.Migrations),
           static_cast<unsigned long long>(Stats.SweptKeys),
-          Stats.FastSize, Stats.SpillSize);
+          Stats.FastSize, Stats.SpillSize, Contention.c_str());
       std::fclose(F);
     } else {
       std::fprintf(stderr, "warning: cannot write %s\n",

@@ -95,9 +95,9 @@ INSTANTIATE_TEST_SUITE_P(AllFormats, BatchEquivalence,
                            return std::string(paperKeyName(Info.param));
                          });
 
-constexpr std::array<BatchPath, 4> AllBatchPaths = {
+constexpr std::array<BatchPath, 5> AllBatchPaths = {
     BatchPath::Auto, BatchPath::Scalar, BatchPath::Interleaved,
-    BatchPath::Avx2};
+    BatchPath::Avx2, BatchPath::Jit};
 
 class ForcedPathEquivalence : public ::testing::TestWithParam<PaperKey> {};
 
@@ -161,13 +161,16 @@ TEST(BatchDispatchTest, ResolutionRespectsIsaCeiling) {
           const std::string Label = std::string(paperKeyName(Key)) + "/" +
                                     hashKindName(Kind) + "/" + isaName(Isa);
           EXPECT_TRUE(Resolved == "scalar" || Resolved == "interleaved" ||
-                      Resolved == "avx2")
+                      Resolved == "avx2" || Resolved == "jit")
               << Label << " resolved " << Resolved;
           if (Preferred == BatchPath::Scalar)
             EXPECT_EQ(Resolved, "scalar") << Label;
-          if (Isa != IsaLevel::Native)
+          if (Isa != IsaLevel::Native) {
             EXPECT_NE(Resolved, "avx2")
                 << Label << ": wide kernels require the Native ceiling";
+            EXPECT_NE(Resolved, "jit")
+                << Label << ": compiled code requires the Native ceiling";
+          }
         }
         // Auto never picks the wide pext network over one-cycle
         // hardware pext.

@@ -11,6 +11,7 @@
 #include "core/synthesizer.h"
 #include "keygen/distributions.h"
 #include "keygen/paper_formats.h"
+#include "support/json.h"
 
 #include <gtest/gtest.h>
 
@@ -450,4 +451,80 @@ TEST(ShardedIndexMapTest, NoTornEpochUnderConcurrentMigrations) {
   for (std::thread &R : Readers)
     R.join();
   EXPECT_EQ(Torn.load(), 0u);
+}
+
+// --- Per-shard contention counters ------------------------------------------
+
+TEST(ShardedIndexMapTest, ContentionCountersTrackAcquisitions) {
+  ShardedIndexMap<uint64_t> Map(bijectivePext(SsnRegex), patternOf(SsnRegex),
+                                /*EpochLabel=*/0, /*ShardCountHint=*/8);
+  const std::vector<std::string> Keys = distinctKeys(SsnRegex, 64, 0xc0de);
+  for (size_t I = 0; I != Keys.size(); ++I)
+    Map.put(Keys[I], I);
+  uint64_t V = 0;
+  for (const std::string &Key : Keys)
+    EXPECT_TRUE(Map.get(Key, V));
+
+  ShardedIndexMap<uint64_t>::ShardContention Sum;
+  for (size_t S = 0; S != Map.shardCount(); ++S) {
+    const auto C = Map.shardContention(S);
+    Sum.SharedAcquires += C.SharedAcquires;
+    Sum.SharedContended += C.SharedContended;
+    Sum.UniqueAcquires += C.UniqueAcquires;
+    Sum.UniqueContended += C.UniqueContended;
+  }
+  // One write acquisition per put, one read acquisition per get; a
+  // single thread can never lose a try-lock.
+  EXPECT_EQ(Sum.UniqueAcquires, Keys.size());
+  EXPECT_EQ(Sum.SharedAcquires, Keys.size());
+  EXPECT_EQ(Sum.UniqueContended, 0u);
+  EXPECT_EQ(Sum.SharedContended, 0u);
+}
+
+TEST(ShardedIndexMapTest, ContentionJsonParsesAndSumsMatch) {
+  ShardedIndexMap<uint64_t> Map(bijectivePext(SsnRegex), patternOf(SsnRegex),
+                                /*EpochLabel=*/7, /*ShardCountHint=*/4);
+  const std::vector<std::string> Keys = distinctKeys(SsnRegex, 32, 0x7e57);
+  for (size_t I = 0; I != Keys.size(); ++I)
+    Map.put(Keys[I], I);
+
+  Expected<json::Value> Doc = json::parse(Map.contentionJson());
+  ASSERT_TRUE(Doc);
+  EXPECT_EQ(Doc->numberOr("epoch", -1), 7.0);
+  const json::Value *Shards = Doc->find("shards");
+  ASSERT_NE(Shards, nullptr);
+  ASSERT_TRUE(Shards->isArray());
+  ASSERT_EQ(Shards->array().size(), Map.shardCount());
+  double Unique = 0;
+  for (const json::Value &Row : Shards->array())
+    Unique += Row.numberOr("unique_acquires", 0);
+  EXPECT_EQ(Unique, static_cast<double>(Keys.size()));
+  const json::Value *Totals = Doc->find("totals");
+  ASSERT_NE(Totals, nullptr);
+  EXPECT_EQ(Totals->numberOr("unique_acquires", -1),
+            static_cast<double>(Keys.size()));
+}
+
+TEST(ShardedIndexMapTest, ContentionResetsWithMigration) {
+  // Counters live on the active generation's shards: after a migrate
+  // the new epoch starts from (nearly) zero — only the migration's own
+  // successor-side dual-write/copy acquisitions are visible.
+  ShardedIndexMap<uint64_t> Map(bijectivePext(SsnRegex), patternOf(SsnRegex),
+                                /*EpochLabel=*/0, /*ShardCountHint=*/4);
+  const std::vector<std::string> Keys = distinctKeys(SsnRegex, 48, 0x3316);
+  for (size_t I = 0; I != Keys.size(); ++I)
+    Map.put(Keys[I], I);
+  uint64_t ReadsBefore = 0;
+  uint64_t V = 0;
+  for (const std::string &Key : Keys)
+    Map.get(Key, V);
+  for (size_t S = 0; S != Map.shardCount(); ++S)
+    ReadsBefore += Map.shardContention(S).SharedAcquires;
+  EXPECT_EQ(ReadsBefore, Keys.size());
+
+  Map.migrate(bijectivePext(SsnRegex), patternOf(SsnRegex), /*Epoch=*/1);
+  uint64_t ReadsAfter = 0;
+  for (size_t S = 0; S != Map.shardCount(); ++S)
+    ReadsAfter += Map.shardContention(S).SharedAcquires;
+  EXPECT_EQ(ReadsAfter, 0u) << "new generation starts fresh";
 }
