@@ -37,6 +37,7 @@
 #include "driver/experiment.h"
 #include "driver/report.h"
 #include "support/cpu_features.h"
+#include "support/json.h"
 #include "support/resource_usage.h"
 #include "support/telemetry.h"
 
@@ -139,7 +140,8 @@ inline std::FILE *openJsonReport(const std::string &Path,
   std::fprintf(F,
                "{\n  \"schema_version\": %d,\n  \"benchmark\": \"%s\",\n"
                "  \"cpu_features\": \"%s\",\n",
-               JsonSchemaVersion, Benchmark, cpuFeatureString().c_str());
+               JsonSchemaVersion, json::escapeString(Benchmark).c_str(),
+               json::escapeString(cpuFeatureString()).c_str());
   return F;
 }
 

@@ -60,6 +60,7 @@
 #include "container/flat_index_map.h"
 #include "core/key_pattern.h"
 #include "support/telemetry.h"
+#include "support/trace.h"
 
 #include <algorithm>
 #include <atomic>
@@ -531,8 +532,10 @@ public:
   /// a non-conforming key never reaches an image probe.
   ProbeResult getGuarded(std::string_view Key, Value &Out) const {
     const Table *T = active();
-    if (!T->Pattern.matches(Key))
+    if (!T->Pattern.matches(Key)) {
+      SEPE_TRACE_INSTANT(GuardReject, T->Epoch, 0);
       return ProbeResult::NotAdmitted;
+    }
     const uint64_t Image = T->Hash(Key);
     const Shard &S = T->shardFor(Image);
     std::shared_lock<std::shared_mutex> Lock(acquireShared(S),
@@ -549,8 +552,10 @@ public:
   /// otherwise.
   bool putGuarded(std::string_view Key, Value V, bool &Inserted) {
     Table *T = activeMutable();
-    if (!T->Pattern.matches(Key))
+    if (!T->Pattern.matches(Key)) {
+      SEPE_TRACE_INSTANT(GuardReject, T->Epoch, 1);
       return false;
+    }
     const uint64_t Image = T->Hash(Key);
     Shard &S = T->shardFor(Image);
     std::unique_lock<std::shared_mutex> Lock(acquireUnique(S),
@@ -563,8 +568,10 @@ public:
   /// erase outcome otherwise.
   bool eraseGuarded(std::string_view Key, bool &Erased) {
     Table *T = activeMutable();
-    if (!T->Pattern.matches(Key))
+    if (!T->Pattern.matches(Key)) {
+      SEPE_TRACE_INSTANT(GuardReject, T->Epoch, 2);
       return false;
+    }
     const uint64_t Image = T->Hash(Key);
     Shard &S = T->shardFor(Image);
     std::unique_lock<std::shared_mutex> Lock(acquireUnique(S),
@@ -584,6 +591,7 @@ public:
   void migrate(SynthesizedHash NewHash, KeyPattern NewPattern,
                uint64_t NewLabel) {
     SEPE_SPAN("sharded_index_map.migrate");
+    SEPE_TRACE_SPAN(TraceSpan, MigrateShards, NewLabel);
     std::lock_guard<std::mutex> MigrateLock(MigrateMutex);
     Table *Old = activeMutable();
     auto Next = std::make_unique<Table>(
@@ -594,15 +602,20 @@ public:
     // released after this store, so the mutex ordering carries it over.
     Old->Successor = Next.get();
     size_t Copied = 0;
-    for (auto &ShardPtr : Old->Shards) {
-      Shard &S = *ShardPtr;
+    for (size_t I = 0; I != Old->Shards.size(); ++I) {
+      Shard &S = *Old->Shards[I];
       std::unique_lock<std::shared_mutex> Lock(S.Mutex);
+      SEPE_TRACE_INSTANT(ShardSeal, NewLabel, I);
       S.Sealed = true;
+      SEPE_TRACE_SPAN(CopySpan, ShardCopy, NewLabel);
+      CopySpan.setArg(I);
       Copied += copyShardLocked(S, *Old, *Next);
     }
     SEPE_COUNT_N("sharded_index_map.migrate.entries", Copied);
     SEPE_COUNT("sharded_index_map.migrate.completed");
     Active.store(Next.get(), std::memory_order_release);
+    SEPE_TRACE_INSTANT(MigratePublish, NewLabel, Copied);
+    TraceSpan.setArg(Copied);
     Migrations.fetch_add(1, std::memory_order_relaxed);
     Tables.push_back(std::move(Next));
   }
@@ -706,6 +719,7 @@ private:
   void replayPut(Table &T, std::string_view Key, Value V) {
     SEPE_COUNT("sharded_index_map.dual_write");
     Table &Next = *T.Successor;
+    SEPE_TRACE_INSTANT(DualWrite, Next.Epoch, 0);
     const uint64_t Image = Next.Hash(Key);
     Shard &S = Next.shardFor(Image);
     std::unique_lock<std::shared_mutex> Lock(acquireUnique(S),
@@ -717,6 +731,7 @@ private:
   void replayErase(Table &T, std::string_view Key) {
     SEPE_COUNT("sharded_index_map.dual_write");
     Table &Next = *T.Successor;
+    SEPE_TRACE_INSTANT(DualWrite, Next.Epoch, 1);
     const uint64_t Image = Next.Hash(Key);
     Shard &S = Next.shardFor(Image);
     std::unique_lock<std::shared_mutex> Lock(acquireUnique(S),

@@ -34,6 +34,7 @@
 
 #include "support/cpu_features.h"
 #include "support/telemetry.h"
+#include "support/trace.h"
 
 #include <cassert>
 #include <cctype>
@@ -439,8 +440,10 @@ bool sepe::jitSupportsPlan(const HashPlan &Plan) {
 
 JitProgram::~JitProgram() {
 #if defined(SEPE_EXEC_JIT)
-  if (Mapping != nullptr)
+  if (Mapping != nullptr) {
+    SEPE_TRACE_INSTANT(JitRetire, 0, CodeLen);
     munmap(Mapping, MapLen);
+  }
 #endif
 }
 
@@ -450,6 +453,7 @@ sepe::compileJitProgram(const HashPlan &Plan) {
     return nullptr;
 #if defined(SEPE_EXEC_JIT)
   SEPE_SPAN("jit.compile");
+  SEPE_TRACE_SPAN(TraceSpan, JitCompile, 0);
 
   Assembler A;
   // Single-key entry at offset 0: rdi = plan (ignored), rsi = data,
@@ -485,6 +489,7 @@ sepe::compileJitProgram(const HashPlan &Plan) {
 
   SEPE_COUNT("jit.attach.programs");
   SEPE_RECORD("jit.attach.code_bytes", A.size());
+  TraceSpan.setArg(A.size());
   return Prog;
 #else
   return nullptr;

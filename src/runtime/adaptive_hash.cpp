@@ -11,6 +11,7 @@
 #include "hashes/city.h"
 #include "hashes/low_level_hash.h"
 #include "support/telemetry.h"
+#include "support/trace.h"
 
 #include <utility>
 
@@ -68,9 +69,13 @@ void AdaptiveHash::publish(std::unique_ptr<const Generation> G) {
   // Callers hold SwapMutex. Release order pairs with the acquire load
   // in active(): a reader that sees the new pointer sees the fully
   // constructed generation behind it.
+  const Generation *Prev = Active.load(std::memory_order_relaxed);
   const Generation *Raw = G.get();
   Retired.push_back(std::move(G));
   Active.store(Raw, std::memory_order_release);
+  SEPE_TRACE_INSTANT(SwapPublish, Raw->Epoch, 0);
+  if (Prev != nullptr)
+    SEPE_TRACE_INSTANT(PlanRetired, Prev->Epoch, 0);
 }
 
 uint64_t AdaptiveHash::fallbackHash(std::string_view Key) const {
@@ -81,6 +86,8 @@ uint64_t AdaptiveHash::fallbackHash(std::string_view Key) const {
 
 void AdaptiveHash::onTripped() const {
   SEPE_COUNT("adaptive.window.tripped");
+  SEPE_TRACE_INSTANT(DriftTripped, active()->Epoch,
+                     static_cast<uint64_t>(Detector.lastRatio() * 1e6));
   Pending.store(true, std::memory_order_release);
   if (Worker)
     Worker->trigger();
@@ -211,6 +218,7 @@ bool AdaptiveHash::pumpResynthesis() {
 
 bool AdaptiveHash::performResynthesis(bool RespectCooldown) {
   SEPE_SPAN("adaptive.resynthesis");
+  SEPE_TRACE_SPAN(TraceSpan, ResynthAttempt, epoch());
   uint64_t NewEpoch = 0;
   std::function<void(uint64_t)> Listener;
   {
@@ -224,11 +232,15 @@ bool AdaptiveHash::performResynthesis(bool RespectCooldown) {
               .count();
       if (Last != 0 && nowNs() - Last < CooldownNs) {
         SEPE_COUNT("adaptive.resynthesis.skipped_cooldown");
+        TraceSpan.setArg(
+            static_cast<uint64_t>(trace::ResynthOutcome::SkippedCooldown));
         return false;
       }
     }
     if (Sampler.size() < Options.MinSamples) {
       SEPE_COUNT("adaptive.resynthesis.skipped_few_samples");
+      TraceSpan.setArg(
+          static_cast<uint64_t>(trace::ResynthOutcome::SkippedFewSamples));
       return false;
     }
     const Generation *Cur = Active.load(std::memory_order_relaxed);
@@ -242,11 +254,15 @@ bool AdaptiveHash::performResynthesis(bool RespectCooldown) {
                                   : join(Cur->Pattern, Sampled);
     if (Joined == Cur->Pattern) {
       SEPE_COUNT("adaptive.resynthesis.skipped_unchanged");
+      TraceSpan.setArg(
+          static_cast<uint64_t>(trace::ResynthOutcome::SkippedUnchanged));
       return false;
     }
     Expected<HashPlan> Plan = synthesize(Joined, Options.Family);
     if (!Plan) {
       SEPE_COUNT("adaptive.resynthesis.synthesis_failed");
+      TraceSpan.setArg(
+          static_cast<uint64_t>(trace::ResynthOutcome::SynthesisFailed));
       FailedSyntheses.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
@@ -259,8 +275,10 @@ bool AdaptiveHash::performResynthesis(bool RespectCooldown) {
     publish(std::move(G));
     Swaps.fetch_add(1, std::memory_order_relaxed);
     LastSwapNs.store(nowNs(), std::memory_order_relaxed);
-    Detector.reset();
+    Detector.reset(NewEpoch);
     SEPE_COUNT("adaptive.swap");
+    TraceSpan.setGen(NewEpoch);
+    TraceSpan.setArg(static_cast<uint64_t>(trace::ResynthOutcome::Swapped));
     Listener = SwapListener;
   }
   // Outside SwapMutex so a listener may call back into the hash (e.g.

@@ -18,6 +18,8 @@
 #ifndef SEPE_RUNTIME_KEY_SAMPLER_H
 #define SEPE_RUNTIME_KEY_SAMPLER_H
 
+#include "support/trace.h"
+
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -57,6 +59,7 @@ public:
     Reservoir.clear();
     Reservoir.reserve(Capacity);
     Count = 0;
+    SEPE_TRACE_INSTANT(SamplerDrain, 0, Out.size());
     return Out;
   }
 
@@ -64,6 +67,7 @@ public:
   /// sampled-key section of --metrics dumps.
   std::vector<std::string> snapshot() const {
     std::lock_guard<std::mutex> Lock(Mutex);
+    SEPE_TRACE_INSTANT(SamplerSnapshot, 0, Reservoir.size());
     return Reservoir;
   }
 

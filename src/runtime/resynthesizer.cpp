@@ -6,6 +6,8 @@
 
 #include "runtime/resynthesizer.h"
 
+#include "support/trace.h"
+
 #include <utility>
 
 namespace sepe {
@@ -49,7 +51,10 @@ void Resynthesizer::run() {
     // a synthesis in flight; a trigger landing meanwhile re-raises
     // Pending and the loop runs the callback again.
     Lock.unlock();
-    Fn();
+    {
+      SEPE_TRACE_SPAN(JobSpan, ResynthJob, 0);
+      Fn();
+    }
     Lock.lock();
   }
 }

@@ -47,6 +47,7 @@
 #include "container/sharded_index_map.h"
 #include "runtime/adaptive_hash.h"
 #include "support/telemetry.h"
+#include "support/trace.h"
 
 #include <algorithm>
 #include <array>
@@ -344,6 +345,7 @@ public:
         FastPtr.store(FastStorage.get(), std::memory_order_release);
         F = FastStorage.get();
         SEPE_COUNT("serving_table.fast_lane.created");
+        SEPE_TRACE_INSTANT(LaneCreate, Snap.Epoch, 0);
         DidWork = true;
       } else if (F->epoch() != Snap.Epoch) {
         F->migrate(Snap.Fast, Snap.Pattern, Snap.Epoch);
@@ -469,6 +471,7 @@ private:
   /// both under the spill shard's write lock (lock order spill -> fast,
   /// never reversed anywhere). Returns the number of keys moved.
   size_t sweepSpill(ShardedIndexMap<Value> &F) {
+    SEPE_TRACE_SPAN(TraceSpan, SpillSweep, F.epoch());
     size_t Moved = 0;
     for (SpillShard &S : Spill) {
       std::unique_lock<std::shared_mutex> Lock(S.Mutex);
@@ -487,6 +490,7 @@ private:
       Swept.fetch_add(Moved, std::memory_order_relaxed);
       SEPE_COUNT_N("serving_table.sweep.moved", Moved);
     }
+    TraceSpan.setArg(Moved);
     return Moved;
   }
 

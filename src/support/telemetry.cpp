@@ -9,6 +9,7 @@
 #if defined(SEPE_TELEMETRY)
 #include "support/json.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <mutex>
@@ -48,14 +49,30 @@ void appendEscaped(std::string &Out, const std::string &S) {
   Out += json::escapeString(S);
 }
 
-/// One histogram as {"count":..,"sum":..,"max":..,"buckets":[..]} with
-/// the bucket array trimmed to the highest non-zero bucket (the fixed
-/// 65-bucket layout is part of the schema, so readers can reconstruct
-/// the ranges from the index alone).
+void appendDouble(std::string &Out, double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  Out += Buf;
+}
+
+/// One histogram as {"count":..,"sum":..,"max":..,"p50":..,"p90":..,
+/// "p99":..,"p999":..,"buckets":[..]} — the percentiles are estimates
+/// interpolated from the log2 bucket boundaries (Histogram::percentile)
+/// and the bucket array is trimmed to the highest non-zero bucket (the
+/// fixed 65-bucket layout is part of the schema, so readers can
+/// reconstruct the ranges from the index alone).
 void appendHistogram(std::string &Out, const telemetry::Histogram &H) {
   Out += "{\"count\":" + std::to_string(H.count());
   Out += ",\"sum\":" + std::to_string(H.sum());
   Out += ",\"max\":" + std::to_string(H.max());
+  Out += ",\"p50\":";
+  appendDouble(Out, H.percentile(0.50));
+  Out += ",\"p90\":";
+  appendDouble(Out, H.percentile(0.90));
+  Out += ",\"p99\":";
+  appendDouble(Out, H.percentile(0.99));
+  Out += ",\"p999\":";
+  appendDouble(Out, H.percentile(0.999));
   Out += ",\"buckets\":[";
   size_t Last = 0;
   for (size_t I = 0; I != telemetry::Histogram::NumBuckets; ++I)
@@ -149,6 +166,57 @@ void telemetry::resetAll() {
     H.reset();
 }
 
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; the
+/// registry's dotted paths (and any future dynamically-built name)
+/// are flattened onto that alphabet and prefixed.
+std::string promName(const std::string &Name, const char *Suffix = "") {
+  std::string Out = "sepe_";
+  for (char C : Name) {
+    const bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                    (C >= '0' && C <= '9') || C == '_' || C == ':';
+    Out += Ok ? C : '_';
+  }
+  Out += Suffix;
+  return Out;
+}
+
+void appendPromSummary(std::string &Out, const std::string &Name,
+                       const telemetry::Histogram &H) {
+  Out += "# TYPE " + Name + " summary\n";
+  static constexpr struct {
+    const char *Label;
+    double Q;
+  } Quantiles[] = {
+      {"0.5", 0.50}, {"0.9", 0.90}, {"0.99", 0.99}, {"0.999", 0.999}};
+  for (const auto &[Label, Q] : Quantiles) {
+    Out += Name + "{quantile=\"" + Label + "\"} ";
+    appendDouble(Out, H.percentile(Q));
+    Out += '\n';
+  }
+  Out += Name + "_sum " + std::to_string(H.sum()) + '\n';
+  Out += Name + "_count " + std::to_string(H.count()) + '\n';
+}
+
+} // namespace
+
+std::string telemetry::toPrometheus() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  std::string Out;
+  for (const auto &[Name, C] : R.Counters) {
+    const std::string N = promName(Name);
+    Out += "# TYPE " + N + " counter\n";
+    Out += N + " " + std::to_string(C.value()) + '\n';
+  }
+  for (const auto &[Name, H] : R.Histograms)
+    appendPromSummary(Out, promName(Name), H);
+  for (const auto &[Name, H] : R.Spans)
+    appendPromSummary(Out, promName(Name, "_ns"), H);
+  return Out;
+}
+
 #else // !SEPE_TELEMETRY
 
 bool telemetry::compiledIn() { return false; }
@@ -159,5 +227,9 @@ std::string telemetry::toJson() {
 }
 
 void telemetry::resetAll() {}
+
+std::string telemetry::toPrometheus() {
+  return "# sepe telemetry compiled out (-DSEPE_TELEMETRY=OFF)\n";
+}
 
 #endif // SEPE_TELEMETRY

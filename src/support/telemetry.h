@@ -57,6 +57,15 @@ std::string toJson();
 /// Zeroes every registered counter, histogram, and span in place.
 void resetAll();
 
+/// Serializes every registered metric in Prometheus text-exposition
+/// format (counters as `counter`, histograms and spans as `summary`
+/// with p50/p90/p99/p99.9 quantile lines estimated from the log2
+/// buckets; span names get an `_ns` unit suffix). Metric names are
+/// sanitized to [a-zA-Z0-9_:] and prefixed `sepe_`. A compiled-out
+/// build emits only a comment line, so scrapers see a valid page
+/// either way.
+std::string toPrometheus();
+
 #if defined(SEPE_TELEMETRY)
 
 namespace detail {
@@ -118,6 +127,42 @@ public:
   uint64_t max() const { return Max.load(std::memory_order_relaxed); }
   uint64_t bucket(size_t I) const {
     return Buckets[I].load(std::memory_order_relaxed);
+  }
+
+  /// Estimated \p Q-quantile (Q in [0, 1]) from the log2 layout: walk
+  /// the buckets until the cumulative count crosses Q*count, then
+  /// interpolate linearly inside that bucket's [floor, next-floor)
+  /// range, clamped to the observed max. An estimate — exact only at
+  /// bucket boundaries — but monotone in Q and never outside
+  /// [0, max()], which is all the exporters need.
+  double percentile(double Q) const {
+    const uint64_t N = count();
+    if (N == 0)
+      return 0.0;
+    Q = Q < 0.0 ? 0.0 : (Q > 1.0 ? 1.0 : Q);
+    const double Target = Q * static_cast<double>(N);
+    const double M = static_cast<double>(max());
+    double Cum = 0.0;
+    for (size_t I = 0; I != NumBuckets; ++I) {
+      const uint64_t B = bucket(I);
+      if (B == 0)
+        continue;
+      Cum += static_cast<double>(B);
+      if (Cum < Target)
+        continue;
+      const double Lo = static_cast<double>(bucketFloor(I));
+      double Hi = I + 1 == NumBuckets ? M
+                                      : static_cast<double>(bucketFloor(I + 1));
+      if (Hi > M)
+        Hi = M; // the top bucket ends at the observed max
+      if (Hi < Lo)
+        Hi = Lo;
+      double Frac = (Target - (Cum - static_cast<double>(B))) /
+                    static_cast<double>(B);
+      Frac = Frac < 0.0 ? 0.0 : (Frac > 1.0 ? 1.0 : Frac);
+      return Lo + Frac * (Hi - Lo);
+    }
+    return M;
   }
 
   void reset() {
@@ -194,6 +239,7 @@ public:
   uint64_t sum() const { return 0; }
   uint64_t max() const { return 0; }
   uint64_t bucket(size_t) const { return 0; }
+  double percentile(double) const { return 0.0; }
   void reset() {}
 };
 

@@ -45,7 +45,10 @@
 #include "runtime/serving_table.h"
 #include "stats/descriptive.h"
 #include "support/bench_compare.h"
+#include "support/json.h"
 #include "support/perf_counters.h"
+#include "support/telemetry.h"
+#include "support/trace.h"
 
 #include <atomic>
 #include <chrono>
@@ -71,6 +74,7 @@ struct SuiteOptions {
   bool Full = false;
   bool List = false;
   std::string JsonPath = "BENCH_suite.json";
+  std::string TracePath;
   std::string Filter;
   /// Pins the synthesized hashers' batch rung for the hash_* and
   /// adaptive workloads; Auto keeps the usual shape/host dispatch.
@@ -104,6 +108,9 @@ void printUsage() {
       "  --threads=N       run the shard_scale workloads at N threads\n"
       "                    only (default: the {1,2,4,8} ladder)\n"
       "  --json=FILE       consolidated report (default BENCH_suite.json)\n"
+      "  --trace=FILE.json write the flight recorder as Chrome-trace\n"
+      "                    JSON after the suite (needs -DSEPE_TRACE=ON\n"
+      "                    for non-empty data)\n"
       "  --list            print workload names and exit\n"
       "comparator mode:\n"
       "  --compare=BASE.json,NEW.json   diff two reports; exit 1 on\n"
@@ -168,6 +175,8 @@ bool parseSuiteOptions(int Argc, char **Argv, SuiteOptions &Options) {
       Options.Threads = std::max<size_t>(1, std::stoul(Arg.substr(10)));
     } else if (Arg.rfind("--json=", 0) == 0) {
       Options.JsonPath = Arg.substr(7);
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      Options.TracePath = Arg.substr(8);
     } else if (Arg == "--list") {
       Options.List = true;
     } else if (Arg.rfind("--compare=", 0) == 0) {
@@ -738,6 +747,10 @@ struct WorkloadResult {
   std::vector<double> Kept;
   double Median = 0, Mad = 0, Cv = 0, Min = 0, Max = 0;
   perf::CounterReading Pmu;
+  /// Telemetry registry snapshot of the instrumented pass alone (the
+  /// registry is reset before it, so sections don't accumulate across
+  /// workloads). The compiled-out shim JSON when -DSEPE_TELEMETRY=OFF.
+  std::string Telemetry = telemetry::toJson();
 };
 
 /// Robust reduction: median/MAD over all trials, discard trials beyond
@@ -779,11 +792,23 @@ runSuiteTrials(const std::vector<SuiteWorkload> &Suite,
       Results[I].Trials.push_back(Suite[I].Run());
   for (WorkloadResult &Result : Results) {
     reduce(Result);
-    if (Counters.live()) {
+    if (Counters.live() || telemetry::compiledIn()) {
       // One extra instrumented pass; its wall time is not a trial, so
-      // the PMU read cannot perturb the reported medians.
-      perf::ScopedCounters Scope(Counters, Result.Pmu);
-      (void)Result.Work->Run();
+      // the PMU read and telemetry recording cannot perturb the
+      // reported medians. The registry is reset before the pass so
+      // each workload's telemetry section covers that pass alone
+      // instead of accumulating across the suite.
+      const bool TelemetryWasOn = telemetry::enabled();
+      telemetry::resetAll();
+      telemetry::setEnabled(true);
+      if (Counters.live()) {
+        perf::ScopedCounters Scope(Counters, Result.Pmu);
+        (void)Result.Work->Run();
+      } else {
+        (void)Result.Work->Run();
+      }
+      Result.Telemetry = telemetry::toJson();
+      telemetry::setEnabled(TelemetryWasOn);
     }
   }
   return Results;
@@ -799,15 +824,16 @@ void writeWorkloadJson(std::FILE *F, const WorkloadResult &Result,
                "     \"median\": %.4f, \"mad\": %.4f, \"cv\": %.4f, "
                "\"min\": %.4f, \"max\": %.4f,\n"
                "     \"trials\": %zu, \"kept\": %zu, \"raw\": [",
-               Result.Work->Name.c_str(), Result.Work->Unit.c_str(),
+               json::escapeString(Result.Work->Name).c_str(),
+               json::escapeString(Result.Work->Unit).c_str(),
                Result.Work->UnitsPerTrial, Result.Median, Result.Mad,
                Result.Cv, Result.Min, Result.Max, Result.Trials.size(),
                Result.Kept.size());
   for (size_t I = 0; I != Result.Trials.size(); ++I)
     std::fprintf(F, "%s%.4f", I == 0 ? "" : ", ", Result.Trials[I]);
-  std::fprintf(F, "],\n     \"pmu\": %s}%s\n",
+  std::fprintf(F, "],\n     \"pmu\": %s,\n     \"telemetry\": %s}%s\n",
                Result.Pmu.toJson(Result.Work->UnitsPerTrial).c_str(),
-               Last ? "" : ",");
+               Result.Telemetry.c_str(), Last ? "" : ",");
 }
 
 int runSuite(const SuiteOptions &Options) {
@@ -850,13 +876,24 @@ int runSuite(const SuiteOptions &Options) {
                "  \"pmu_reason\": \"%s\",\n  \"workloads\": [\n",
                Options.Full ? "full" : "quick", Options.Trials,
                Options.Warmup, perf::available() ? "true" : "false",
-               perf::unavailableReason().c_str());
+               json::escapeString(perf::unavailableReason()).c_str());
   for (size_t I = 0; I != Results.size(); ++I)
     writeWorkloadJson(F, Results[I], I + 1 == Results.size());
   std::fprintf(F, "  ],\n");
   closeJsonReport(F);
   std::printf("wrote %s (%zu workloads)\n", Options.JsonPath.c_str(),
               Results.size());
+
+  if (!Options.TracePath.empty()) {
+    if (trace::writeChromeTrace(Options.TracePath))
+      std::printf("trace written to %s (%llu events, %llu dropped)\n",
+                  Options.TracePath.c_str(),
+                  static_cast<unsigned long long>(trace::emitted()),
+                  static_cast<unsigned long long>(trace::dropped()));
+    else
+      std::fprintf(stderr, "error: cannot write trace file '%s'\n",
+                   Options.TracePath.c_str());
+  }
   return 0;
 }
 
@@ -904,5 +941,12 @@ int main(int Argc, char **Argv) {
     return 2;
   if (!Options.CompareBase.empty())
     return runCompare(Options);
+  if (!Options.TracePath.empty()) {
+    if (!trace::compiledIn())
+      std::fprintf(stderr,
+                   "warning: --trace requested but this binary was built "
+                   "without -DSEPE_TRACE=ON; the trace will be empty\n");
+    trace::setEnabled(true);
+  }
   return runSuite(Options);
 }

@@ -24,6 +24,7 @@
 #include "support/perf_counters.h"
 #include "support/resource_usage.h"
 #include "support/telemetry.h"
+#include "support/trace.h"
 
 #include <chrono>
 #include <cstdio>
@@ -62,8 +63,28 @@ void printUsage(const char *Argv0) {
       "                        -DSEPE_TELEMETRY=ON build for non-empty\n"
       "                        data), PMU counters for the experiment\n"
       "                        loop when perf_event_open works here,\n"
-      "                        and getrusage resource totals\n",
+      "                        and getrusage resource totals\n"
+      "  --trace=FILE.json     write the flight recorder as Chrome-trace\n"
+      "                        JSON (load in chrome://tracing or\n"
+      "                        Perfetto; needs a -DSEPE_TRACE=ON build\n"
+      "                        for non-empty data)\n",
       Argv0);
+}
+
+/// Drains the flight recorder into \p TracePath (Chrome-trace JSON)
+/// when --trace was given. Shared by both exit paths.
+void writeTraceIfRequested(const std::string &TracePath) {
+  if (TracePath.empty())
+    return;
+  const uint64_t Emitted = trace::emitted();
+  const uint64_t Dropped = trace::dropped();
+  if (trace::writeChromeTrace(TracePath))
+    std::printf("trace written to %s (%llu events, %llu dropped)\n",
+                TracePath.c_str(), static_cast<unsigned long long>(Emitted),
+                static_cast<unsigned long long>(Dropped));
+  else
+    std::fprintf(stderr, "error: cannot write trace file '%s'\n",
+                 TracePath.c_str());
 }
 
 bool parseValue(const std::string &Arg, const char *Name,
@@ -274,6 +295,7 @@ int main(int Argc, char **Argv) {
   IsaLevel Isa = IsaLevel::Native;
   BatchPath Path = BatchPath::Auto;
   std::string MetricsPath;
+  std::string TracePath;
   bool Adaptive = false;
   bool HaveDriftKey = false;
   PaperKey DriftKey = PaperKey::SSN;
@@ -344,6 +366,8 @@ int main(int Argc, char **Argv) {
       Config.Seed = std::stoull(Value);
     } else if (parseValue(Arg, "metrics", Value)) {
       MetricsPath = Value;
+    } else if (parseValue(Arg, "trace", Value)) {
+      TracePath = Value;
     } else if (Arg == "--adaptive") {
       Adaptive = true;
     } else if (parseValue(Arg, "drift-key", Value)) {
@@ -399,10 +423,20 @@ int main(int Argc, char **Argv) {
                    "without -DSEPE_TELEMETRY=ON; the dump will be empty\n");
     telemetry::setEnabled(true);
   }
+  if (!TracePath.empty()) {
+    if (!trace::compiledIn())
+      std::fprintf(stderr,
+                   "warning: --trace requested but this binary was built "
+                   "without -DSEPE_TRACE=ON; the trace will be empty\n");
+    trace::setEnabled(true);
+  }
 
-  if (Adaptive)
-    return runAdaptiveReplay(Key, Config, Isa, HaveDriftKey, DriftKey,
-                             MetricsPath);
+  if (Adaptive) {
+    const int Rc = runAdaptiveReplay(Key, Config, Isa, HaveDriftKey,
+                                     DriftKey, MetricsPath);
+    writeTraceIfRequested(TracePath);
+    return Rc;
+  }
 
   std::printf("experiment: key=%s container=%s distribution=%s spread=%zu "
               "mode=%s affectations=%zu\n",
@@ -514,5 +548,6 @@ int main(int Argc, char **Argv) {
     std::fclose(Out);
     std::printf("metrics written to %s\n", MetricsPath.c_str());
   }
+  writeTraceIfRequested(TracePath);
   return 0;
 }

@@ -25,10 +25,16 @@
 ///
 ///   sepeserve [--threads=N] [--seconds=S] [--keys=FORMAT]
 ///             [--pool=N] [--read-pct=P] [--drift-pct=P] [--shards=N]
-///             [--smoke] [--json=FILE]
+///             [--smoke] [--json=FILE] [--trace=FILE.json]
+///             [--metrics-port=N] [--metrics-interval=S]
+///             [--metrics-file=FILE]
 ///
 /// --smoke is the CI entry point: a short fixed-size run (used under
-/// TSan) that exits 1 on any failed lookup.
+/// TSan) that exits 1 on any failed lookup. --trace drains the flight
+/// recorder into Chrome-trace JSON at exit; --metrics-port serves live
+/// Prometheus text over HTTP while the run is in flight, and
+/// --metrics-interval periodically snapshots the same exposition to
+/// --metrics-file for socketless environments.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,6 +42,9 @@
 #include "keygen/paper_formats.h"
 #include "runtime/serving_table.h"
 #include "support/json.h"
+#include "support/metrics_exporter.h"
+#include "support/telemetry.h"
+#include "support/trace.h"
 
 #include <atomic>
 #include <chrono>
@@ -59,6 +68,10 @@ struct ServeOptions {
   size_t Shards = 16;
   bool Smoke = false;
   std::string JsonPath;
+  std::string TracePath;
+  unsigned MetricsPort = 0;        ///< 0 = no HTTP endpoint.
+  double MetricsIntervalSec = 0.0; ///< 0 = no snapshot writer.
+  std::string MetricsFile = "sepeserve_metrics.prom";
 };
 
 void printUsage() {
@@ -75,7 +88,16 @@ void printUsage() {
       "  --shards=N      fast-lane shard count hint (default 16)\n"
       "  --smoke         short fixed-size CI run; exit 1 on any failed\n"
       "                  lookup\n"
-      "  --json=FILE     write run statistics as JSON\n");
+      "  --json=FILE     write run statistics as JSON\n"
+      "  --trace=FILE    drain the flight recorder into Chrome-trace\n"
+      "                  JSON at exit (load in chrome://tracing or\n"
+      "                  Perfetto; needs -DSEPE_TRACE=ON for events)\n"
+      "  --metrics-port=N     serve live Prometheus metrics on\n"
+      "                       127.0.0.1:N while running\n"
+      "  --metrics-interval=S rewrite the Prometheus exposition to\n"
+      "                       --metrics-file every S seconds\n"
+      "  --metrics-file=FILE  snapshot target (default\n"
+      "                       sepeserve_metrics.prom)\n");
 }
 
 bool parseOptions(int Argc, char **Argv, ServeOptions &Options) {
@@ -119,6 +141,17 @@ bool parseOptions(int Argc, char **Argv, ServeOptions &Options) {
       Options.Pool = 1024;
     } else if (Arg.rfind("--json=", 0) == 0) {
       Options.JsonPath = Arg.substr(7);
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      Options.TracePath = Arg.substr(8);
+    } else if (Arg.rfind("--metrics-port=", 0) == 0) {
+      Options.MetricsPort = static_cast<unsigned>(
+          std::min(65535ul, std::stoul(Arg.substr(15))));
+    } else if (Arg.rfind("--metrics-interval=", 0) == 0) {
+      Options.MetricsIntervalSec = std::stod(Arg.substr(19));
+    } else if (Arg == "--metrics-interval") {
+      Options.MetricsIntervalSec = 0.25; // CI shorthand
+    } else if (Arg.rfind("--metrics-file=", 0) == 0) {
+      Options.MetricsFile = Arg.substr(15);
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
       printUsage();
@@ -151,6 +184,23 @@ int main(int Argc, char **Argv) {
   ServeOptions Options;
   if (!parseOptions(Argc, Argv, Options))
     return 2;
+
+  // --- Observability arms --------------------------------------------------
+  if (!Options.TracePath.empty()) {
+    if (!trace::compiledIn())
+      std::fprintf(stderr, "warning: --trace without -DSEPE_TRACE=ON — "
+                           "the trace will be empty\n");
+    trace::setEnabled(true);
+  }
+  const bool WantMetrics =
+      Options.MetricsPort != 0 || Options.MetricsIntervalSec > 0.0;
+  if (WantMetrics) {
+    if (!telemetry::compiledIn())
+      std::fprintf(stderr,
+                   "warning: metrics export without -DSEPE_TELEMETRY=ON — "
+                   "only flight-recorder gauges will be exposed\n");
+    telemetry::setEnabled(true);
+  }
 
   // --- Key pools -----------------------------------------------------------
   const FormatSpec Format = paperKeyFormat(Options.Key);
@@ -188,6 +238,49 @@ int main(int Argc, char **Argv) {
     Table.put(Drifted[I], ResidentCount + I);
 
   const bool FastAtStart = Table.hasFastLane();
+
+  // --- Live metrics exporters ----------------------------------------------
+  // The extra block rides every exposition: the fast lane's per-shard
+  // lock totals as plain gauges, parsed back out of contentionJson so
+  // there is exactly one source of truth for those counters.
+  metrics::ExtraFn ContentionProm = [&Table] {
+    uint64_t SharedAcq = 0, SharedCon = 0, UniqueAcq = 0, UniqueCon = 0;
+    if (Expected<json::Value> Doc = json::parse(Table.fastLaneContentionJson()))
+      if (const json::Value *T = Doc->find("totals")) {
+        SharedAcq = static_cast<uint64_t>(T->numberOr("shared_acquires", 0));
+        SharedCon = static_cast<uint64_t>(T->numberOr("shared_contended", 0));
+        UniqueAcq = static_cast<uint64_t>(T->numberOr("unique_acquires", 0));
+        UniqueCon = static_cast<uint64_t>(T->numberOr("unique_contended", 0));
+      }
+    std::string Out;
+    Out += "# TYPE sepe_serving_shard_shared_acquires counter\n";
+    Out += "sepe_serving_shard_shared_acquires " +
+           std::to_string(SharedAcq) + "\n";
+    Out += "# TYPE sepe_serving_shard_shared_contended counter\n";
+    Out += "sepe_serving_shard_shared_contended " +
+           std::to_string(SharedCon) + "\n";
+    Out += "# TYPE sepe_serving_shard_unique_acquires counter\n";
+    Out += "sepe_serving_shard_unique_acquires " +
+           std::to_string(UniqueAcq) + "\n";
+    Out += "# TYPE sepe_serving_shard_unique_contended counter\n";
+    Out += "sepe_serving_shard_unique_contended " +
+           std::to_string(UniqueCon) + "\n";
+    return Out;
+  };
+  metrics::MetricsServer Server;
+  if (Options.MetricsPort != 0) {
+    if (Server.start(static_cast<uint16_t>(Options.MetricsPort),
+                     ContentionProm))
+      std::printf("sepeserve: metrics on http://127.0.0.1:%u/metrics\n",
+                  Server.port());
+    else
+      std::fprintf(stderr, "warning: cannot bind metrics port %u\n",
+                   Options.MetricsPort);
+  }
+  metrics::SnapshotWriter Snapshots;
+  if (Options.MetricsIntervalSec > 0.0)
+    Snapshots.start(Options.MetricsFile, Options.MetricsIntervalSec,
+                    ContentionProm);
 
   // --- Clients -------------------------------------------------------------
   std::atomic<bool> Stop{false};
@@ -349,6 +442,10 @@ int main(int Argc, char **Argv) {
   // Per-shard lock pressure on the fast lane (the active generation's
   // counters; summarized here, embedded shard-by-shard in the JSON).
   const std::string Contention = Table.fastLaneContentionJson();
+  // Enable recording for the end-of-run mirror even when no live
+  // exporter asked for it: the per-shard histograms are what the
+  // percentile line below reads back.
+  telemetry::setEnabled(true);
   Table.recordContentionTelemetry();
   {
     uint64_t SharedAcq = 0, SharedCon = 0, UniqueAcq = 0, UniqueCon = 0;
@@ -366,6 +463,33 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(SharedCon),
                 static_cast<unsigned long long>(UniqueAcq),
                 static_cast<unsigned long long>(UniqueCon));
+    if (telemetry::compiledIn()) {
+      // Cross-shard distribution (one histogram sample per shard): a
+      // hot shard shows up as p99 far above p50.
+      const telemetry::Histogram &Shared =
+          telemetry::histogram("sharded_index_map.shard.shared_acquires");
+      const telemetry::Histogram &Unique =
+          telemetry::histogram("sharded_index_map.shard.unique_acquires");
+      std::printf("  shard spread   reads p50 %.0f / p99 %.0f, "
+                  "writes p50 %.0f / p99 %.0f (per-shard acquires)\n",
+                  Shared.percentile(0.50), Shared.percentile(0.99),
+                  Unique.percentile(0.50), Unique.percentile(0.99));
+    }
+  }
+  Server.stop();
+  Snapshots.stop();
+
+  if (!Options.TracePath.empty()) {
+    const uint64_t Emitted = trace::emitted();
+    const uint64_t Dropped = trace::dropped();
+    if (trace::writeChromeTrace(Options.TracePath))
+      std::printf("  trace          %s (%llu events, %llu dropped)\n",
+                  Options.TracePath.c_str(),
+                  static_cast<unsigned long long>(Emitted),
+                  static_cast<unsigned long long>(Dropped));
+    else
+      std::fprintf(stderr, "warning: cannot write %s\n",
+                   Options.TracePath.c_str());
   }
 
   if (!Options.JsonPath.empty()) {
@@ -391,7 +515,8 @@ int main(int Argc, char **Argv) {
           "  \"spill_size\": %zu,\n"
           "  \"fast_contention\": %s\n"
           "}\n",
-          paperKeyName(Options.Key), Options.Threads, ElapsedS,
+          json::escapeString(paperKeyName(Options.Key)).c_str(),
+          Options.Threads, ElapsedS,
           static_cast<unsigned long long>(Ops), OpsPerSec,
           static_cast<unsigned long long>(Total.Gets),
           static_cast<unsigned long long>(Total.Hits),

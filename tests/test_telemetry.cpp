@@ -131,6 +131,62 @@ TEST(TelemetryCoreTest, HistogramBucketsAndMoments) {
   EXPECT_EQ(H.count(), 5u) << "disabled histogram must not move";
 }
 
+TEST(TelemetryCoreTest, PercentileInterpolatesBucketBoundaries) {
+  if (!telemetry::compiledIn())
+    GTEST_SKIP() << "needs -DSEPE_TELEMETRY=ON";
+  TelemetryScope Scope;
+  telemetry::Histogram &H = telemetry::histogram("test.percentile");
+  EXPECT_EQ(H.percentile(0.50), 0.0) << "empty histogram";
+
+  // 99 samples in [16, 32) and one at 1000: the p50 lands mid-bucket,
+  // the p999 rides the outlier but clamps to the observed max.
+  for (int I = 0; I != 99; ++I)
+    H.record(16);
+  H.record(1000);
+  const double P50 = H.percentile(0.50);
+  EXPECT_GE(P50, 16.0);
+  EXPECT_LT(P50, 32.0);
+  const double P999 = H.percentile(0.999);
+  EXPECT_GT(P999, 32.0);
+  EXPECT_LE(P999, 1000.0) << "clamped to max(), not the bucket ceiling";
+  // Quantiles are monotone in Q.
+  EXPECT_LE(H.percentile(0.50), H.percentile(0.90));
+  EXPECT_LE(H.percentile(0.90), H.percentile(0.99));
+  EXPECT_LE(H.percentile(0.99), H.percentile(0.999));
+
+  // The JSON export carries the summary keys.
+  const std::string Json = telemetry::toJson();
+  EXPECT_NE(Json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"p90\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"p999\":"), std::string::npos);
+}
+
+TEST(TelemetryCoreTest, PrometheusExposition) {
+  TelemetryScope Scope;
+  if (!telemetry::compiledIn()) {
+    // The compiled-out shim must still return a commented document.
+    EXPECT_EQ(telemetry::toPrometheus().rfind("#", 0), 0u);
+    return;
+  }
+  telemetry::counter("test.prom.counter").add(5);
+  telemetry::histogram("test.prom.hist").record(32);
+  telemetry::span("test.prom.span").record(1024);
+  const std::string Text = telemetry::toPrometheus();
+  // Names are flattened onto the Prometheus alphabet and prefixed.
+  EXPECT_NE(Text.find("# TYPE sepe_test_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(Text.find("sepe_test_prom_counter 5"), std::string::npos);
+  EXPECT_NE(Text.find("# TYPE sepe_test_prom_hist summary"),
+            std::string::npos);
+  EXPECT_NE(Text.find("sepe_test_prom_hist{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(Text.find("sepe_test_prom_hist_count 1"), std::string::npos);
+  EXPECT_NE(Text.find("sepe_test_prom_span_ns{quantile=\"0.5\"}"),
+            std::string::npos)
+      << "span histograms carry the _ns unit suffix";
+}
+
 TEST(TelemetryCoreTest, ScopedTimerRecordsOnlyWhenEnabled) {
   if (!telemetry::compiledIn())
     GTEST_SKIP() << "needs -DSEPE_TELEMETRY=ON";
