@@ -30,6 +30,12 @@ int main(int Argc, char **Argv) {
 
   // Chi2[kind][distribution] accumulated across key types.
   std::map<HashKind, std::map<KeyDistribution, std::vector<double>>> Chi2;
+  // Raw (un-normalized) chi2 per key format, for the JSON breakdown:
+  // the aggregate table divides by STL, which hides which format a
+  // synthetic family is actually skewed on.
+  std::map<PaperKey,
+           std::map<HashKind, std::map<KeyDistribution, double>>>
+      PerFormat;
 
   for (PaperKey Key : Options.Keys) {
     const HashFunctionSet Set = HashFunctionSet::create(Key);
@@ -47,7 +53,9 @@ int main(int Argc, char **Argv) {
           for (const std::string &Text : Keys)
             Hashes.push_back(Hasher(Text));
         });
-        Chi2[Kind][Dist].push_back(hashUniformityChi2(Hashes, 64));
+        const double Raw = hashUniformityChi2(Hashes, 64);
+        Chi2[Kind][Dist].push_back(Raw);
+        PerFormat[Key][Kind][Dist] = Raw;
       }
     }
   }
@@ -84,6 +92,19 @@ int main(int Argc, char **Argv) {
                      geometricMean(Chi2[Kind][Dist]) /
                          geometricMean(Chi2[HashKind::Stl][Dist]));
       std::fprintf(F, "}%s\n", I + 1 == AllHashKinds.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ],\n  \"per_format\": [\n");
+    size_t Row = 0;
+    const size_t Rows = PerFormat.size() * AllHashKinds.size();
+    for (const auto &[Key, ByKind] : PerFormat) {
+      for (HashKind Kind : AllHashKinds) {
+        std::fprintf(F, "    {\"format\": \"%s\", \"hash\": \"%s\"",
+                     paperKeyName(Key), hashKindName(Kind));
+        for (KeyDistribution Dist : AllKeyDistributions)
+          std::fprintf(F, ", \"%s_chi2\": %.4f", distributionName(Dist),
+                       ByKind.at(Kind).at(Dist));
+        std::fprintf(F, "}%s\n", ++Row == Rows ? "" : ",");
+      }
     }
     std::fprintf(F, "  ],\n");
     closeJsonReport(F);

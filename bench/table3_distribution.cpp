@@ -30,6 +30,11 @@ int main(int Argc, char **Argv) {
     double TColl = 0;
   };
   std::map<HashKind, std::map<KeyDistribution, Cell>> Cells;
+  // True collisions per key format, for the JSON breakdown: the table
+  // sums across formats, which hides which format a family collides on.
+  std::map<PaperKey,
+           std::map<HashKind, std::map<KeyDistribution, uint64_t>>>
+      PerFormat;
 
   const std::vector<ExperimentConfig> Grid =
       standardGrid(Options.Affectations, Options.Spreads);
@@ -41,9 +46,11 @@ int main(int Argc, char **Argv) {
                        0xd157 + static_cast<uint64_t>(Key));
       const std::vector<std::string> Keys =
           Gen.distinct(Options.Full ? 10000 : 2000);
-      for (HashKind Kind : AllHashKinds)
-        Cells[Kind][Dist].TColl += static_cast<double>(
-            countTrueCollisions(Keys, Kind, Set));
+      for (HashKind Kind : AllHashKinds) {
+        const uint64_t Collisions = countTrueCollisions(Keys, Kind, Set);
+        Cells[Kind][Dist].TColl += static_cast<double>(Collisions);
+        PerFormat[Key][Kind][Dist] = Collisions;
+      }
     }
     for (const ExperimentConfig &Base : Grid) {
       for (size_t Sample = 0; Sample != Options.Samples; ++Sample) {
@@ -91,6 +98,20 @@ int main(int Argc, char **Argv) {
                      distributionName(Dist), C.TColl);
       }
       std::fprintf(F, "}%s\n", I + 1 == AllHashKinds.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ],\n  \"per_format\": [\n");
+    size_t Row = 0;
+    const size_t Rows = PerFormat.size() * AllHashKinds.size();
+    for (const auto &[Key, ByKind] : PerFormat) {
+      for (HashKind Kind : AllHashKinds) {
+        std::fprintf(F, "    {\"format\": \"%s\", \"hash\": \"%s\"",
+                     paperKeyName(Key), hashKindName(Kind));
+        for (KeyDistribution Dist : AllKeyDistributions)
+          std::fprintf(F, ", \"%s_tcoll\": %llu", distributionName(Dist),
+                       static_cast<unsigned long long>(
+                           ByKind.at(Kind).at(Dist)));
+        std::fprintf(F, "}%s\n", ++Row == Rows ? "" : ",");
+      }
     }
     std::fprintf(F, "  ],\n");
     closeJsonReport(F);

@@ -1,0 +1,332 @@
+//===- core/explain.cpp - Plan and JIT introspection ---------------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Three renderers over one shared step decomposition. The annotations
+// mirror what the executor actually does per family (core/executor.cpp):
+// Naive/OffXor xor whole words, Pext compresses each word with pext and
+// rotates it into place, Aes feeds word pairs through aesenc rounds.
+// Costs are the same unit the synthesis-complexity experiment uses
+// (rough op counts per step), so `--explain` and RQ6 agree on what a
+// plan "costs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/explain.h"
+
+#include "core/jit.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+
+using namespace sepe;
+
+namespace {
+
+std::string hex64(uint64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "0x%016" PRIx64, V);
+  return Buf;
+}
+
+bool hasMask(const PlanStep &S) { return S.Mask != ~uint64_t{0}; }
+
+/// Rough op count for one fixed-length step: the load, the optional
+/// pext, the optional rotate, and the combine.
+unsigned stepCostOps(const HashPlan &Plan, const PlanStep &S) {
+  unsigned Ops = 1; // load
+  if (hasMask(S))
+    ++Ops; // pext
+  if (S.Shift != 0)
+    ++Ops; // rotl
+  // Combine: xor per step, or half an aesenc (one round eats two words).
+  Ops += Plan.Family == HashFamily::Aes ? 1 : 1;
+  return Ops;
+}
+
+/// One line describing how the family folds loaded words into the hash.
+const char *combineDescription(const HashPlan &Plan) {
+  switch (Plan.Family) {
+  case HashFamily::Naive:
+    return "xor of every 8-byte word";
+  case HashFamily::OffXor:
+    return "xor of words holding non-constant bytes";
+  case HashFamily::Aes:
+    return "aesenc rounds over word pairs (odd last word replicated)";
+  case HashFamily::Pext:
+    return "xor of pext-compressed words rotated into place";
+  }
+  return "?";
+}
+
+/// DOT label escaping: quote backslash and double quote; everything the
+/// renderers emit is otherwise printable ASCII. "\n" becomes the DOT
+/// line-break escape so multi-line labels survive quoting.
+std::string dotEscape(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size() + 8);
+  for (char C : Text) {
+    if (C == '\\' || C == '"')
+      Out += '\\';
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
+std::string explainText(const HashPlan &Plan) {
+  std::string Out;
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "plan %s: keys len=[%u,%u] %s, %u free bits%s%s%s\n",
+                familyName(Plan.Family), Plan.MinKeyLen, Plan.MaxKeyLen,
+                Plan.FixedLength ? "fixed" : "variable", Plan.FreeBits,
+                Plan.Bijective ? ", bijective" : "",
+                Plan.FallbackToStl ? ", stl-fallback" : "",
+                Plan.PartialLoad ? ", partial-load" : "");
+  Out += Buf;
+  if (Plan.FallbackToStl) {
+    Out += "  defers to std::hash (keys shorter than one machine word)\n";
+    return Out;
+  }
+  std::snprintf(Buf, sizeof(Buf), "  combine: %s\n",
+                combineDescription(Plan));
+  Out += Buf;
+  for (size_t I = 0; I != Plan.Steps.size(); ++I) {
+    const PlanStep &S = Plan.Steps[I];
+    const uint32_t Width =
+        Plan.PartialLoad ? Plan.MaxKeyLen - S.Offset : 8;
+    std::snprintf(Buf, sizeof(Buf), "  step %zu: load %uB @ [%u,%u)", I,
+                  Width, S.Offset, S.Offset + Width);
+    Out += Buf;
+    if (hasMask(S)) {
+      std::snprintf(Buf, sizeof(Buf), "  pext %s (%d bits)",
+                    hex64(S.Mask).c_str(), std::popcount(S.Mask));
+      Out += Buf;
+    }
+    if (S.Shift != 0) {
+      std::snprintf(Buf, sizeof(Buf), "  rotl %u", S.Shift);
+      Out += Buf;
+    }
+    std::snprintf(Buf, sizeof(Buf), "  ~%u ops\n", stepCostOps(Plan, S));
+    Out += Buf;
+  }
+  if (Plan.usesSkipTable()) {
+    const SkipTable &T = Plan.Skip;
+    std::snprintf(Buf, sizeof(Buf),
+                  "  skip table: %zu loads, tail bytes from offset %u\n",
+                  T.loadCount(), T.TailStart);
+    Out += Buf;
+    for (size_t C = 0; C + 1 < T.Skip.size(); ++C) {
+      std::snprintf(Buf, sizeof(Buf), "    load %zu: skip %u", C,
+                    T.Skip[C]);
+      Out += Buf;
+      if (C < T.Masks.size() && T.Masks[C] != ~uint64_t{0}) {
+        std::snprintf(Buf, sizeof(Buf), ", pext %s (%d bits)",
+                      hex64(T.Masks[C]).c_str(),
+                      std::popcount(T.Masks[C]));
+        Out += Buf;
+      }
+      Out += '\n';
+    }
+  }
+  std::snprintf(Buf, sizeof(Buf), "  est. generated code: %zu bytes\n",
+                Plan.codeSizeEstimate());
+  Out += Buf;
+  return Out;
+}
+
+std::string explainJson(const HashPlan &Plan) {
+  std::string Out = "{";
+  Out += "\"family\":\"" + std::string(familyName(Plan.Family)) + "\"";
+  Out += ",\"min_len\":" + std::to_string(Plan.MinKeyLen);
+  Out += ",\"max_len\":" + std::to_string(Plan.MaxKeyLen);
+  Out += std::string(",\"fixed_length\":") +
+         (Plan.FixedLength ? "true" : "false");
+  Out += std::string(",\"fallback_to_stl\":") +
+         (Plan.FallbackToStl ? "true" : "false");
+  Out += std::string(",\"partial_load\":") +
+         (Plan.PartialLoad ? "true" : "false");
+  Out += ",\"free_bits\":" + std::to_string(Plan.FreeBits);
+  Out += std::string(",\"bijective\":") + (Plan.Bijective ? "true" : "false");
+  Out += ",\"combine\":\"" + std::string(combineDescription(Plan)) + "\"";
+  Out += ",\"code_size_estimate\":" +
+         std::to_string(Plan.codeSizeEstimate());
+  Out += ",\"steps\":[";
+  for (size_t I = 0; I != Plan.Steps.size(); ++I) {
+    const PlanStep &S = Plan.Steps[I];
+    if (I != 0)
+      Out += ',';
+    Out += "{\"offset\":" + std::to_string(S.Offset);
+    Out += ",\"mask\":\"" + hex64(S.Mask) + "\"";
+    Out += ",\"mask_bits\":" +
+           std::to_string(hasMask(S) ? std::popcount(S.Mask) : 64);
+    Out += ",\"shift\":" + std::to_string(S.Shift);
+    Out += ",\"cost_ops\":" + std::to_string(stepCostOps(Plan, S));
+    Out += '}';
+  }
+  Out += ']';
+  if (Plan.usesSkipTable()) {
+    const SkipTable &T = Plan.Skip;
+    Out += ",\"skip_table\":{\"skips\":[";
+    for (size_t C = 0; C != T.Skip.size(); ++C) {
+      if (C != 0)
+        Out += ',';
+      Out += std::to_string(T.Skip[C]);
+    }
+    Out += "],\"masks\":[";
+    for (size_t C = 0; C != T.Masks.size(); ++C) {
+      if (C != 0)
+        Out += ',';
+      Out += '"' + hex64(T.Masks[C]) + '"';
+    }
+    Out += "],\"tail_start\":" + std::to_string(T.TailStart) + '}';
+  }
+  Out += "}\n";
+  return Out;
+}
+
+/// Emits one cluster of the shared digraph: key node -> per-step load
+/// nodes -> combine node. Node names are prefixed with the cluster
+/// index so several plans coexist in one graph.
+void appendDotCluster(std::string &Out, size_t Index,
+                      const std::string &Name, const HashPlan &Plan) {
+  const std::string P = "p" + std::to_string(Index) + "_";
+  char Buf[160];
+  Out += "  subgraph cluster_" + std::to_string(Index) + " {\n";
+  std::snprintf(Buf, sizeof(Buf),
+                "    label=\"%s: %s len=[%u,%u] %u free bits%s\";\n",
+                dotEscape(Name).c_str(), familyName(Plan.Family),
+                Plan.MinKeyLen, Plan.MaxKeyLen, Plan.FreeBits,
+                Plan.Bijective ? " (bijective)" : "");
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "    %skey [label=\"key bytes [0,%u)\" shape=note];\n",
+                P.c_str(), Plan.MaxKeyLen);
+  Out += Buf;
+  if (Plan.FallbackToStl) {
+    Out += "    " + P + "hash [label=\"std::hash fallback\" " +
+           "shape=ellipse];\n";
+    Out += "    " + P + "key -> " + P + "hash;\n";
+    Out += "  }\n";
+    return;
+  }
+  std::string CombineLabel =
+      std::string("hash = ") + combineDescription(Plan);
+  Out += "    " + P + "hash [label=\"" + dotEscape(CombineLabel) +
+         "\" shape=ellipse];\n";
+  for (size_t I = 0; I != Plan.Steps.size(); ++I) {
+    const PlanStep &S = Plan.Steps[I];
+    const uint32_t Width =
+        Plan.PartialLoad ? Plan.MaxKeyLen - S.Offset : 8;
+    std::string Label = "load [" + std::to_string(S.Offset) + "," +
+                        std::to_string(S.Offset + Width) + ")";
+    if (hasMask(S))
+      Label += "\npext " + hex64(S.Mask) + "\n(" +
+               std::to_string(std::popcount(S.Mask)) + " bits)";
+    if (S.Shift != 0)
+      Label += "\nrotl " + std::to_string(S.Shift);
+    Label += "\n~" + std::to_string(stepCostOps(Plan, S)) + " ops";
+    const std::string Node = P + "s" + std::to_string(I);
+    Out += "    " + Node + " [label=\"" + dotEscape(Label) + "\"];\n";
+    Out += "    " + P + "key -> " + Node + ";\n";
+    Out += "    " + Node + " -> " + P + "hash;\n";
+  }
+  if (Plan.usesSkipTable()) {
+    const SkipTable &T = Plan.Skip;
+    for (size_t C = 0; C + 1 < T.Skip.size(); ++C) {
+      std::string Label = "skip " + std::to_string(T.Skip[C]) + ", load 8B";
+      if (C < T.Masks.size() && T.Masks[C] != ~uint64_t{0})
+        Label += "\npext " + hex64(T.Masks[C]);
+      const std::string Node = P + "v" + std::to_string(C);
+      Out += "    " + Node + " [label=\"" + dotEscape(Label) + "\"];\n";
+      Out += "    " + P + "key -> " + Node + ";\n";
+      Out += "    " + Node + " -> " + P + "hash;\n";
+    }
+    const std::string Tail = P + "tail";
+    Out += "    " + Tail + " [label=\"tail bytes from " +
+           std::to_string(T.TailStart) + "\" shape=box];\n";
+    Out += "    " + P + "key -> " + Tail + ";\n";
+    Out += "    " + Tail + " -> " + P + "hash;\n";
+  }
+  Out += "  }\n";
+}
+
+} // namespace
+
+bool sepe::parseExplainFormat(const std::string &Name,
+                              ExplainFormat &Format) {
+  if (Name.empty() || Name == "text") {
+    Format = ExplainFormat::Text;
+    return true;
+  }
+  if (Name == "json") {
+    Format = ExplainFormat::Json;
+    return true;
+  }
+  if (Name == "dot") {
+    Format = ExplainFormat::Dot;
+    return true;
+  }
+  return false;
+}
+
+std::string sepe::explainPlan(const HashPlan &Plan, ExplainFormat Format) {
+  switch (Format) {
+  case ExplainFormat::Text:
+    return explainText(Plan);
+  case ExplainFormat::Json:
+    return explainJson(Plan);
+  case ExplainFormat::Dot:
+    return explainPlansDot({{familyName(Plan.Family), Plan}});
+  }
+  return "";
+}
+
+std::string sepe::explainPlansDot(
+    const std::vector<std::pair<std::string, HashPlan>> &Plans) {
+  std::string Out;
+  Out += "digraph sepe_plan {\n";
+  Out += "  rankdir=LR;\n";
+  Out += "  node [shape=box fontname=\"monospace\" fontsize=10];\n";
+  for (size_t I = 0; I != Plans.size(); ++I)
+    appendDotCluster(Out, I, Plans[I].first, Plans[I].second);
+  Out += "}\n";
+  return Out;
+}
+
+std::string sepe::explainJitProgram(const JitProgram &Program) {
+  std::string Out;
+  char Buf[96];
+  const auto *Base = static_cast<const unsigned char *>(Program.code());
+  const size_t EvalOff = static_cast<size_t>(
+      reinterpret_cast<const char *>(Program.eval()) -
+      static_cast<const char *>(Program.code()));
+  const size_t BatchOff = static_cast<size_t>(
+      reinterpret_cast<const char *>(Program.batch()) -
+      static_cast<const char *>(Program.code()));
+  std::snprintf(Buf, sizeof(Buf),
+                "jit program: %zu bytes, eval @ +0x%zx, batch @ +0x%zx\n",
+                Program.codeBytes(), EvalOff, BatchOff);
+  Out += Buf;
+  for (size_t Line = 0; Line < Program.codeBytes(); Line += 16) {
+    if (Line == EvalOff || (EvalOff > Line && EvalOff < Line + 16))
+      Out += "  ; <eval entry>\n";
+    if (Line == BatchOff || (BatchOff > Line && BatchOff < Line + 16))
+      Out += "  ; <batch entry>\n";
+    std::snprintf(Buf, sizeof(Buf), "  +0x%04zx:", Line);
+    Out += Buf;
+    for (size_t I = Line; I < Line + 16 && I < Program.codeBytes(); ++I) {
+      std::snprintf(Buf, sizeof(Buf), " %02x", Base[I]);
+      Out += Buf;
+    }
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,64 @@
+//===- core/explain.h - Plan and JIT introspection -------------*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Read-side introspection over the HashPlan IR and compiled JIT
+/// programs. explainPlan renders any plan — synthesized in-process or
+/// parsed back from a `sepe-plan v1` file — as annotated human-readable
+/// text, a JSON document, or Graphviz DOT, step by step: which key
+/// bytes each load touches, which bits the pext mask keeps, how the
+/// family combines the words, and a rough per-step cost. The DOT form
+/// is a single valid digraph so `dot -Tsvg` renders it directly;
+/// explainPlansDot puts several plans side by side as clusters of one
+/// graph. explainJitProgram adds an annotated hex dump of the machine
+/// code a plan compiled to, with the single-key and batch entry points
+/// marked.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_CORE_EXPLAIN_H
+#define SEPE_CORE_EXPLAIN_H
+
+#include "core/plan.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sepe {
+
+class JitProgram;
+
+/// Output forms of explainPlan. Text is the default for terminals;
+/// Json feeds tooling; Dot feeds `dot -Tsvg`.
+enum class ExplainFormat {
+  Text,
+  Json,
+  Dot,
+};
+
+/// Parses "text" / "json" / "dot" (as accepted by `--explain=`);
+/// returns false and leaves \p Format untouched on anything else.
+bool parseExplainFormat(const std::string &Name, ExplainFormat &Format);
+
+/// Renders \p Plan in the requested \p Format. The result always ends
+/// with a newline and, for Dot, is one self-contained digraph.
+std::string explainPlan(const HashPlan &Plan,
+                        ExplainFormat Format = ExplainFormat::Text);
+
+/// One digraph with one cluster per (name, plan) pair, so several
+/// families over the same format render side by side under a single
+/// `dot` invocation.
+std::string
+explainPlansDot(const std::vector<std::pair<std::string, HashPlan>> &Plans);
+
+/// Annotated hex dump of a compiled program: code size, single-key and
+/// batch entry offsets, 16 bytes per line.
+std::string explainJitProgram(const JitProgram &Program);
+
+} // namespace sepe
+
+#endif // SEPE_CORE_EXPLAIN_H

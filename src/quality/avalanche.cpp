@@ -1,0 +1,237 @@
+//===- quality/avalanche.cpp - Format-constrained SAC harness ------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The SAC pass flips one free bit at a time on in-format sample keys
+// and accumulates a (free input bit x output bit) flip-count matrix;
+// every derived score is a moment of that matrix. Flipping a free bit
+// can land on a byte outside the position's class (digits span
+// 0x30..0x39 but their free nibble covers 0x3a..0x3f too) — that is
+// intentional: the free bit positions are exactly the bits a
+// specialized plan reads and compresses, so the hash is judged on the
+// full range of the bits it actually sees. The uniformity/collision
+// pass, by contrast, uses only genuine format members, so the Pext
+// bijectivity claim stays checkable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "quality/avalanche.h"
+
+#include "core/charset.h"
+#include "keygen/distributions.h"
+#include "stats/chi_square.h"
+#include "support/json.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+using namespace sepe;
+using namespace sepe::quality;
+
+std::vector<uint8_t> quality::formatFreeMasks(const FormatSpec &Format) {
+  std::vector<uint8_t> Masks(Format.maxLength(), 0);
+  for (size_t P = 0; P != Masks.size(); ++P) {
+    const CharSet &Class = Format.classAt(P);
+    uint8_t And = 0xff, Or = 0;
+    for (size_t R = 0; R != Class.size(); ++R) {
+      const uint8_t B = Class.nth(R);
+      And &= B;
+      Or |= B;
+    }
+    Masks[P] = Class.size() == 0 ? 0 : static_cast<uint8_t>(And ^ Or);
+  }
+  return Masks;
+}
+
+namespace {
+
+std::string formatDouble(double V) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  return Buf;
+}
+
+/// One free input bit: byte position and bit index within the byte.
+struct FreeBit {
+  uint32_t Pos;
+  uint8_t Bit;
+};
+
+} // namespace
+
+std::string QualityReport::toJson() const {
+  std::string Out = "{";
+  Out += "\"format\":\"" + json::escapeString(Format) + "\"";
+  Out += ",\"family\":\"" + json::escapeString(Family) + "\"";
+  Out += ",\"free_bits\":" + std::to_string(FreeBitCount);
+  Out += ",\"sac_keys\":" + std::to_string(SacKeys);
+  Out += ",\"uniform_keys\":" + std::to_string(UniformKeys);
+  Out += ",\"sac_score\":" + formatDouble(SacScore);
+  Out += ",\"mean_sac_bias\":" + formatDouble(MeanSacBias);
+  Out += ",\"max_sac_bias\":" + formatDouble(MaxSacBias);
+  Out += ",\"mean_output_bias\":" + formatDouble(MeanOutputBias);
+  Out += ",\"max_output_bias\":" + formatDouble(MaxOutputBias);
+  Out += ",\"max_pair_bias\":" + formatDouble(MaxPairBias);
+  Out += ",\"chi2\":" + formatDouble(Chi2);
+  Out += ",\"chi2_p_value\":" + formatDouble(Chi2PValue);
+  Out += ",\"collisions\":" + std::to_string(Collisions);
+  Out += ",\"free_bit_coverage\":" + formatDouble(FreeBitCoverage);
+  Out += std::string(",\"bijective\":") + (Bijective ? "true" : "false");
+  Out += "}";
+  return Out;
+}
+
+QualityReport quality::measureQuality(const FormatSpec &Format,
+                                      const SynthesizedHash &Hash,
+                                      const QualityOptions &Options) {
+  QualityReport R;
+  R.Family = familyName(Hash.plan().Family);
+  R.Bijective = Hash.plan().Bijective;
+
+  const std::vector<uint8_t> Masks = formatFreeMasks(Format);
+  std::vector<FreeBit> FreeBits;
+  for (uint32_t P = 0; P != Masks.size(); ++P)
+    for (uint8_t B = 0; B != 8; ++B)
+      if ((Masks[P] >> B) & 1)
+        FreeBits.push_back({P, B});
+  R.FreeBitCount = static_cast<uint32_t>(FreeBits.size());
+
+  KeyGenerator Gen(Format, KeyDistribution::Uniform, Options.Seed);
+  const auto Cap = [&Gen](size_t N) {
+    const KeyGenerator::Value Space = Gen.spaceSize();
+    return Space < static_cast<KeyGenerator::Value>(N)
+               ? static_cast<size_t>(Space)
+               : N;
+  };
+
+  // --- SAC matrix + bit independence over format-constrained flips ---
+  if (!FreeBits.empty() && Options.SacKeys != 0) {
+    const size_t NumFree = FreeBits.size();
+    std::vector<std::string> Pool = Gen.distinct(Cap(Options.SacKeys));
+    std::vector<uint64_t> FlipCount(NumFree * 64, 0);
+    std::vector<uint64_t> Trials(NumFree, 0);
+    std::vector<uint64_t> Affected(NumFree, 0);
+    std::vector<uint32_t> Joint(64 * 64, 0);
+    std::vector<uint64_t> BicFlip(64, 0);
+    uint64_t BicTrials = 0;
+
+    for (size_t KI = 0; KI != Pool.size(); ++KI) {
+      std::string &Key = Pool[KI];
+      const uint64_t H0 = Hash(Key);
+      const bool Bic = KI < Options.BicKeys;
+      for (size_t F = 0; F != NumFree; ++F) {
+        const FreeBit FB = FreeBits[F];
+        // Variable-length formats: a position beyond this key's length
+        // contributes no trial for this key.
+        if (FB.Pos >= Key.size())
+          continue;
+        Key[FB.Pos] = static_cast<char>(Key[FB.Pos] ^ (1u << FB.Bit));
+        const uint64_t Delta = H0 ^ Hash(Key);
+        Key[FB.Pos] = static_cast<char>(Key[FB.Pos] ^ (1u << FB.Bit));
+        ++Trials[F];
+        Affected[F] |= Delta;
+        for (uint64_t Bits = Delta; Bits != 0; Bits &= Bits - 1)
+          ++FlipCount[F * 64 + static_cast<size_t>(std::countr_zero(Bits))];
+        if (Bic) {
+          ++BicTrials;
+          if (Delta != 0) {
+            for (unsigned J = 0; J != 64; ++J) {
+              if (((Delta >> J) & 1) == 0)
+                continue;
+              ++BicFlip[J];
+              for (unsigned K = J + 1; K != 64; ++K)
+                Joint[J * 64 + K] +=
+                    static_cast<uint32_t>((Delta >> K) & 1);
+            }
+          }
+        }
+      }
+    }
+    R.SacKeys = static_cast<uint32_t>(Pool.size());
+
+    double SumBias = 0.0, MaxBias = 0.0;
+    size_t Cells = 0, LiveRows = 0, CoveredRows = 0;
+    for (size_t F = 0; F != NumFree; ++F) {
+      if (Trials[F] == 0)
+        continue;
+      ++LiveRows;
+      if (Affected[F] != 0)
+        ++CoveredRows;
+      for (unsigned J = 0; J != 64; ++J) {
+        const double P =
+            static_cast<double>(FlipCount[F * 64 + J]) /
+            static_cast<double>(Trials[F]);
+        const double Bias = std::abs(2.0 * P - 1.0);
+        SumBias += Bias;
+        MaxBias = std::max(MaxBias, Bias);
+        ++Cells;
+      }
+    }
+    if (Cells != 0) {
+      R.MeanSacBias = SumBias / static_cast<double>(Cells);
+      R.MaxSacBias = MaxBias;
+      R.SacScore = 1.0 - R.MeanSacBias;
+    }
+    if (LiveRows != 0)
+      R.FreeBitCoverage =
+          static_cast<double>(CoveredRows) / static_cast<double>(LiveRows);
+
+    if (BicTrials != 0) {
+      const double N = static_cast<double>(BicTrials);
+      double MaxPair = 0.0;
+      for (unsigned J = 0; J != 64; ++J) {
+        const double Pj = static_cast<double>(BicFlip[J]) / N;
+        for (unsigned K = J + 1; K != 64; ++K) {
+          const double Pk = static_cast<double>(BicFlip[K]) / N;
+          const double Pjk =
+              static_cast<double>(Joint[J * 64 + K]) / N;
+          // Covariance of two fair output-bit flips peaks at 1/4; the
+          // factor 4 normalizes onto [0,1] like the other biases.
+          MaxPair = std::max(MaxPair, std::abs(4.0 * (Pjk - Pj * Pk)));
+        }
+      }
+      R.MaxPairBias = MaxPair;
+    }
+  }
+
+  // --- Uniformity, output balance, and exact collisions over genuine
+  // format members ---
+  if (Options.UniformKeys != 0) {
+    const std::vector<std::string> Keys = Gen.distinct(Cap(Options.UniformKeys));
+    std::vector<uint64_t> Hashes;
+    Hashes.reserve(Keys.size());
+    std::array<uint64_t, 64> Ones = {};
+    for (const std::string &Key : Keys) {
+      const uint64_t H = Hash(Key);
+      Hashes.push_back(H);
+      for (uint64_t Bits = H; Bits != 0; Bits &= Bits - 1)
+        ++Ones[static_cast<size_t>(std::countr_zero(Bits))];
+    }
+    R.UniformKeys = static_cast<uint32_t>(Keys.size());
+    if (!Hashes.empty()) {
+      double SumBias = 0.0, MaxBias = 0.0;
+      for (unsigned J = 0; J != 64; ++J) {
+        const double P = static_cast<double>(Ones[J]) /
+                         static_cast<double>(Hashes.size());
+        const double Bias = std::abs(2.0 * P - 1.0);
+        SumBias += Bias;
+        MaxBias = std::max(MaxBias, Bias);
+      }
+      R.MeanOutputBias = SumBias / 64.0;
+      R.MaxOutputBias = MaxBias;
+      R.Chi2 = hashUniformityChi2(Hashes, Options.Buckets);
+      R.Chi2PValue = chiSquarePValue(R.Chi2, Options.Buckets - 1);
+      std::vector<uint64_t> Sorted = Hashes;
+      std::sort(Sorted.begin(), Sorted.end());
+      for (size_t I = 1; I < Sorted.size(); ++I)
+        if (Sorted[I] == Sorted[I - 1])
+          ++R.Collisions;
+    }
+  }
+  return R;
+}

@@ -1,0 +1,117 @@
+//===- quality/avalanche.h - Format-constrained SAC harness ----*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Offline statistical quality harness in the hash-prospector mold,
+/// adapted to format-specialized hashing: the strict-avalanche-criterion
+/// matrix, per-output-bit bias, bit-independence, and chi-square bucket
+/// uniformity are all computed over *format-constrained* inputs. Only
+/// the free bits of the format — the byte-position bits the class sets
+/// leave variable, exactly the "relevant bits" of Section 4.2 that a
+/// Pext plan compresses — are ever flipped, so a specialized plan is
+/// judged on the bits it actually sees, not on input entropy the format
+/// guarantees can never occur.
+///
+/// A general-purpose mixer is expected to score near 1.0 on SAC; the
+/// paper's families are *not* — Naive/OffXor/Pext trade avalanche for
+/// speed and (for Pext) provable bijectivity, and the harness exists to
+/// quantify exactly that trade. The scorecard bench (sepebench
+/// `quality/*`) runs this over every family x paper format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_QUALITY_AVALANCHE_H
+#define SEPE_QUALITY_AVALANCHE_H
+
+#include "core/executor.h"
+#include "core/format_spec.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sepe {
+namespace quality {
+
+/// Per-byte-position free-bit masks for \p Format: bit b of entry p is
+/// set iff byte position p can differ in that bit across format members
+/// (the OR of the class's bytes xor their AND). Constant positions get
+/// mask 0; the vector has maxLength() entries.
+std::vector<uint8_t> formatFreeMasks(const FormatSpec &Format);
+
+/// Sample sizes for one measurement. The defaults keep a full
+/// family x format scorecard in the tens of milliseconds.
+struct QualityOptions {
+  /// Keys the SAC matrix averages over (each free bit is flipped once
+  /// per key).
+  size_t SacKeys = 256;
+  /// Keys feeding the pairwise bit-independence accumulation (quadratic
+  /// in output bits, so sampled more lightly).
+  size_t BicKeys = 64;
+  /// Distinct keys hashed for the chi-square / collision pass.
+  size_t UniformKeys = 4096;
+  /// Buckets for the chi-square occupancy test.
+  size_t Buckets = 64;
+  uint64_t Seed = 0x5ac5;
+};
+
+/// One scorecard row. Bias values are in [0,1]: 0 is ideal (every free
+/// bit flips every output bit with probability exactly 1/2), 1 is a
+/// bit that never or always flips.
+struct QualityReport {
+  std::string Format; ///< Label (paper key name), set by the caller.
+  std::string Family; ///< familyName of the measured plan.
+
+  uint32_t FreeBitCount = 0; ///< Free input bits the format exposes.
+  uint32_t SacKeys = 0;      ///< Keys actually used for the SAC matrix.
+  uint32_t UniformKeys = 0;  ///< Keys actually hashed for chi2/collisions.
+
+  /// Strict avalanche: mean / max |2p - 1| over the (free input bit x
+  /// output bit) flip-probability matrix, and the derived score
+  /// 1 - MeanSacBias (1.0 = perfect avalanche).
+  double SacScore = 0.0;
+  double MeanSacBias = 0.0;
+  double MaxSacBias = 0.0;
+
+  /// Output-bit balance over unflipped in-format keys: |2p - 1| of each
+  /// output bit being set.
+  double MeanOutputBias = 0.0;
+  double MaxOutputBias = 0.0;
+
+  /// Bit independence: max over output-bit pairs of the normalized
+  /// covariance |4 (P(i,j) - P(i) P(j))| of the pair flipping together.
+  double MaxPairBias = 0.0;
+
+  /// Chi-square of the scrambled top-bits bucket occupancy over
+  /// UniformKeys distinct keys, and its p-value (dof = Buckets - 1).
+  double Chi2 = 0.0;
+  double Chi2PValue = 0.0;
+
+  /// Exact 64-bit hash collisions among the UniformKeys distinct keys.
+  uint64_t Collisions = 0;
+
+  /// Fraction of free input bits whose flip ever changed any output
+  /// bit. 1.0 means no free bit is dead; a bijective plan must be 1.0.
+  double FreeBitCoverage = 0.0;
+
+  /// Copied from the plan: provably collision-free on format members.
+  bool Bijective = false;
+
+  /// One JSON object (one scorecard row).
+  std::string toJson() const;
+};
+
+/// Measures \p Hash over \p Format. \p Hash must be valid and built
+/// from a plan synthesized for this format (the free-bit restriction
+/// assumes the two agree). Report.Format is left empty for the caller.
+QualityReport measureQuality(const FormatSpec &Format,
+                             const SynthesizedHash &Hash,
+                             const QualityOptions &Options = {});
+
+} // namespace quality
+} // namespace sepe
+
+#endif // SEPE_QUALITY_AVALANCHE_H

@@ -1,0 +1,81 @@
+//===- quality/live_stats.cpp - Latest live quality sample ---------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "quality/live_stats.h"
+
+#include <cstdio>
+#include <mutex>
+
+using namespace sepe;
+using namespace sepe::quality;
+
+namespace {
+
+struct Store {
+  std::mutex Mutex;
+  LiveQualitySample Latest;
+};
+
+Store &store() {
+  static Store S;
+  return S;
+}
+
+std::string formatDouble(double V) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  return Buf;
+}
+
+} // namespace
+
+void quality::publishLiveSample(const LiveQualitySample &Sample) {
+  Store &S = store();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  S.Latest = Sample;
+}
+
+LiveQualitySample quality::latestLiveSample() {
+  Store &S = store();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  return S.Latest;
+}
+
+std::string quality::liveStatsPrometheus() {
+  const LiveQualitySample L = latestLiveSample();
+  if (L.SequenceNumber == 0)
+    return "";
+  std::string Out;
+  Out += "# TYPE sepe_quality_generation gauge\n";
+  Out += "sepe_quality_generation " + std::to_string(L.Generation) + "\n";
+  Out += "# TYPE sepe_quality_samples counter\n";
+  Out += "sepe_quality_samples " + std::to_string(L.SequenceNumber) + "\n";
+  Out += "# TYPE sepe_quality_sample_keys gauge\n";
+  Out += "sepe_quality_sample_keys " + std::to_string(L.SampleKeys) + "\n";
+  Out += "# TYPE sepe_quality_duplicate_hashes gauge\n";
+  Out += "sepe_quality_duplicate_hashes " +
+         std::to_string(L.DuplicateHashes) + "\n";
+  Out += "# TYPE sepe_quality_occupancy_skew gauge\n";
+  Out += "sepe_quality_occupancy_skew " + formatDouble(L.OccupancySkew) +
+         "\n";
+  Out += "# TYPE sepe_quality_chi2 gauge\n";
+  Out += "sepe_quality_chi2 " + formatDouble(L.Chi2) + "\n";
+  return Out;
+}
+
+std::string quality::liveStatsJson() {
+  const LiveQualitySample L = latestLiveSample();
+  std::string Out = "{";
+  Out += std::string("\"valid\":") + (L.Valid ? "true" : "false");
+  Out += ",\"generation\":" + std::to_string(L.Generation);
+  Out += ",\"sequence\":" + std::to_string(L.SequenceNumber);
+  Out += ",\"sample_keys\":" + std::to_string(L.SampleKeys);
+  Out += ",\"duplicate_hashes\":" + std::to_string(L.DuplicateHashes);
+  Out += ",\"occupancy_skew\":" + formatDouble(L.OccupancySkew);
+  Out += ",\"chi2\":" + formatDouble(L.Chi2);
+  Out += "}\n";
+  return Out;
+}

@@ -38,6 +38,7 @@ DriftProbe findDriftProbe(const KeyPattern &Pattern) {
 
 AdaptiveHash::AdaptiveHash(KeyPattern Pattern, AdaptiveOptions Opts)
     : Options(Opts), Sampler(Opts.SamplerCapacity),
+      InFormatSampler(Opts.SamplerCapacity, 0x1f5a),
       Detector(Opts.DriftWindow, Opts.DriftThreshold) {
   auto G = std::make_unique<Generation>();
   G->Pattern = std::move(Pattern);
@@ -93,10 +94,32 @@ void AdaptiveHash::onTripped() const {
     Worker->trigger();
 }
 
+void AdaptiveHash::sampleInFormatBatch(const Generation *G,
+                                       const std::string_view *Keys,
+                                       size_t N, size_t Misses) const {
+  const size_t Every = Options.QualitySampleEvery;
+  if (Every == 0 || !G->Fast.valid() || Misses >= N)
+    return;
+  const uint64_t Admitted = N - Misses;
+  const uint64_t Before =
+      InFormatTick.fetch_add(Admitted, std::memory_order_relaxed);
+  // One candidate per Every-boundary this batch's admitted keys cross.
+  // The candidate index walks the batch with the tick; the membership
+  // check keeps guard-missed keys out of the quality reservoir without
+  // paying for a per-key scan.
+  for (uint64_t T = Before + (Every - Before % Every) % Every;
+       T < Before + Admitted; T += Every) {
+    const std::string_view Key = Keys[static_cast<size_t>(T % N)];
+    if (G->Pattern.matches(Key))
+      InFormatSampler.offer(Key);
+  }
+}
+
 uint64_t AdaptiveHash::operator()(std::string_view Key) const {
   const Generation *G = active();
   if (G->Fast.valid() && G->Pattern.matches(Key)) {
     const uint64_t H = G->Fast(Key);
+    maybeSampleInFormat(Key);
     if (Detector.observe(1, 0) == DriftDetector::Window::Tripped)
       onTripped();
     return H;
@@ -134,6 +157,7 @@ void AdaptiveHash::hashBatch(const std::string_view *Keys, uint64_t *Out,
       Misses += M;
     }
   }
+  sampleInFormatBatch(G, Keys, N, Misses);
   SEPE_COUNT_N("adaptive.guard.pass_keys", N - Misses);
   SEPE_COUNT_N("adaptive.guard.miss_keys", Misses);
   if (Detector.observe(N, Misses) == DriftDetector::Window::Tripped) {
@@ -147,6 +171,7 @@ AdaptiveHash::Routed AdaptiveHash::route(std::string_view Key) const {
   const Generation *G = active();
   if (G->Fast.valid() && G->Pattern.matches(Key)) {
     const uint64_t H = G->Fast(Key);
+    maybeSampleInFormat(Key);
     if (Detector.observe(1, 0) == DriftDetector::Window::Tripped)
       onTripped();
     return {H, G->Epoch, true};
@@ -184,6 +209,7 @@ size_t AdaptiveHash::routeBatch(const std::string_view *Keys, uint64_t *Out,
         MissIdx[Misses++] = static_cast<uint32_t>(K);
       }
     }
+    sampleInFormatBatch(G, Keys, N, Misses);
   }
   SEPE_COUNT_N("adaptive.guard.pass_keys", N - Misses);
   SEPE_COUNT_N("adaptive.guard.miss_keys", Misses);

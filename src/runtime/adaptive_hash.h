@@ -92,6 +92,12 @@ struct AdaptiveOptions {
   /// Sampled keys required before a resynthesis is attempted.
   size_t MinSamples = 16;
 
+  /// Sample one admitted (in-format) key out of every N into a second
+  /// reservoir for the live quality monitor (quality/monitor.h); 0
+  /// disables the sampling entirely (the default — the extra relaxed
+  /// counter bump never runs on the hot path unless asked for).
+  size_t QualitySampleEvery = 0;
+
   /// True: tripped windows trigger the background worker thread.
   /// False: trips only latch resynthesisPending() and the owner drives
   /// the swap with pumpResynthesis() — the deterministic mode the tests
@@ -204,6 +210,12 @@ public:
   /// Copy of the currently sampled out-of-format keys.
   std::vector<std::string> sampledKeys() const { return Sampler.snapshot(); }
 
+  /// Copy of the currently sampled admitted (in-format) keys; empty
+  /// unless AdaptiveOptions::QualitySampleEvery is set.
+  std::vector<std::string> sampledInFormatKeys() const {
+    return InFormatSampler.snapshot();
+  }
+
 private:
   /// One published (pattern, hash) pair. Immutable after publish;
   /// readers reach it through one acquire load.
@@ -225,6 +237,22 @@ private:
   bool performResynthesis(bool RespectCooldown);
   uint64_t fallbackHash(std::string_view Key) const;
 
+  /// Every-Nth sampling of admitted keys (single-key path: the key is
+  /// known in-format already).
+  void maybeSampleInFormat(std::string_view Key) const {
+    const size_t Every = Options.QualitySampleEvery;
+    if (Every == 0)
+      return;
+    if (InFormatTick.fetch_add(1, std::memory_order_relaxed) % Every == 0)
+      InFormatSampler.offer(Key);
+  }
+
+  /// Batch form: advances the tick by the admitted count and offers one
+  /// candidate per crossed boundary, membership-checked against \p G's
+  /// pattern so a guard-missed key never pollutes the quality reservoir.
+  void sampleInFormatBatch(const Generation *G, const std::string_view *Keys,
+                           size_t N, size_t Misses) const;
+
   AdaptiveOptions Options;
 
   /// RCU-style publish point. A raw atomic pointer, not
@@ -243,6 +271,8 @@ private:
   std::function<void(uint64_t)> SwapListener;
 
   mutable KeySampler Sampler;
+  mutable KeySampler InFormatSampler;
+  mutable std::atomic<uint64_t> InFormatTick{0};
   mutable DriftDetector Detector;
   std::atomic<uint64_t> Swaps{0};
   mutable std::atomic<bool> Pending{false};

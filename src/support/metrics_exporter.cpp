@@ -6,20 +6,23 @@
 //
 // The HTTP side is deliberately primitive: one blocking listener
 // polled with a short timeout so stop() is prompt, one request served
-// at a time, request bytes read once and discarded (the reply is the
-// same for every path and method a scraper would send). That is the
-// whole point — a metrics endpoint with no event loop, no framework,
-// and no failure modes beyond the socket calls themselves.
+// at a time, request bytes read once. Only the request line's path is
+// parsed — enough to route "/", "/metrics", and the registered
+// endpoints, and to give everything else an honest 404. Still no event
+// loop, no framework, and no failure modes beyond the socket calls
+// themselves.
 //
 //===----------------------------------------------------------------------===//
 
 #include "support/metrics_exporter.h"
 
+#include "quality/live_stats.h"
 #include "support/telemetry.h"
 #include "support/trace.h"
 
 #include <chrono>
 #include <cstdio>
+#include <string_view>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -37,6 +40,7 @@ std::string metrics::renderPrometheus(const ExtraFn &Extra) {
   Out += "sepe_trace_dropped " + std::to_string(trace::dropped()) + "\n";
   Out += "# TYPE sepe_trace_occupancy gauge\n";
   Out += "sepe_trace_occupancy " + std::to_string(trace::occupancy()) + "\n";
+  Out += quality::liveStatsPrometheus();
   if (Extra)
     Out += Extra();
   return Out;
@@ -78,6 +82,35 @@ bool metrics::MetricsServer::start(uint16_t Port, ExtraFn ExtraIn) {
   return true;
 }
 
+void metrics::MetricsServer::registerHandler(
+    std::string Path, std::string ContentType,
+    std::function<std::string()> Body) {
+  Endpoints.push_back({std::move(Path), std::move(ContentType),
+                       std::move(Body)});
+}
+
+namespace {
+
+/// Extracts the request path from "METHOD /path[?query] HTTP/1.x...".
+/// Empty string when the request line does not parse.
+std::string requestPath(const char *Buf, size_t Len) {
+  const std::string_view Request(Buf, Len);
+  const size_t FirstSpace = Request.find(' ');
+  if (FirstSpace == std::string_view::npos)
+    return "";
+  const size_t PathEnd = Request.find_first_of(" \r\n", FirstSpace + 1);
+  if (PathEnd == std::string_view::npos)
+    return "";
+  std::string_view Path =
+      Request.substr(FirstSpace + 1, PathEnd - FirstSpace - 1);
+  const size_t Query = Path.find('?');
+  if (Query != std::string_view::npos)
+    Path = Path.substr(0, Query);
+  return std::string(Path);
+}
+
+} // namespace
+
 void metrics::MetricsServer::serveLoop() {
   while (!StopFlag.load(std::memory_order_acquire)) {
     pollfd Pfd{ListenFd, POLLIN, 0};
@@ -88,20 +121,47 @@ void metrics::MetricsServer::serveLoop() {
     if (Client < 0)
       continue;
 
-    // Drain whatever request line + headers arrive in the first read;
-    // the response does not depend on them.
+    // One read is enough for the request line; the headers behind it
+    // never change the routing decision.
     char Buf[1024];
-    (void)::recv(Client, Buf, sizeof(Buf), 0);
+    const ssize_t Got = ::recv(Client, Buf, sizeof(Buf), 0);
+    const std::string Path =
+        Got > 0 ? requestPath(Buf, static_cast<size_t>(Got)) : "";
 
-    const std::string Body = renderPrometheus(Extra);
-    std::string Response =
-        "HTTP/1.1 200 OK\r\n"
-        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
-        "Content-Length: " +
-        std::to_string(Body.size()) +
-        "\r\n"
-        "Connection: close\r\n\r\n" +
-        Body;
+    std::string Status = "200 OK";
+    std::string ContentType = "text/plain; version=0.0.4; charset=utf-8";
+    std::string Body;
+    const Endpoint *Mounted = nullptr;
+    for (const Endpoint &E : Endpoints)
+      if (E.Path == Path) {
+        Mounted = &E;
+        break;
+      }
+    if (Mounted != nullptr) {
+      ContentType = Mounted->ContentType;
+      Body = Mounted->Body ? Mounted->Body() : "";
+    } else if (Path == "/" || Path == "/metrics") {
+      Body = renderPrometheus(Extra);
+    } else {
+      Status = "404 Not Found";
+      ContentType = "text/plain; charset=utf-8";
+      Body = "404 not found: " + (Path.empty() ? "<bad request>" : Path) +
+             "\nknown paths: /metrics";
+      for (const Endpoint &E : Endpoints)
+        Body += " " + E.Path;
+      Body += "\n";
+    }
+
+    std::string Response = "HTTP/1.1 " + Status +
+                           "\r\n"
+                           "Content-Type: " +
+                           ContentType +
+                           "\r\n"
+                           "Content-Length: " +
+                           std::to_string(Body.size()) +
+                           "\r\n"
+                           "Connection: close\r\n\r\n" +
+                           Body;
     size_t Off = 0;
     while (Off < Response.size()) {
       const ssize_t N =

@@ -11,20 +11,22 @@
 ///
 ///   - MetricsServer: a minimal single-threaded HTTP listener on a
 ///     plain blocking socket (poll + accept, loopback by default, zero
-///     dependencies) — every GET, whatever the path, answers 200 with
-///     the current exposition, which is exactly what a Prometheus
-///     scrape or a curl needs and nothing more;
+///     dependencies). "/" and "/metrics" answer 200 with the current
+///     exposition; additional GET paths can be registered before
+///     start() (sepeserve mounts "/plan" and "/quality" this way);
+///     anything else gets a 404 with a text body;
 ///   - SnapshotWriter: a background thread rewriting the same
 ///     exposition to a file on a fixed interval, for environments
 ///     where opening a socket is not an option (CI sandboxes,
 ///     containers without port mappings).
 ///
 /// Both render through renderPrometheus(), which appends
-/// flight-recorder gauges (emitted/dropped/occupancy) and an optional
-/// caller-supplied block — sepeserve uses that hook for its shard
-/// contention lines — to telemetry::toPrometheus(). Rendering reads
-/// only atomics and the registry mutex, so a scrape never blocks the
-/// serving path.
+/// flight-recorder gauges (emitted/dropped/occupancy), the live
+/// quality gauges (quality/live_stats.h, present once a monitor has
+/// published), and an optional caller-supplied block — sepeserve uses
+/// that hook for its shard contention lines — to
+/// telemetry::toPrometheus(). Rendering reads only atomics and the
+/// registry mutex, so a scrape never blocks the serving path.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,6 +38,7 @@
 #include <functional>
 #include <string>
 #include <thread>
+#include <vector>
 
 namespace sepe::metrics {
 
@@ -63,6 +66,14 @@ public:
   bool start(uint16_t Port, ExtraFn Extra = nullptr);
   void stop();
 
+  /// Mounts a GET endpoint at \p Path (e.g. "/quality"). \p Body is
+  /// invoked per request on the serve thread; \p ContentType is sent
+  /// verbatim. Must be called before start() — the handler table is
+  /// read without locking once the serve loop runs. Registering "/"
+  /// or "/metrics" overrides the built-in exposition.
+  void registerHandler(std::string Path, std::string ContentType,
+                       std::function<std::string()> Body);
+
   bool running() const { return Running.load(std::memory_order_acquire); }
   /// The bound port (useful with Port 0), 0 when not running.
   uint16_t port() const { return BoundPort; }
@@ -71,10 +82,17 @@ public:
   }
 
 private:
+  struct Endpoint {
+    std::string Path;
+    std::string ContentType;
+    std::function<std::string()> Body;
+  };
+
   void serveLoop();
 
   std::thread Thread;
   ExtraFn Extra;
+  std::vector<Endpoint> Endpoints;
   std::atomic<bool> Running{false};
   std::atomic<bool> StopFlag{false};
   std::atomic<uint64_t> Served{0};

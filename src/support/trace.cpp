@@ -75,6 +75,8 @@ const char *trace::eventKindName(EventKind K) {
     return "jit.register";
   case EventKind::JitRetire:
     return "jit.retire";
+  case EventKind::QualitySample:
+    return "quality.live.sample";
   case EventKind::NumKinds:
     break;
   }

@@ -84,6 +84,8 @@ enum class EventKind : uint16_t {
                     ///  (arg = code bytes).
   JitRetire,        ///< Program destroyed, code unmapped (arg = code
                     ///  bytes).
+  QualitySample,    ///< Live quality monitor pumped (gen = plan epoch,
+                    ///  arg = occupancy skew x1000).
   NumKinds
 };
 

@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/codegen.h"
+#include "core/explain.h"
 #include "core/plan_io.h"
 #include "core/regex_parser.h"
 #include "core/synthesizer.h"
@@ -45,7 +46,10 @@ void printUsage(const char *Argv0) {
       "    --plan-out=<file>  also write serialized plans (one per\n"
       "                       family, '.family' suffixed)\n"
       "    --plan-in=<file>   skip synthesis; generate code from a\n"
-      "                       serialized plan (regex not required)\n",
+      "                       serialized plan (regex not required)\n"
+      "    --explain[=text|json|dot]  print a human-readable plan\n"
+      "                       explanation instead of generated code\n"
+      "                       (works with --plan-in too)\n",
       Argv0);
 }
 
@@ -58,6 +62,8 @@ int main(int Argc, char **Argv) {
   CodegenOptions Codegen;
   SynthesisOptions Synthesis;
   bool DumpPlan = false;
+  bool Explain = false;
+  ExplainFormat ExplainAs = ExplainFormat::Text;
   std::string PlanOut;
   std::string PlanIn;
 
@@ -79,6 +85,15 @@ int main(int Argc, char **Argv) {
       Synthesis.AllowShortKeys = true;
     } else if (Arg == "--plan") {
       DumpPlan = true;
+    } else if (Arg == "--explain" || Arg.rfind("--explain=", 0) == 0) {
+      const std::string Value =
+          Arg == "--explain" ? "" : Arg.substr(10);
+      if (!parseExplainFormat(Value, ExplainAs)) {
+        std::fprintf(stderr, "error: unknown explain format '%s'\n",
+                     Value.c_str());
+        return 1;
+      }
+      Explain = true;
     } else if (Arg.rfind("--plan-out=", 0) == 0) {
       PlanOut = Arg.substr(11);
     } else if (Arg.rfind("--plan-in=", 0) == 0) {
@@ -125,8 +140,11 @@ int main(int Argc, char **Argv) {
     }
     if (DumpPlan)
       std::fputs(Plan->str().c_str(), stderr);
-    std::fputs(emitTranslationUnit({Plan.take()}, Codegen).c_str(),
-               stdout);
+    if (Explain)
+      std::fputs(explainPlan(*Plan, ExplainAs).c_str(), stdout);
+    else
+      std::fputs(emitTranslationUnit({Plan.take()}, Codegen).c_str(),
+                 stdout);
     return 0;
   }
 
@@ -177,6 +195,27 @@ int main(int Argc, char **Argv) {
       Out << serializePlan(*Plan);
     }
     Plans.push_back(Plan.take());
+  }
+
+  if (Explain) {
+    if (ExplainAs == ExplainFormat::Dot) {
+      std::vector<std::pair<std::string, HashPlan>> Named;
+      for (size_t I = 0; I != Plans.size(); ++I)
+        Named.emplace_back(familyName(Families[I]), Plans[I]);
+      std::fputs(explainPlansDot(Named).c_str(), stdout);
+    } else if (ExplainAs == ExplainFormat::Json) {
+      std::string Out = "[";
+      for (size_t I = 0; I != Plans.size(); ++I) {
+        Out += I == 0 ? "\n" : ",\n";
+        Out += explainPlan(Plans[I], ExplainFormat::Json);
+      }
+      Out += "\n]\n";
+      std::fputs(Out.c_str(), stdout);
+    } else {
+      for (const HashPlan &Plan : Plans)
+        std::fputs(explainPlan(Plan).c_str(), stdout);
+    }
+    return 0;
   }
 
   std::fputs(emitTranslationUnit(Plans, Codegen).c_str(), stdout);

@@ -41,6 +41,7 @@
 #include "driver/hash_registry.h"
 #include "keygen/distributions.h"
 #include "keygen/paper_formats.h"
+#include "quality/avalanche.h"
 #include "runtime/adaptive_hash.h"
 #include "runtime/serving_table.h"
 #include "stats/descriptive.h"
@@ -55,6 +56,7 @@
 #include <cstdio>
 #include <cstring>
 #include <functional>
+#include <map>
 #include <memory>
 #include <regex>
 #include <string>
@@ -74,6 +76,9 @@ struct SuiteOptions {
   bool Full = false;
   bool List = false;
   std::string JsonPath = "BENCH_suite.json";
+  /// Scorecard sidecar for the quality/* workloads (written only when
+  /// at least one of them ran).
+  std::string QualityJsonPath = "BENCH_quality.json";
   std::string TracePath;
   std::string Filter;
   /// Pins the synthesized hashers' batch rung for the hash_* and
@@ -108,6 +113,9 @@ void printUsage() {
       "  --threads=N       run the shard_scale workloads at N threads\n"
       "                    only (default: the {1,2,4,8} ladder)\n"
       "  --json=FILE       consolidated report (default BENCH_suite.json)\n"
+      "  --quality-json=FILE  statistical scorecard for the quality/*\n"
+      "                    workloads (default BENCH_quality.json; only\n"
+      "                    written when a quality workload ran)\n"
       "  --trace=FILE.json write the flight recorder as Chrome-trace\n"
       "                    JSON after the suite (needs -DSEPE_TRACE=ON\n"
       "                    for non-empty data)\n"
@@ -175,6 +183,8 @@ bool parseSuiteOptions(int Argc, char **Argv, SuiteOptions &Options) {
       Options.Threads = std::max<size_t>(1, std::stoul(Arg.substr(10)));
     } else if (Arg.rfind("--json=", 0) == 0) {
       Options.JsonPath = Arg.substr(7);
+    } else if (Arg.rfind("--quality-json=", 0) == 0) {
+      Options.QualityJsonPath = Arg.substr(15);
     } else if (Arg.rfind("--trace=", 0) == 0) {
       Options.TracePath = Arg.substr(8);
     } else if (Arg == "--list") {
@@ -707,7 +717,71 @@ void addShardScaleWorkloads(std::vector<SuiteWorkload> &Suite,
   }
 }
 
-std::vector<SuiteWorkload> buildSuite(const SuiteOptions &Options) {
+// --- Statistical quality scorecard -----------------------------------------
+
+/// Reports collected by the quality/* workloads, keyed by workload
+/// name so the scorecard JSON comes out in suite order. The workloads
+/// both time the harness (the suite value, in ms) and deposit the
+/// measured report here for BENCH_quality.json.
+using QualityScorecard = std::map<std::string, quality::QualityReport>;
+
+/// One workload per paper format x synthesized family over the full
+/// 8-format matrix (independent of --keys: the scorecard is a
+/// correctness surface, not a timing one, and CI asserts floors on
+/// every cell). The measurement is deterministic, so re-running it
+/// each trial only re-times it; the deposited report is identical.
+void addQualityWorkloads(std::vector<SuiteWorkload> &Suite,
+                         std::shared_ptr<QualityScorecard> Scorecard) {
+  for (PaperKey Key : AllPaperKeys) {
+    for (HashFamily Family :
+         {HashFamily::Naive, HashFamily::OffXor, HashFamily::Aes,
+          HashFamily::Pext}) {
+      SuiteWorkload Entry;
+      Entry.Name = std::string("quality/") + paperKeyName(Key) + "/" +
+                   familyName(Family);
+      Entry.Unit = "ms";
+      Entry.UnitsPerTrial = 1;
+      Entry.Run = [Key, Family, Scorecard,
+                   Name = Entry.Name]() -> double {
+        const FormatSpec &Format = paperKeyFormat(Key);
+        Expected<HashPlan> Plan =
+            synthesize(Format.abstract(), Family);
+        if (!Plan)
+          return 0.0;
+        const SynthesizedHash Hash(Plan.take());
+        const double Start = nowMs();
+        quality::QualityReport Report =
+            quality::measureQuality(Format, Hash);
+        const double Ms = nowMs() - Start;
+        Report.Format = paperKeyName(Key);
+        (*Scorecard)[Name] = std::move(Report);
+        return Ms;
+      };
+      Suite.push_back(std::move(Entry));
+    }
+  }
+}
+
+/// Writes the BENCH_quality.json scorecard through the shared bench
+/// envelope: one row per quality/* workload that ran.
+bool writeQualityScorecard(const std::string &Path,
+                           const QualityScorecard &Scorecard) {
+  std::FILE *F = openJsonReport(Path, "sepebench-quality");
+  if (!F)
+    return false;
+  std::fprintf(F, "  \"scorecard\": [\n");
+  size_t I = 0;
+  for (const auto &[Name, Report] : Scorecard)
+    std::fprintf(F, "    %s%s\n", Report.toJson().c_str(),
+                 ++I == Scorecard.size() ? "" : ",");
+  std::fprintf(F, "  ],\n");
+  closeJsonReport(F);
+  return true;
+}
+
+std::vector<SuiteWorkload>
+buildSuite(const SuiteOptions &Options,
+           std::shared_ptr<QualityScorecard> Scorecard) {
   std::vector<SuiteWorkload> Suite;
   // Each timed trial must be macroscopic (hundreds of microseconds at
   // least) or timer granularity and scheduling transients swamp the
@@ -724,6 +798,7 @@ std::vector<SuiteWorkload> buildSuite(const SuiteOptions &Options) {
   }
   addScalingWorkload(Suite, Options.Full);
   addShardScaleWorkloads(Suite, Options);
+  addQualityWorkloads(Suite, std::move(Scorecard));
   if (!Options.Filter.empty()) {
     try {
       const std::regex Filter(Options.Filter);
@@ -837,7 +912,8 @@ void writeWorkloadJson(std::FILE *F, const WorkloadResult &Result,
 }
 
 int runSuite(const SuiteOptions &Options) {
-  std::vector<SuiteWorkload> Suite = buildSuite(Options);
+  auto Scorecard = std::make_shared<QualityScorecard>();
+  std::vector<SuiteWorkload> Suite = buildSuite(Options, Scorecard);
   if (Options.List) {
     for (const SuiteWorkload &Work : Suite)
       std::printf("%s\n", Work.Name.c_str());
@@ -883,6 +959,15 @@ int runSuite(const SuiteOptions &Options) {
   closeJsonReport(F);
   std::printf("wrote %s (%zu workloads)\n", Options.JsonPath.c_str(),
               Results.size());
+
+  if (!Scorecard->empty()) {
+    if (writeQualityScorecard(Options.QualityJsonPath, *Scorecard))
+      std::printf("wrote %s (%zu scorecard rows)\n",
+                  Options.QualityJsonPath.c_str(), Scorecard->size());
+    else
+      std::fprintf(stderr, "error: cannot write quality scorecard '%s'\n",
+                   Options.QualityJsonPath.c_str());
+  }
 
   if (!Options.TracePath.empty()) {
     if (trace::writeChromeTrace(Options.TracePath))

@@ -16,6 +16,9 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "core/explain.h"
+#include "core/jit.h"
+#include "core/synthesizer.h"
 #include "driver/experiment.h"
 #include "driver/report.h"
 #include "runtime/adaptive_hash.h"
@@ -49,6 +52,12 @@ void printUsage(const char *Argv0) {
       "  --seed=N                                     (default 0x5e9e)\n"
       "  --isa=native|nobext|portable                 (default native)\n"
       "  --path=auto|scalar|interleaved|avx2|jit      (default auto)\n"
+      "  --explain[=text|json|dot]  print the synthesized plan for every\n"
+      "                        family on --key instead of running the\n"
+      "                        experiment; text annotates cost and (when\n"
+      "                        the plan JITs) dumps the generated code,\n"
+      "                        dot emits one Graphviz digraph clustering\n"
+      "                        all four families\n"
       "  --adaptive            replay a drifting key stream through the\n"
       "                        adaptive runtime instead of the Section-4\n"
       "                        experiment: steady-state guarded hashing\n"
@@ -287,6 +296,54 @@ int runAdaptiveReplay(PaperKey Key, const ExperimentConfig &Config,
   return 0;
 }
 
+/// --explain: synthesize all four families for \p Key and print their
+/// plans in \p Format. Text mode appends the annotated JIT dump for
+/// plans the JIT compiles; dot mode emits a single digraph with one
+/// cluster per family so the whole output pipes into `dot -Tsvg`.
+int runExplain(PaperKey Key, IsaLevel Isa, ExplainFormat Format) {
+  const FormatSpec &Spec = paperKeyFormat(Key);
+  std::vector<std::pair<std::string, HashPlan>> Plans;
+  for (HashFamily Family :
+       {HashFamily::Naive, HashFamily::OffXor, HashFamily::Aes,
+        HashFamily::Pext}) {
+    if (Isa != IsaLevel::Native && Family == HashFamily::Pext)
+      continue; // No bext on this target (RQ4).
+    Expected<HashPlan> Plan = synthesize(Spec.abstract(), Family);
+    if (!Plan) {
+      std::fprintf(stderr, "error: cannot synthesize %s for %s: %s\n",
+                   familyName(Family), paperKeyName(Key),
+                   Plan.error().Message.c_str());
+      return 1;
+    }
+    Plans.emplace_back(familyName(Family), Plan.take());
+  }
+
+  if (Format == ExplainFormat::Dot) {
+    std::printf("%s", explainPlansDot(Plans).c_str());
+    return 0;
+  }
+  if (Format == ExplainFormat::Json) {
+    std::string Out = "[";
+    for (size_t I = 0; I != Plans.size(); ++I) {
+      Out += I == 0 ? "\n" : ",\n";
+      Out += explainPlan(Plans[I].second, ExplainFormat::Json);
+    }
+    Out += "\n]\n";
+    std::printf("%s", Out.c_str());
+    return 0;
+  }
+  std::printf("key format: %s (%zu..%zu bytes)\n\n", paperKeyName(Key),
+              Spec.abstract().minLength(), Spec.abstract().maxLength());
+  for (const auto &[Name, Plan] : Plans) {
+    std::printf("%s", explainPlan(Plan).c_str());
+    const SynthesizedHash Hash(Plan, Isa);
+    if (const JitProgram *Jit = Hash.jitProgram())
+      std::printf("%s", explainJitProgram(*Jit).c_str());
+    std::printf("\n");
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -297,6 +354,8 @@ int main(int Argc, char **Argv) {
   std::string MetricsPath;
   std::string TracePath;
   bool Adaptive = false;
+  bool Explain = false;
+  ExplainFormat ExplainAs = ExplainFormat::Text;
   bool HaveDriftKey = false;
   PaperKey DriftKey = PaperKey::SSN;
 
@@ -370,6 +429,13 @@ int main(int Argc, char **Argv) {
       TracePath = Value;
     } else if (Arg == "--adaptive") {
       Adaptive = true;
+    } else if (Arg == "--explain" || parseValue(Arg, "explain", Value)) {
+      if (!parseExplainFormat(Value, ExplainAs)) {
+        std::fprintf(stderr, "error: unknown explain format '%s'\n",
+                     Value.c_str());
+        return 1;
+      }
+      Explain = true;
     } else if (parseValue(Arg, "drift-key", Value)) {
       bool Found = false;
       for (PaperKey Candidate : AllPaperKeys)
@@ -430,6 +496,9 @@ int main(int Argc, char **Argv) {
                    "without -DSEPE_TRACE=ON; the trace will be empty\n");
     trace::setEnabled(true);
   }
+
+  if (Explain)
+    return runExplain(Key, Isa, ExplainAs);
 
   if (Adaptive) {
     const int Rc = runAdaptiveReplay(Key, Config, Isa, HaveDriftKey,

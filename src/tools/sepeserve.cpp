@@ -38,8 +38,11 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "core/explain.h"
 #include "keygen/distributions.h"
 #include "keygen/paper_formats.h"
+#include "quality/live_stats.h"
+#include "quality/monitor.h"
 #include "runtime/serving_table.h"
 #include "support/json.h"
 #include "support/metrics_exporter.h"
@@ -93,7 +96,10 @@ void printUsage() {
       "                  JSON at exit (load in chrome://tracing or\n"
       "                  Perfetto; needs -DSEPE_TRACE=ON for events)\n"
       "  --metrics-port=N     serve live Prometheus metrics on\n"
-      "                       127.0.0.1:N while running\n"
+      "                       127.0.0.1:N while running; also mounts\n"
+      "                       /plan (active hash plan, generation-\n"
+      "                       stamped) and /quality (live sampled\n"
+      "                       distribution quality, JSON)\n"
       "  --metrics-interval=S rewrite the Prometheus exposition to\n"
       "                       --metrics-file every S seconds\n"
       "  --metrics-file=FILE  snapshot target (default\n"
@@ -226,7 +232,11 @@ int main(int Argc, char **Argv) {
   Adaptive.Background = false;        // Maintenance thread pumps swaps.
   Adaptive.Cooldown = std::chrono::milliseconds(0);
   Adaptive.DriftWindow = 512;
+  // Feed the live quality monitor: every 64th admitted key lands in
+  // the in-format reservoir (one relaxed fetch_add on the hot path).
+  Adaptive.QualitySampleEvery = 64;
   ServingTable<uint64_t> Table(Pattern, Adaptive, Options.Shards);
+  quality::QualityMonitor Monitor(Table.adaptive());
 
   // Resident keys: present for the whole run, value = pool index. The
   // drifted residents go in up front too — they live in the spill lane
@@ -268,6 +278,23 @@ int main(int Argc, char **Argv) {
     return Out;
   };
   metrics::MetricsServer Server;
+  // Introspection endpoints, mounted before the listener starts:
+  // /plan renders the active generation's hash plan, /quality the
+  // latest generation-stamped live quality sample.
+  Server.registerHandler(
+      "/plan", "text/plain; charset=utf-8", [&Table] {
+        const auto Snap = Table.adaptive().snapshot();
+        std::string Out =
+            "generation " + std::to_string(Snap.Epoch) + "\n";
+        if (Snap.Fast.valid())
+          Out += explainPlan(Snap.Fast.plan());
+        else
+          Out += "no specialized plan (STL fallback)\n";
+        return Out;
+      });
+  Server.registerHandler("/quality", "application/json", [] {
+    return quality::liveStatsJson();
+  });
   if (Options.MetricsPort != 0) {
     if (Server.start(static_cast<uint16_t>(Options.MetricsPort),
                      ContentionProm))
@@ -356,11 +383,18 @@ int main(int Argc, char **Argv) {
   // --- Maintenance ---------------------------------------------------------
   std::atomic<uint64_t> MaintainTicks{0};
   std::thread Maintenance([&] {
+    uint64_t Tick = 0;
     while (!Stop.load(std::memory_order_relaxed)) {
       if (Table.adaptive().resynthesisPending())
         Table.adaptive().pumpResynthesis();
       if (Table.maintain())
         MaintainTicks.fetch_add(1, std::memory_order_relaxed);
+      // Pump the live quality estimator off the hot path (~every
+      // 25ms): buckets the in-format reservoir through the container's
+      // probe mix and publishes the generation-stamped sample that
+      // /quality and the sepe_quality_* gauges serve.
+      if (++Tick % 50 == 0)
+        (void)Monitor.pump();
       std::this_thread::sleep_for(std::chrono::microseconds(500));
     }
   });
@@ -439,6 +473,19 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(Total.FailedLookups),
               static_cast<unsigned long long>(FinalFailures));
 
+  // One last pump so the reported sample reflects end-of-run state.
+  const quality::LiveQualitySample Quality = Monitor.pump();
+  if (Quality.Valid)
+    std::printf("  quality        gen %llu: %llu sampled keys, "
+                "%llu duplicate hashes, occupancy skew %.2fx, "
+                "chi2 %.1f\n",
+                static_cast<unsigned long long>(Quality.Generation),
+                static_cast<unsigned long long>(Quality.SampleKeys),
+                static_cast<unsigned long long>(Quality.DuplicateHashes),
+                Quality.OccupancySkew, Quality.Chi2);
+  else
+    std::printf("  quality        no sample (reservoir below minimum)\n");
+
   // Per-shard lock pressure on the fast lane (the active generation's
   // counters; summarized here, embedded shard-by-shard in the JSON).
   const std::string Contention = Table.fastLaneContentionJson();
@@ -493,6 +540,9 @@ int main(int Argc, char **Argv) {
   }
 
   if (!Options.JsonPath.empty()) {
+    std::string QualityJson = quality::liveStatsJson();
+    while (!QualityJson.empty() && QualityJson.back() == '\n')
+      QualityJson.pop_back();
     if (std::FILE *F = std::fopen(Options.JsonPath.c_str(), "w")) {
       std::fprintf(
           F,
@@ -513,6 +563,7 @@ int main(int Argc, char **Argv) {
           "  \"swept_keys\": %llu,\n"
           "  \"fast_size\": %zu,\n"
           "  \"spill_size\": %zu,\n"
+          "  \"quality\": %s,\n"
           "  \"fast_contention\": %s\n"
           "}\n",
           json::escapeString(paperKeyName(Options.Key)).c_str(),
@@ -527,7 +578,8 @@ int main(int Argc, char **Argv) {
           static_cast<unsigned long long>(Table.adaptive().swaps()),
           static_cast<unsigned long long>(Stats.Migrations),
           static_cast<unsigned long long>(Stats.SweptKeys),
-          Stats.FastSize, Stats.SpillSize, Contention.c_str());
+          Stats.FastSize, Stats.SpillSize, QualityJson.c_str(),
+          Contention.c_str());
       std::fclose(F);
     } else {
       std::fprintf(stderr, "warning: cannot write %s\n",

@@ -1,0 +1,216 @@
+//===- tests/test_explain.cpp - Plan introspection ------------------------===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+//
+// explainPlan across its three output forms, over the full paper
+// family x format matrix, including plans that round-tripped through
+// the sepe-plan text serialization (so --explain on --plan-in files is
+// covered structurally). The DOT form is validated structurally —
+// one digraph, balanced braces, quoted labels — because the graphviz
+// binary is not a test dependency.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/explain.h"
+
+#include "core/jit.h"
+#include "core/plan_io.h"
+#include "core/regex_parser.h"
+#include "core/synthesizer.h"
+#include "keygen/paper_formats.h"
+#include "support/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+using namespace sepe;
+
+namespace {
+
+HashPlan ssnPlan(HashFamily Family) {
+  Expected<FormatSpec> Spec = parseRegex(R"(\d{3}-\d{2}-\d{4})");
+  EXPECT_TRUE(Spec);
+  Expected<HashPlan> Plan = synthesize(Spec->abstract(), Family);
+  EXPECT_TRUE(Plan);
+  return Plan.take();
+}
+
+const std::vector<HashFamily> AllFamilies = {
+    HashFamily::Naive, HashFamily::OffXor, HashFamily::Aes,
+    HashFamily::Pext};
+
+TEST(ExplainTextTest, CarriesFamilyStepsAndCost) {
+  const HashPlan Plan = ssnPlan(HashFamily::Pext);
+  const std::string Text = explainPlan(Plan);
+  EXPECT_NE(Text.find("plan Pext"), std::string::npos);
+  EXPECT_NE(Text.find("len=[11,11]"), std::string::npos);
+  EXPECT_NE(Text.find("step 0: load 8B @ [0,8)"), std::string::npos);
+  EXPECT_NE(Text.find("pext 0x"), std::string::npos);
+  EXPECT_NE(Text.find("ops"), std::string::npos);
+  EXPECT_NE(Text.find("est. generated code"), std::string::npos);
+  EXPECT_EQ(Text.back(), '\n');
+}
+
+TEST(ExplainTextTest, EveryFamilyMentionsItsCombine) {
+  for (HashFamily Family : AllFamilies) {
+    const std::string Text = explainPlan(ssnPlan(Family));
+    EXPECT_NE(Text.find(familyName(Family)), std::string::npos);
+    EXPECT_NE(Text.find("combine:"), std::string::npos);
+  }
+  EXPECT_NE(explainPlan(ssnPlan(HashFamily::Aes)).find("aesenc"),
+            std::string::npos);
+}
+
+TEST(ExplainJsonTest, ParsesAndCarriesTheStepArray) {
+  const HashPlan Plan = ssnPlan(HashFamily::OffXor);
+  const std::string Text = explainPlan(Plan, ExplainFormat::Json);
+  Expected<json::Value> Doc = json::parse(Text);
+  ASSERT_TRUE(Doc) << Doc.error().Message;
+  EXPECT_EQ(Doc->stringOr("family", ""), "OffXor");
+  EXPECT_EQ(Doc->numberOr("min_len", -1), 11.0);
+  EXPECT_EQ(Doc->numberOr("max_len", -1), 11.0);
+  const json::Value *Steps = Doc->find("steps");
+  ASSERT_NE(Steps, nullptr);
+  ASSERT_TRUE(Steps->isArray());
+  ASSERT_EQ(Steps->array().size(), Plan.Steps.size());
+  for (const json::Value &Step : Steps->array()) {
+    EXPECT_TRUE(Step.find("offset") != nullptr);
+    EXPECT_TRUE(Step.find("mask") != nullptr);
+    EXPECT_GE(Step.numberOr("cost_ops", 0), 2.0);
+  }
+  const json::Value *Bijective = Doc->find("bijective");
+  ASSERT_NE(Bijective, nullptr);
+  EXPECT_TRUE(Bijective->isBool());
+}
+
+/// Structural DOT validation: one digraph, balanced braces, an even
+/// number of label quotes, edges present.
+void expectValidDot(const std::string &Dot) {
+  EXPECT_EQ(Dot.rfind("digraph", 0), 0u) << "must start with digraph";
+  int Depth = 0;
+  size_t Quotes = 0;
+  bool InQuote = false;
+  for (size_t I = 0; I != Dot.size(); ++I) {
+    const char C = Dot[I];
+    if (C == '"' && (I == 0 || Dot[I - 1] != '\\')) {
+      ++Quotes;
+      InQuote = !InQuote;
+      continue;
+    }
+    if (InQuote)
+      continue;
+    if (C == '{')
+      ++Depth;
+    if (C == '}') {
+      --Depth;
+      EXPECT_GE(Depth, 0) << "unbalanced closing brace at " << I;
+    }
+  }
+  EXPECT_EQ(Depth, 0) << "unbalanced braces";
+  EXPECT_EQ(Quotes % 2, 0u) << "unbalanced quotes";
+  EXPECT_FALSE(InQuote);
+  EXPECT_NE(Dot.find("->"), std::string::npos) << "no edges";
+}
+
+TEST(ExplainDotTest, SinglePlanIsAValidDigraph) {
+  for (HashFamily Family : AllFamilies) {
+    const std::string Dot =
+        explainPlan(ssnPlan(Family), ExplainFormat::Dot);
+    expectValidDot(Dot);
+    EXPECT_NE(Dot.find("cluster_0"), std::string::npos);
+  }
+}
+
+TEST(ExplainDotTest, MultiPlanGraphClustersEveryFamily) {
+  std::vector<std::pair<std::string, HashPlan>> Plans;
+  for (HashFamily Family : AllFamilies)
+    Plans.emplace_back(familyName(Family), ssnPlan(Family));
+  const std::string Dot = explainPlansDot(Plans);
+  expectValidDot(Dot);
+  for (size_t I = 0; I != Plans.size(); ++I)
+    EXPECT_NE(Dot.find("cluster_" + std::to_string(I)),
+              std::string::npos);
+  EXPECT_NE(Dot.find("Pext"), std::string::npos);
+}
+
+TEST(ExplainDotTest, VariableLengthPlanRendersSkipTable) {
+  const FormatSpec &Format = paperKeyFormat(PaperKey::URL1);
+  Expected<HashPlan> Plan =
+      synthesize(Format.abstract(), HashFamily::Pext);
+  ASSERT_TRUE(Plan);
+  if (!Plan->usesSkipTable())
+    GTEST_SKIP() << "URL1 synthesized fixed-length";
+  const std::string Dot = explainPlan(*Plan, ExplainFormat::Dot);
+  expectValidDot(Dot);
+  EXPECT_NE(Dot.find("tail"), std::string::npos);
+  const std::string Text = explainPlan(*Plan);
+  EXPECT_NE(Text.find("skip table"), std::string::npos);
+}
+
+// The satellite tie-in: a plan parsed back from its serialized text
+// must explain identically to the original, in every format, across
+// the whole paper matrix — that is what makes `--explain` on
+// `--plan-in` files trustworthy.
+TEST(ExplainRoundTripTest, ParsedPlansExplainIdentically) {
+  for (PaperKey Key : AllPaperKeys) {
+    const FormatSpec &Format = paperKeyFormat(Key);
+    for (HashFamily Family : AllFamilies) {
+      Expected<HashPlan> Plan = synthesize(Format.abstract(), Family);
+      ASSERT_TRUE(Plan) << paperKeyName(Key);
+      Expected<HashPlan> Parsed = deserializePlan(serializePlan(*Plan));
+      ASSERT_TRUE(Parsed)
+          << paperKeyName(Key) << "/" << familyName(Family) << ": "
+          << Parsed.error().Message;
+      for (ExplainFormat F : {ExplainFormat::Text, ExplainFormat::Json,
+                              ExplainFormat::Dot})
+        EXPECT_EQ(explainPlan(*Plan, F), explainPlan(*Parsed, F))
+            << paperKeyName(Key) << "/" << familyName(Family);
+    }
+  }
+}
+
+TEST(ExplainFormatTest, ParsesTheCliSpellings) {
+  ExplainFormat F = ExplainFormat::Text;
+  EXPECT_TRUE(parseExplainFormat("", F));
+  EXPECT_EQ(F, ExplainFormat::Text);
+  EXPECT_TRUE(parseExplainFormat("json", F));
+  EXPECT_EQ(F, ExplainFormat::Json);
+  EXPECT_TRUE(parseExplainFormat("dot", F));
+  EXPECT_EQ(F, ExplainFormat::Dot);
+  EXPECT_TRUE(parseExplainFormat("text", F));
+  EXPECT_EQ(F, ExplainFormat::Text);
+  F = ExplainFormat::Json;
+  EXPECT_FALSE(parseExplainFormat("svg", F));
+  EXPECT_EQ(F, ExplainFormat::Json) << "failed parse must not clobber";
+}
+
+TEST(ExplainJitTest, AnnotatedDumpMarksTheEntries) {
+  const HashPlan Plan = ssnPlan(HashFamily::Pext);
+  if (!jitAvailable() || !jitSupportsPlan(Plan))
+    GTEST_SKIP() << "JIT not available on this host/build";
+  std::shared_ptr<const JitProgram> Program = compileJitProgram(Plan);
+  ASSERT_NE(Program, nullptr);
+  const std::string Dump = explainJitProgram(*Program);
+  EXPECT_NE(Dump.find("jit program:"), std::string::npos);
+  EXPECT_NE(Dump.find("eval @ +0x"), std::string::npos);
+  EXPECT_NE(Dump.find("batch @ +0x"), std::string::npos);
+  EXPECT_NE(Dump.find("<eval entry>"), std::string::npos);
+  EXPECT_NE(Dump.find("<batch entry>"), std::string::npos);
+  // Every code byte appears: count hex byte columns.
+  size_t HexBytes = 0;
+  for (size_t I = 0; I + 2 < Dump.size(); ++I)
+    if (Dump[I] == ' ' &&
+        std::isxdigit(static_cast<unsigned char>(Dump[I + 1])) &&
+        std::isxdigit(static_cast<unsigned char>(Dump[I + 2])) &&
+        (I + 3 == Dump.size() || Dump[I + 3] == ' ' ||
+         Dump[I + 3] == '\n'))
+      ++HexBytes;
+  EXPECT_GE(HexBytes, Program->codeBytes());
+}
+
+} // namespace

@@ -31,9 +31,9 @@ using namespace sepe;
 
 namespace {
 
-/// One blocking GET against 127.0.0.1:\p Port; returns the full
-/// response (headers + body), or "" on connect failure.
-std::string httpGet(uint16_t Port) {
+/// One blocking GET for \p Path against 127.0.0.1:\p Port; returns the
+/// full response (headers + body), or "" on connect failure.
+std::string httpGet(uint16_t Port, const std::string &Path = "/metrics") {
   const int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (Fd < 0)
     return "";
@@ -46,8 +46,9 @@ std::string httpGet(uint16_t Port) {
     ::close(Fd);
     return "";
   }
-  const char Request[] = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
-  (void)!::send(Fd, Request, sizeof(Request) - 1, 0);
+  const std::string Request =
+      "GET " + Path + " HTTP/1.1\r\nHost: x\r\n\r\n";
+  (void)!::send(Fd, Request.data(), Request.size(), 0);
   std::string Out;
   char Buffer[4096];
   ssize_t Got = 0;
@@ -89,6 +90,68 @@ TEST(MetricsServerTest, ServesPrometheusOverLoopback) {
   // A second start must work after stop().
   ASSERT_TRUE(Server.start(0));
   EXPECT_NE(httpGet(Server.port()).find("200 OK"), std::string::npos);
+  Server.stop();
+}
+
+TEST(MetricsServerTest, RootAndMetricsBothServeTheExposition) {
+  metrics::MetricsServer Server;
+  ASSERT_TRUE(Server.start(0));
+  for (const char *Path : {"/", "/metrics", "/metrics?name=x"}) {
+    const std::string Response = httpGet(Server.port(), Path);
+    EXPECT_NE(Response.find("HTTP/1.1 200 OK"), std::string::npos) << Path;
+    EXPECT_NE(Response.find("sepe_trace_emitted"), std::string::npos)
+        << Path;
+  }
+  Server.stop();
+}
+
+TEST(MetricsServerTest, UnknownPathGetsA404ListingKnownPaths) {
+  metrics::MetricsServer Server;
+  Server.registerHandler("/hello", "text/plain", [] {
+    return std::string("hi\n");
+  });
+  ASSERT_TRUE(Server.start(0));
+  const std::string Response = httpGet(Server.port(), "/nope");
+  EXPECT_NE(Response.find("HTTP/1.1 404 Not Found"), std::string::npos);
+  EXPECT_NE(Response.find("404 not found: /nope"), std::string::npos);
+  EXPECT_NE(Response.find("/metrics"), std::string::npos);
+  EXPECT_NE(Response.find("/hello"), std::string::npos)
+      << "the 404 body lists mounted endpoints";
+  Server.stop();
+}
+
+TEST(MetricsServerTest, RegisteredHandlerServesItsOwnContentType) {
+  metrics::MetricsServer Server;
+  int Calls = 0;
+  Server.registerHandler("/status.json", "application/json", [&Calls] {
+    ++Calls;
+    return std::string("{\"ok\":true}\n");
+  });
+  ASSERT_TRUE(Server.start(0));
+  const std::string Response = httpGet(Server.port(), "/status.json");
+  EXPECT_NE(Response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(Response.find("application/json"), std::string::npos);
+  EXPECT_NE(Response.find("{\"ok\":true}"), std::string::npos);
+  EXPECT_EQ(Calls, 1);
+  // The query string never reaches the route match.
+  EXPECT_NE(httpGet(Server.port(), "/status.json?v=1").find("200 OK"),
+            std::string::npos);
+  EXPECT_EQ(Calls, 2);
+  Server.stop();
+}
+
+TEST(MetricsServerTest, MountedHandlerOverridesABuiltinPath) {
+  metrics::MetricsServer Server;
+  Server.registerHandler("/metrics", "text/plain", [] {
+    return std::string("custom exposition\n");
+  });
+  ASSERT_TRUE(Server.start(0));
+  const std::string Response = httpGet(Server.port(), "/metrics");
+  EXPECT_NE(Response.find("custom exposition"), std::string::npos);
+  EXPECT_EQ(Response.find("sepe_trace_emitted"), std::string::npos);
+  // "/" still serves the built-in renderer.
+  EXPECT_NE(httpGet(Server.port(), "/").find("sepe_trace_emitted"),
+            std::string::npos);
   Server.stop();
 }
 

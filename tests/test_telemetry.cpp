@@ -162,6 +162,43 @@ TEST(TelemetryCoreTest, PercentileInterpolatesBucketBoundaries) {
   EXPECT_NE(Json.find("\"p999\":"), std::string::npos);
 }
 
+TEST(TelemetryCoreTest, PercentileEdgeCases) {
+  if (!telemetry::compiledIn())
+    GTEST_SKIP() << "needs -DSEPE_TELEMETRY=ON";
+  TelemetryScope Scope;
+
+  // Empty histogram: every quantile, including the clamped extremes,
+  // is 0.0 rather than NaN or a bucket floor.
+  telemetry::Histogram &Empty = telemetry::histogram("test.pct.empty");
+  for (double Q : {-1.0, 0.0, 0.5, 1.0, 2.0})
+    EXPECT_EQ(Empty.percentile(Q), 0.0) << "Q=" << Q;
+
+  // Single-bucket population: all mass in [4, 8). Every quantile must
+  // land inside that bucket and at or below the observed max.
+  telemetry::Histogram &One = telemetry::histogram("test.pct.onebucket");
+  for (int I = 0; I != 10; ++I)
+    One.record(7);
+  for (double Q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    const double P = One.percentile(Q);
+    EXPECT_GE(P, 4.0) << "Q=" << Q;
+    EXPECT_LE(P, 7.0) << "Q=" << Q << " must clamp to the observed max";
+  }
+
+  // Out-of-range Q clamps instead of extrapolating: below 0 behaves
+  // like 0, above 1 like 1 (the observed max).
+  telemetry::Histogram &Spread = telemetry::histogram("test.pct.spread");
+  for (uint64_t V : {1, 10, 100, 1000})
+    Spread.record(V);
+  EXPECT_EQ(Spread.percentile(-0.5), Spread.percentile(0.0));
+  EXPECT_EQ(Spread.percentile(1.5), Spread.percentile(1.0));
+  EXPECT_LE(Spread.percentile(1.0), 1000.0);
+
+  // Monotone ladder across buckets: p50 <= p90 <= p99 <= p999.
+  EXPECT_LE(Spread.percentile(0.50), Spread.percentile(0.90));
+  EXPECT_LE(Spread.percentile(0.90), Spread.percentile(0.99));
+  EXPECT_LE(Spread.percentile(0.99), Spread.percentile(0.999));
+}
+
 TEST(TelemetryCoreTest, PrometheusExposition) {
   TelemetryScope Scope;
   if (!telemetry::compiledIn()) {
