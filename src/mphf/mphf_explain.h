@@ -1,0 +1,31 @@
+//===- mphf/mphf_explain.h - MphfPlan introspection -------------*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an MphfPlan in the three formats of core/explain.h (text,
+/// JSON, DOT), embedding the extraction front-end's own explainPlan
+/// output so `keysynth --mphf-in=F --explain` shows the whole pipeline:
+/// key bytes -> pext extraction -> finalizer -> pilot structures ->
+/// dense [0, n) index.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_MPHF_MPHF_EXPLAIN_H
+#define SEPE_MPHF_MPHF_EXPLAIN_H
+
+#include "core/explain.h"
+#include "mphf/mphf.h"
+
+#include <string>
+
+namespace sepe {
+
+/// Renders \p Plan in \p Format. Always newline-terminated.
+std::string explainMphf(const MphfPlan &Plan, ExplainFormat Format);
+
+} // namespace sepe
+
+#endif // SEPE_MPHF_MPHF_EXPLAIN_H

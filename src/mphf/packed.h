@@ -1,0 +1,221 @@
+//===- mphf/packed.h - Succinct storage for MPHF pilots ---------*- C++-*-===//
+//
+// Part of the SEPE reproduction. Released under the GPL-3.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two storage primitives behind the static-set tier (src/mphf/):
+/// a fixed-width bit-packed array for pilot values (every pilot stored
+/// at the global maximum width, so random access is two shifts) and an
+/// Elias-Fano encoding of monotone sequences for bucket offsets (the
+/// classic high/low split with sampled select, ~2 + log2(U/N) bits per
+/// element). Both report bytesUsed() so the bench can publish bits/key.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEPE_MPHF_PACKED_H
+#define SEPE_MPHF_PACKED_H
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace sepe {
+
+/// A vector of N values, each stored in exactly Bits bits. Width 0 is
+/// the degenerate all-zero array (every stored value was 0).
+class PackedArray {
+public:
+  PackedArray() = default;
+
+  PackedArray(unsigned Bits, size_t N)
+      : N(N), Bits(Bits), Mask(Bits == 0 ? 0 : ~uint64_t{0} >> (64 - Bits)),
+        Words((N * Bits + 63) / 64 + 1, 0) {
+    assert(Bits <= 57 && "packed width beyond the two-word load limit");
+  }
+
+  /// Packs \p Values at the width of the largest element.
+  static PackedArray pack(const std::vector<uint64_t> &Values) {
+    uint64_t Max = 0;
+    for (uint64_t V : Values)
+      Max |= V;
+    const unsigned Bits = Max == 0 ? 0 : std::bit_width(Max);
+    PackedArray Packed(Bits, Values.size());
+    for (size_t I = 0; I != Values.size(); ++I)
+      Packed.set(I, Values[I]);
+    return Packed;
+  }
+
+  /// Rebuilds an array from its raw words (deserialization).
+  static PackedArray fromWords(unsigned Bits, size_t N,
+                               std::vector<uint64_t> Words) {
+    PackedArray Packed(Bits, N);
+    assert(Words.size() <= Packed.Words.size() && "word blob too large");
+    for (size_t I = 0; I != Words.size(); ++I)
+      Packed.Words[I] = Words[I];
+    return Packed;
+  }
+
+  size_t size() const { return N; }
+  unsigned bits() const { return Bits; }
+  bool empty() const { return N == 0; }
+
+  uint64_t get(size_t I) const {
+    assert(I < N && "packed index out of range");
+    if (Bits == 0)
+      return 0;
+    const size_t BitPos = I * Bits;
+    // The +1 spare word in the buffer makes the two-word read safe for
+    // every in-range index, so get() stays branch-free.
+    const uint64_t Lo = Words[BitPos / 64] >> (BitPos % 64);
+    const uint64_t Hi =
+        BitPos % 64 == 0 ? 0 : Words[BitPos / 64 + 1] << (64 - BitPos % 64);
+    return (Lo | Hi) & Mask;
+  }
+
+  void set(size_t I, uint64_t V) {
+    assert(I < N && "packed index out of range");
+    assert((Bits == 64 || V <= Mask) && "value wider than packed width");
+    if (Bits == 0)
+      return;
+    const size_t BitPos = I * Bits;
+    const unsigned Shift = BitPos % 64;
+    Words[BitPos / 64] &= ~(Mask << Shift);
+    Words[BitPos / 64] |= V << Shift;
+    if (Shift != 0 && Shift + Bits > 64) {
+      Words[BitPos / 64 + 1] &= ~(Mask >> (64 - Shift));
+      Words[BitPos / 64 + 1] |= V >> (64 - Shift);
+    }
+  }
+
+  size_t bytesUsed() const { return Words.size() * sizeof(uint64_t); }
+
+  const std::vector<uint64_t> &words() const { return Words; }
+
+private:
+  size_t N = 0;
+  unsigned Bits = 0;
+  uint64_t Mask = 0;
+  std::vector<uint64_t> Words;
+};
+
+/// Elias-Fano encoding of a monotone non-decreasing sequence. Each
+/// element splits into LowBits explicit low bits and a unary-coded high
+/// part; get(I) is select1(I) over the high bit vector, accelerated by
+/// a position sample every SampleRate set bits.
+class EliasFano {
+public:
+  EliasFano() = default;
+
+  /// Encodes \p Values (must be non-decreasing).
+  static EliasFano encode(const std::vector<uint64_t> &Values) {
+    EliasFano EF;
+    EF.N = Values.size();
+    if (EF.N == 0)
+      return EF;
+    EF.Universe = Values.back();
+    const uint64_t U = EF.Universe + 1;
+    EF.LowBits =
+        U / EF.N == 0 ? 0 : static_cast<unsigned>(std::bit_width(U / EF.N) - 1);
+    EF.Lows = PackedArray(EF.LowBits, EF.N);
+    const size_t HighBits = EF.N + (EF.Universe >> EF.LowBits) + 1;
+    EF.High.assign((HighBits + 63) / 64, 0);
+    for (size_t I = 0; I != EF.N; ++I) {
+      assert((I == 0 || Values[I] >= Values[I - 1]) &&
+             "Elias-Fano input must be monotone");
+      if (EF.LowBits != 0)
+        EF.Lows.set(I, Values[I] & ((uint64_t{1} << EF.LowBits) - 1));
+      const size_t Pos = (Values[I] >> EF.LowBits) + I;
+      EF.High[Pos / 64] |= uint64_t{1} << (Pos % 64);
+    }
+    // Sampled select: bit position of every SampleRate-th set bit.
+    EF.Samples.clear();
+    size_t Ones = 0;
+    for (size_t W = 0; W != EF.High.size(); ++W) {
+      uint64_t Word = EF.High[W];
+      while (Word != 0) {
+        if (Ones % SampleRate == 0)
+          EF.Samples.push_back(static_cast<uint32_t>(
+              W * 64 + static_cast<size_t>(std::countr_zero(Word))));
+        Word &= Word - 1;
+        ++Ones;
+      }
+    }
+    return EF;
+  }
+
+  size_t size() const { return N; }
+  bool empty() const { return N == 0; }
+  uint64_t universe() const { return Universe; }
+
+  /// The I-th element of the encoded sequence.
+  uint64_t get(size_t I) const {
+    assert(I < N && "Elias-Fano index out of range");
+    const uint64_t Low = LowBits == 0 ? 0 : Lows.get(I);
+    return ((select1(I) - I) << LowBits) | Low;
+  }
+
+  /// Decodes the whole sequence (the evaluator caches hot sequences as
+  /// flat arrays; see mphf.h).
+  std::vector<uint64_t> decode() const {
+    std::vector<uint64_t> Values;
+    Values.reserve(N);
+    size_t I = 0;
+    for (size_t W = 0; W != High.size() && I != N; ++W) {
+      uint64_t Word = High[W];
+      while (Word != 0 && I != N) {
+        const uint64_t Pos =
+            W * 64 + static_cast<size_t>(std::countr_zero(Word));
+        const uint64_t Low = LowBits == 0 ? 0 : Lows.get(I);
+        Values.push_back(((Pos - I) << LowBits) | Low);
+        Word &= Word - 1;
+        ++I;
+      }
+    }
+    return Values;
+  }
+
+  size_t bytesUsed() const {
+    return Lows.bytesUsed() + High.size() * sizeof(uint64_t) +
+           Samples.size() * sizeof(uint32_t);
+  }
+
+private:
+  static constexpr size_t SampleRate = 256;
+
+  size_t N = 0;
+  uint64_t Universe = 0;
+  unsigned LowBits = 0;
+  PackedArray Lows;
+  std::vector<uint64_t> High;
+  std::vector<uint32_t> Samples;
+
+  /// Bit position of the (I+1)-th set bit in High.
+  size_t select1(size_t I) const {
+    size_t Pos = Samples[I / SampleRate];
+    size_t Remaining = I % SampleRate;
+    size_t W = Pos / 64;
+    // Mask off the bits below (and including) the sampled one, then
+    // walk words; Remaining counts additional set bits to skip.
+    uint64_t Word = High[W] & (~uint64_t{0} << (Pos % 64));
+    while (true) {
+      const size_t Count = static_cast<size_t>(std::popcount(Word));
+      if (Remaining < Count)
+        break;
+      Remaining -= Count;
+      ++W;
+      Word = High[W];
+    }
+    while (Remaining != 0) {
+      Word &= Word - 1;
+      --Remaining;
+    }
+    return W * 64 + static_cast<size_t>(std::countr_zero(Word));
+  }
+};
+
+} // namespace sepe
+
+#endif // SEPE_MPHF_PACKED_H

@@ -39,12 +39,24 @@
 /// table (seal copy), or the spill lane at every instant, and the probe
 /// order above visits whichever lane it can be in.
 ///
+/// Sealed shards can go one step further: sealStatic() snapshots the
+/// present subset of a key list into a synthesized minimal perfect
+/// hash (mphf/mphf.h) and serves those keys as values[mphf(key)] —
+/// one fingerprint check plus one key compare, no probing, no locks.
+/// The static lane is a pure cache in front of the dynamic lanes:
+/// out-of-set keys fall through (the key compare keeps the table
+/// exact even on a fingerprint false positive), puts of new keys
+/// simply miss it, and put() never overwrites a present key, so the
+/// only mutation that can make a sealed value stale is erase() of a
+/// sealed key — which atomically invalidates the whole lane.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SEPE_RUNTIME_SERVING_TABLE_H
 #define SEPE_RUNTIME_SERVING_TABLE_H
 
 #include "container/sharded_index_map.h"
+#include "mphf/mphf.h"
 #include "runtime/adaptive_hash.h"
 #include "support/telemetry.h"
 #include "support/trace.h"
@@ -74,11 +86,13 @@ public:
   struct Stats {
     size_t FastSize = 0;
     size_t SpillSize = 0;
+    size_t StaticSize = 0;
     uint64_t FastEpoch = 0;
     uint64_t AdaptiveEpoch = 0;
     uint64_t Migrations = 0;
     uint64_t SweptKeys = 0;
     bool FastLane = false;
+    bool StaticActive = false;
   };
 
   /// \p Pattern seeds the adaptive hash (empty cold-starts on the spill
@@ -107,8 +121,89 @@ public:
 
   bool hasFastLane() const { return fast() != nullptr; }
 
+  /// True while a sealed static lane is serving.
+  bool staticLaneActive() const { return staticLane() != nullptr; }
+
+  /// Seals the *present* subset of \p Keys (distinct) into a static
+  /// MPHF-backed lane probed before every dynamic lane: one array load
+  /// gated by a fingerprint check and an exact key compare. The
+  /// extraction front-end reuses the adaptive hash's current bijective
+  /// plan when one exists, so the MPHF distinguishes exactly the
+  /// format's varying bits. Returns the number of keys sealed; 0 when
+  /// none were present or MPHF construction failed (the table keeps
+  /// serving from the dynamic lanes either way). Concurrent gets/puts
+  /// are safe during the call; concurrent erases of the keys being
+  /// sealed are not — seal quiescent shards.
+  size_t sealStatic(const std::string_view *Keys, size_t N) {
+    std::lock_guard<std::mutex> Lock(MaintainMutex);
+    std::vector<std::string> SealedKeys;
+    std::vector<Value> SealedValues;
+    SealedKeys.reserve(N);
+    SealedValues.reserve(N);
+    for (size_t I = 0; I != N; ++I) {
+      Value V;
+      if (getDynamic(Keys[I], V)) {
+        SealedKeys.emplace_back(Keys[I]);
+        SealedValues.push_back(std::move(V));
+      }
+    }
+    if (SealedKeys.empty())
+      return 0;
+    MphfBuildOptions Options;
+    const AdaptiveHash::Snapshot Snap = Adaptive.snapshot();
+    if (Snap.Fast.valid() && Snap.Fast.plan().Bijective)
+      Options.Extract = std::make_shared<const HashPlan>(Snap.Fast.plan());
+    std::vector<std::string_view> Views(SealedKeys.begin(),
+                                        SealedKeys.end());
+    Expected<Mphf> F = buildMphf(Views, Options);
+    if (!F) {
+      SEPE_COUNT("serving_table.static.seal_failed");
+      return 0;
+    }
+    auto Lane = std::make_unique<StaticLane>();
+    Lane->F = F.take();
+    const size_t Count = SealedKeys.size();
+    Lane->Fp.assign(Count, 0);
+    Lane->Keys.resize(Count);
+    Lane->Values.resize(Count);
+    for (size_t I = 0; I != Count; ++I) {
+      const Mphf::SlotFp SF =
+          Lane->F.slotFpFromBase(Lane->F.baseImage(SealedKeys[I]));
+      Lane->Fp[SF.Slot] = static_cast<uint8_t>(SF.FpWord);
+      Lane->Keys[SF.Slot] = std::move(SealedKeys[I]);
+      Lane->Values[SF.Slot] = std::move(SealedValues[I]);
+    }
+    StaticPtr.store(Lane.get(), std::memory_order_release);
+    StaticStorage.push_back(std::move(Lane));
+    SEPE_COUNT("serving_table.static.sealed");
+    SEPE_TRACE_INSTANT(StaticSeal, Count, 0);
+    return Count;
+  }
+
+  size_t sealStatic(const std::vector<std::string_view> &Keys) {
+    return sealStatic(Keys.data(), Keys.size());
+  }
+
+  /// Unpublishes the static lane; dynamic lanes keep serving every
+  /// key. Retired lane storage is freed at destruction, not here, so
+  /// in-flight readers stay safe.
+  void dropStatic() {
+    std::lock_guard<std::mutex> Lock(MaintainMutex);
+    StaticPtr.store(nullptr, std::memory_order_release);
+  }
+
   /// Copies the value for \p Key into \p Out; false when absent.
   bool get(std::string_view Key, Value &Out) const {
+    if (const StaticLane *S = staticLane(); S && S->find(Key, Out)) {
+      SEPE_COUNT("serving_table.static.hit");
+      return true;
+    }
+    return getDynamic(Key, Out);
+  }
+
+  /// The dynamic-lane probe path (fast -> spill -> guarded retry);
+  /// get() puts the static lane in front of this.
+  bool getDynamic(std::string_view Key, Value &Out) const {
     const AdaptiveHash::Routed R = Adaptive.route(Key);
     const ShardedIndexMap<Value> *F = fast();
     if (F && R.Admitted) {
@@ -181,7 +276,18 @@ public:
       else if (F->eraseGuarded(Key, Erased))
         FastErased = Erased;
     }
-    return FastErased || SpillErased;
+    const bool Erased = FastErased || SpillErased;
+    // put() never overwrites a present key, so erasing a sealed key is
+    // the only way a static-lane value can go stale: drop the lane
+    // before returning, so a get() ordered after this erase cannot be
+    // served the sealed copy. Storage is retired, not freed.
+    if (Erased) {
+      if (const StaticLane *S = staticLane(); S && S->contains(Key)) {
+        StaticPtr.store(nullptr, std::memory_order_release);
+        SEPE_COUNT("serving_table.static.invalidated");
+      }
+    }
+    return Erased;
   }
 
   /// Batch lookup: Found[I] = 1 and Out[I] = value when present.
@@ -190,6 +296,32 @@ public:
   /// fast-lane misses fall through to the spill lane per key.
   size_t getBatch(const std::string_view *Keys, Value *Out, uint8_t *Found,
                   size_t N) const {
+    // Sealed tables serve most traffic from the static lane: batch the
+    // base images through the MPHF's fused kernels and let only the
+    // residue (out-of-set keys, unsealed inserts) take the dynamic
+    // path per key.
+    if (const StaticLane *S = staticLane()) {
+      uint64_t Bases[RouteBlock];
+      size_t Hits = 0;
+      for (size_t Base = 0; Base < N; Base += RouteBlock) {
+        const size_t Count = std::min(RouteBlock, N - Base);
+        S->F.baseBatch(Keys + Base, Bases, Count);
+        for (size_t I = 0; I != Count; ++I) {
+          const size_t K = Base + I;
+          if (S->findFromBase(Bases[I], Keys[K], Out[K])) {
+            SEPE_COUNT("serving_table.static.hit");
+            Found[K] = 1;
+            ++Hits;
+          } else if (getDynamic(Keys[K], Out[K])) {
+            Found[K] = 1;
+            ++Hits;
+          } else {
+            Found[K] = 0;
+          }
+        }
+      }
+      return Hits;
+    }
     const ShardedIndexMap<Value> *F = fast();
     size_t Hits = 0;
     uint64_t Hashes[RouteBlock];
@@ -272,7 +404,6 @@ public:
     size_t Inserted = 0;
     uint64_t Hashes[RouteBlock];
     uint32_t MissIdx[RouteBlock];
-    uint16_t AdmIdx[RouteBlock];
     uint64_t AdmImages[RouteBlock];
     std::string_view AdmKeys[RouteBlock];
     Value AdmValues[RouteBlock];
@@ -289,7 +420,6 @@ public:
       size_t Admitted = 0;
       for (size_t I = 0; I != Count; ++I)
         if (!IsMiss[I]) {
-          AdmIdx[Admitted] = static_cast<uint16_t>(I);
           AdmImages[Admitted] = Hashes[I];
           AdmKeys[Admitted] = Keys[Base + I];
           AdmValues[Admitted] = Values[Base + I];
@@ -362,6 +492,9 @@ public:
     const ShardedIndexMap<Value> *F = fast();
     Stats S;
     S.FastLane = F != nullptr;
+    const StaticLane *SL = staticLane();
+    S.StaticActive = SL != nullptr;
+    S.StaticSize = SL ? SL->Keys.size() : 0;
     S.FastSize = F ? F->size() : 0;
     S.SpillSize = SpillCount.load(std::memory_order_relaxed);
     S.FastEpoch = F ? F->epoch() : 0;
@@ -416,6 +549,43 @@ private:
     std::unordered_map<std::string, Value, TransparentHash, std::equal_to<>>
         Map;
   };
+
+  /// The sealed static lane: values[mphf(key)] plus an 8-bit
+  /// fingerprint that rejects nearly every out-of-set key before the
+  /// exact key compare. The compare is what keeps the table exact — a
+  /// fingerprint false positive (~2^-8 of out-of-set probes) just
+  /// falls through to the dynamic lanes instead of serving a wrong
+  /// value, which a bare DirectIndexMap would.
+  struct StaticLane {
+    Mphf F;
+    std::vector<uint8_t> Fp;
+    std::vector<std::string> Keys;
+    std::vector<Value> Values;
+
+    bool findFromBase(uint64_t Base, std::string_view Key,
+                      Value &Out) const {
+      const Mphf::SlotFp SF = F.slotFpFromBase(Base);
+      if (Fp[SF.Slot] != static_cast<uint8_t>(SF.FpWord) ||
+          Keys[SF.Slot] != Key)
+        return false;
+      Out = Values[SF.Slot];
+      return true;
+    }
+
+    bool find(std::string_view Key, Value &Out) const {
+      return findFromBase(F.baseImage(Key), Key, Out);
+    }
+
+    bool contains(std::string_view Key) const {
+      const Mphf::SlotFp SF = F.slotFpFromBase(F.baseImage(Key));
+      return Fp[SF.Slot] == static_cast<uint8_t>(SF.FpWord) &&
+             Keys[SF.Slot] == Key;
+    }
+  };
+
+  const StaticLane *staticLane() const {
+    return StaticPtr.load(std::memory_order_acquire);
+  }
 
   const ShardedIndexMap<Value> *fast() const {
     return FastPtr.load(std::memory_order_acquire);
@@ -502,6 +672,15 @@ private:
   /// load. Null until a bijective plan exists (cold start).
   std::atomic<ShardedIndexMap<Value> *> FastPtr{nullptr};
   std::unique_ptr<ShardedIndexMap<Value>> FastStorage;
+
+  /// Published static lane, or null. Replaced wholesale by
+  /// sealStatic() and nulled by erase() of a sealed key; retired lanes
+  /// stay in StaticStorage (guarded by MaintainMutex) until
+  /// destruction so a concurrent reader never touches a freed lane —
+  /// the same retire-until-destruction discipline the JIT rung uses
+  /// for old code buffers.
+  std::atomic<const StaticLane *> StaticPtr{nullptr};
+  std::vector<std::unique_ptr<const StaticLane>> StaticStorage;
 
   mutable std::array<SpillShard, SpillShardCount> Spill{};
   std::atomic<size_t> SpillCount{0};

@@ -190,6 +190,17 @@ inline uint64_t rotr64(uint64_t Value, unsigned Shift) {
   return std::rotr(Value, static_cast<int>(Shift));
 }
 
+/// Hints the cache hierarchy to pull the line holding \p Ptr for a
+/// read. Batch lookup loops issue these a pass ahead of the dependent
+/// loads so out-of-cache tables overlap their misses.
+inline void prefetchRead(const void *Ptr) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(Ptr, /*rw=*/0, /*locality=*/1);
+#else
+  (void)Ptr;
+#endif
+}
+
 } // namespace sepe
 
 #endif // SEPE_SUPPORT_BIT_OPS_H

@@ -77,6 +77,8 @@ const char *trace::eventKindName(EventKind K) {
     return "jit.retire";
   case EventKind::QualitySample:
     return "quality.live.sample";
+  case EventKind::StaticSeal:
+    return "serving.static.seal";
   case EventKind::NumKinds:
     break;
   }

@@ -86,6 +86,8 @@ enum class EventKind : uint16_t {
                     ///  bytes).
   QualitySample,    ///< Live quality monitor pumped (gen = plan epoch,
                     ///  arg = occupancy skew x1000).
+  StaticSeal,       ///< ServingTable sealed a static MPHF lane
+                    ///  (gen = keys sealed).
   NumKinds
 };
 

@@ -19,6 +19,9 @@
 #include "core/plan_io.h"
 #include "core/regex_parser.h"
 #include "core/synthesizer.h"
+#include "mphf/mphf.h"
+#include "mphf/mphf_explain.h"
+#include "mphf/mphf_io.h"
 
 #include <fstream>
 
@@ -49,8 +52,26 @@ void printUsage(const char *Argv0) {
       "                       serialized plan (regex not required)\n"
       "    --explain[=text|json|dot]  print a human-readable plan\n"
       "                       explanation instead of generated code\n"
-      "                       (works with --plan-in too)\n",
+      "                       (works with --plan-in too)\n"
+      "    --mphf-keys=<file> build a minimal perfect hash over the\n"
+      "                       newline-delimited key set (the regex, when\n"
+      "                       given, supplies the extraction front-end)\n"
+      "    --mphf-out=<file>  write the built MPHF in serialized form\n"
+      "    --mphf-in=<file>   load a serialized MPHF instead of\n"
+      "                       building; renders with --explain\n",
       Argv0);
+}
+
+/// Reads newline-delimited keys; empty lines are skipped.
+bool readKeyFile(const std::string &Path, std::vector<std::string> &Keys) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::string Line;
+  while (std::getline(In, Line))
+    if (!Line.empty())
+      Keys.push_back(Line);
+  return true;
 }
 
 } // namespace
@@ -66,6 +87,9 @@ int main(int Argc, char **Argv) {
   ExplainFormat ExplainAs = ExplainFormat::Text;
   std::string PlanOut;
   std::string PlanIn;
+  std::string MphfKeys;
+  std::string MphfOut;
+  std::string MphfIn;
 
   for (int I = 1; I != Argc; ++I) {
     const std::string Arg = Argv[I];
@@ -98,6 +122,12 @@ int main(int Argc, char **Argv) {
       PlanOut = Arg.substr(11);
     } else if (Arg.rfind("--plan-in=", 0) == 0) {
       PlanIn = Arg.substr(10);
+    } else if (Arg.rfind("--mphf-keys=", 0) == 0) {
+      MphfKeys = Arg.substr(12);
+    } else if (Arg.rfind("--mphf-out=", 0) == 0) {
+      MphfOut = Arg.substr(11);
+    } else if (Arg.rfind("--mphf-in=", 0) == 0) {
+      MphfIn = Arg.substr(10);
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
       return 1;
@@ -108,7 +138,8 @@ int main(int Argc, char **Argv) {
       return 1;
     }
   }
-  if (Regex.empty() && PlanIn.empty()) {
+  if (Regex.empty() && PlanIn.empty() && MphfKeys.empty() &&
+      MphfIn.empty()) {
     printUsage(Argv[0]);
     return 1;
   }
@@ -122,6 +153,74 @@ int main(int Argc, char **Argv) {
   else {
     std::fprintf(stderr, "error: unknown target '%s'\n", TargetArg.c_str());
     return 1;
+  }
+
+  // --mphf-in: load a stored MPHF and render it (no regex needed).
+  if (!MphfIn.empty()) {
+    std::ifstream In(MphfIn);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", MphfIn.c_str());
+      return 1;
+    }
+    std::string Text((std::istreambuf_iterator<char>(In)),
+                     std::istreambuf_iterator<char>());
+    Expected<MphfPlan> Plan = deserializeMphf(Text);
+    if (!Plan) {
+      std::fprintf(stderr, "error: %s\n", Plan.error().Message.c_str());
+      return 1;
+    }
+    if (!MphfOut.empty()) {
+      std::ofstream Out(MphfOut);
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", MphfOut.c_str());
+        return 1;
+      }
+      Out << serializeMphf(*Plan);
+    }
+    std::fputs(explainMphf(*Plan, ExplainAs).c_str(), stdout);
+    return 0;
+  }
+
+  // --mphf-keys: build a minimal perfect hash over the key file. The
+  // regex, when given, supplies the format whose Pext extraction
+  // becomes the MPHF's base-image front-end.
+  if (!MphfKeys.empty()) {
+    std::vector<std::string> Keys;
+    if (!readKeyFile(MphfKeys, Keys)) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", MphfKeys.c_str());
+      return 1;
+    }
+    if (Keys.empty()) {
+      std::fprintf(stderr, "error: no keys in '%s'\n", MphfKeys.c_str());
+      return 1;
+    }
+    MphfBuildOptions Options;
+    Expected<FormatSpec> Format = Error{"no format"};
+    if (!Regex.empty()) {
+      Format = parseRegex(Regex);
+      if (!Format) {
+        std::fprintf(stderr, "error: %s\n",
+                     Format.error().Message.c_str());
+        return 1;
+      }
+      Options.Format = &*Format;
+    }
+    Expected<Mphf> F = buildMphf(Keys, Options);
+    if (!F) {
+      std::fprintf(stderr, "error: %s\n", F.error().Message.c_str());
+      return 1;
+    }
+    const MphfPlan &Plan = F->plan();
+    if (!MphfOut.empty()) {
+      std::ofstream Out(MphfOut);
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", MphfOut.c_str());
+        return 1;
+      }
+      Out << serializeMphf(Plan);
+    }
+    std::fputs(explainMphf(Plan, ExplainAs).c_str(), stdout);
+    return 0;
   }
 
   // --plan-in: bypass regex parsing and synthesis entirely.

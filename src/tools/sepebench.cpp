@@ -33,9 +33,12 @@
 
 #include "bench_common.h"
 
+#include "container/direct_index_map.h"
 #include "container/flat_index_map.h"
 #include "container/low_mix_table.h"
 #include "container/sharded_index_map.h"
+#include "gperf/perfect_hash.h"
+#include "mphf/mphf.h"
 #include "core/regex_parser.h"
 #include "core/synthesizer.h"
 #include "driver/hash_registry.h"
@@ -564,6 +567,245 @@ void addScalingWorkload(std::vector<SuiteWorkload> &Suite, bool Full) {
   Suite.push_back(std::move(Entry));
 }
 
+// --- Static-set tier: MPHF construction and direct-index serving -----------
+
+/// Per-format MPHF workloads over the shared 512-key fixture pool:
+/// construction time and DirectIndexMap lookups (scalar and batch).
+void addMphfWorkloads(std::vector<SuiteWorkload> &Suite,
+                      const FormatFixture &Fixture, size_t Passes) {
+  const std::string Format = paperKeyName(Fixture.Key);
+  const double Units = static_cast<double>(Passes * Fixture.Views->size());
+
+  SuiteWorkload Build;
+  Build.Name = "mphf/" + Format + "/build";
+  Build.Unit = "ms";
+  Build.UnitsPerTrial = static_cast<double>(Fixture.Views->size());
+  Build.Run = [Fixture] {
+    MphfBuildOptions Options;
+    Options.Format = &paperKeyFormat(Fixture.Key);
+    const double Start = nowMs();
+    Expected<Mphf> F = buildMphf(*Fixture.Views, Options);
+    asm volatile("" : : "r"(&F) : "memory");
+    return nowMs() - Start;
+  };
+  Suite.push_back(std::move(Build));
+
+  MphfBuildOptions Options;
+  Options.Format = &paperKeyFormat(Fixture.Key);
+  Expected<Mphf> F = buildMphf(*Fixture.Views, Options);
+  if (!F)
+    return;
+  std::vector<uint32_t> Vals(Fixture.Views->size());
+  for (size_t I = 0; I != Vals.size(); ++I)
+    Vals[I] = static_cast<uint32_t>(I);
+  auto Map = std::make_shared<DirectIndexMap<uint32_t>>(
+      F.take(), Fixture.Views->data(), Vals.data(), Vals.size());
+  if (!Map->valid())
+    return;
+
+  SuiteWorkload Lookup;
+  Lookup.Name = "mphf/" + Format + "/lookup";
+  Lookup.Unit = "ns_per_key";
+  Lookup.UnitsPerTrial = Units;
+  Lookup.Run = [Fixture, Map, Passes, Units] {
+    const double Start = nowMs();
+    uint64_t Sink = 0;
+    for (size_t P = 0; P != Passes; ++P)
+      for (const std::string_view V : *Fixture.Views)
+        Sink += *Map->find(V);
+    asm volatile("" : : "r"(Sink) : "memory");
+    return (nowMs() - Start) * 1e6 / Units;
+  };
+  Suite.push_back(std::move(Lookup));
+
+  SuiteWorkload Batch;
+  Batch.Name = "mphf/" + Format + "/lookup_batch";
+  Batch.Unit = "ns_per_key";
+  Batch.UnitsPerTrial = Units;
+  Batch.Run = [Fixture, Map, Passes, Units] {
+    std::vector<const uint32_t *> Out(Fixture.Views->size());
+    const double Start = nowMs();
+    uint64_t Sink = 0;
+    for (size_t P = 0; P != Passes; ++P) {
+      Sink += Map->findBatch(Fixture.Views->data(), Out.data(),
+                             Fixture.Views->size());
+      asm volatile("" : : "r"(Out.data()) : "memory");
+    }
+    asm volatile("" : : "r"(Sink) : "memory");
+    return (nowMs() - Start) * 1e6 / Units;
+  };
+  Suite.push_back(std::move(Batch));
+}
+
+/// The fig20-class static-serving scaling group: FlatIndexMap vs the
+/// miniature gperf vs the MPHF-backed direct index over one fixed
+/// bijective format (SSN, so names are stable and the Flat comparison
+/// is valid), at n = 1e2..1e5 (1e6 in --full). Each size reports build
+/// time per container and ns/lookup through each container's fastest
+/// public lookup path (Flat: scalar find; direct index: findBatch;
+/// gperf: batch hash + table load). gperf stops at n = 1000 — beyond
+/// its keyword-set regime the association-table search degrades, which
+/// is the paper's point about it.
+void addMphfScaleWorkloads(std::vector<SuiteWorkload> &Suite, bool Full) {
+  const PaperKey Key = PaperKey::SSN;
+  const FormatSpec &Format = paperKeyFormat(Key);
+  Expected<HashPlan> Plan = synthesize(Format.abstract(), HashFamily::Pext);
+  if (!Plan || !Plan->Bijective)
+    return;
+  const auto FlatHash = std::make_shared<SynthesizedHash>(Plan.take());
+
+  std::vector<size_t> Sizes = {100, 1000, 10000, 100000};
+  if (Full)
+    Sizes.push_back(1000000);
+  for (const size_t N : Sizes) {
+    const std::string Group = "mphf_scale/n" + std::to_string(N) + "/";
+    KeyGenerator Gen(Format, KeyDistribution::Uniform, 0x3f1e + N);
+    // The views alias into the generated strings, so Views co-owns the
+    // text (aliasing shared_ptr): any lambda capturing Views keeps the
+    // backing corpus alive.
+    struct Corpus {
+      std::vector<std::string> Strings;
+      std::vector<std::string_view> Views;
+    };
+    auto Backing = std::make_shared<Corpus>();
+    Backing->Strings = Gen.distinct(N);
+    Backing->Views.assign(Backing->Strings.begin(), Backing->Strings.end());
+    std::shared_ptr<std::vector<std::string>> Text(Backing,
+                                                   &Backing->Strings);
+    std::shared_ptr<std::vector<std::string_view>> Views(Backing,
+                                                         &Backing->Views);
+    auto Vals = std::make_shared<std::vector<uint32_t>>(N);
+    for (size_t I = 0; I != N; ++I)
+      (*Vals)[I] = static_cast<uint32_t>(I);
+    const size_t Passes = std::max<size_t>(1, 1000000 / N);
+    const double Units = static_cast<double>(Passes * N);
+
+    // Build-time lanes. Each trial builds from scratch.
+    SuiteWorkload BuildDirect;
+    BuildDirect.Name = Group + "build_direct";
+    BuildDirect.Unit = "ms";
+    BuildDirect.UnitsPerTrial = static_cast<double>(N);
+    BuildDirect.Run = [Views, Vals, &Format = paperKeyFormat(Key)] {
+      MphfBuildOptions Options;
+      Options.Format = &Format;
+      const double Start = nowMs();
+      Expected<Mphf> F = buildMphf(*Views, Options);
+      if (!F)
+        return 0.0;
+      DirectIndexMap<uint32_t> Map(F.take(), Views->data(), Vals->data(),
+                                   Views->size());
+      asm volatile("" : : "r"(Map.valid()) : "memory");
+      return nowMs() - Start;
+    };
+    Suite.push_back(std::move(BuildDirect));
+
+    SuiteWorkload BuildFlat;
+    BuildFlat.Name = Group + "build_flat";
+    BuildFlat.Unit = "ms";
+    BuildFlat.UnitsPerTrial = static_cast<double>(N);
+    BuildFlat.Run = [Views, Vals, FlatHash] {
+      const double Start = nowMs();
+      FlatIndexMap<uint32_t> Map(*FlatHash, Views->size());
+      Map.insertBatch(Views->data(), Vals->data(), Views->size());
+      asm volatile("" : : "r"(Map.size()) : "memory");
+      return nowMs() - Start;
+    };
+    Suite.push_back(std::move(BuildFlat));
+
+    // Lookup lanes over prebuilt containers.
+    {
+      MphfBuildOptions Options;
+      Options.Format = &Format;
+      Expected<Mphf> F = buildMphf(*Views, Options);
+      if (F) {
+        auto Map = std::make_shared<DirectIndexMap<uint32_t>>(
+            F.take(), Views->data(), Vals->data(), Views->size());
+        if (Map->valid()) {
+          SuiteWorkload Direct;
+          Direct.Name = Group + "direct";
+          Direct.Unit = "ns_per_key";
+          Direct.UnitsPerTrial = Units;
+          Direct.Run = [Views, Map, Passes, Units] {
+            std::vector<const uint32_t *> Out(Views->size());
+            const double Start = nowMs();
+            uint64_t Sink = 0;
+            for (size_t P = 0; P != Passes; ++P) {
+              Sink += Map->findBatch(Views->data(), Out.data(),
+                                     Views->size());
+              asm volatile("" : : "r"(Out.data()) : "memory");
+            }
+            asm volatile("" : : "r"(Sink) : "memory");
+            return (nowMs() - Start) * 1e6 / Units;
+          };
+          Suite.push_back(std::move(Direct));
+        }
+      }
+    }
+    {
+      auto Map = std::make_shared<FlatIndexMap<uint32_t>>(*FlatHash,
+                                                          Views->size());
+      Map->insertBatch(Views->data(), Vals->data(), Views->size());
+      SuiteWorkload Flat;
+      Flat.Name = Group + "flat";
+      Flat.Unit = "ns_per_key";
+      Flat.UnitsPerTrial = Units;
+      Flat.Run = [Views, Map, Passes, Units] {
+        const double Start = nowMs();
+        uint64_t Sink = 0;
+        for (size_t P = 0; P != Passes; ++P)
+          for (const std::string_view V : *Views) {
+            const uint32_t *Hit = Map->find(V);
+            Sink += Hit ? *Hit : 0;
+          }
+        asm volatile("" : : "r"(Sink) : "memory");
+        return (nowMs() - Start) * 1e6 / Units;
+      };
+      Suite.push_back(std::move(Flat));
+    }
+    if (N <= 1000) {
+      SuiteWorkload BuildGperf;
+      BuildGperf.Name = Group + "build_gperf";
+      BuildGperf.Unit = "ms";
+      BuildGperf.UnitsPerTrial = static_cast<double>(N);
+      BuildGperf.Run = [Text] {
+        const double Start = nowMs();
+        const PerfectHashFunction Hash = buildPerfectHash(*Text);
+        asm volatile("" : : "r"(Hash.trainingCollisions()) : "memory");
+        return nowMs() - Start;
+      };
+      Suite.push_back(std::move(BuildGperf));
+
+      const PerfectHashFunction Hash = buildPerfectHash(*Text);
+      // gperf serves from a dense table indexed by its (narrow-range)
+      // hash; clamping keeps stray values in range without a branch.
+      size_t MaxHash = 0;
+      for (const std::string_view V : *Views)
+        MaxHash = std::max(MaxHash, Hash(V));
+      auto Table = std::make_shared<std::vector<uint32_t>>(MaxHash + 1, 0);
+      for (size_t I = 0; I != Views->size(); ++I)
+        (*Table)[std::min(Hash((*Views)[I]), MaxHash)] =
+            static_cast<uint32_t>(I);
+      SuiteWorkload Gperf;
+      Gperf.Name = Group + "gperf";
+      Gperf.Unit = "ns_per_key";
+      Gperf.UnitsPerTrial = Units;
+      Gperf.Run = [Views, Hash, Table, MaxHash, Passes, Units] {
+        std::vector<uint64_t> Hashes(Views->size());
+        const double Start = nowMs();
+        uint64_t Sink = 0;
+        for (size_t P = 0; P != Passes; ++P) {
+          Hash.hashBatch(Views->data(), Hashes.data(), Views->size());
+          for (const uint64_t H : Hashes)
+            Sink += (*Table)[std::min<size_t>(H, MaxHash)];
+        }
+        asm volatile("" : : "r"(Sink) : "memory");
+        return (nowMs() - Start) * 1e6 / Units;
+      };
+      Suite.push_back(std::move(Gperf));
+    }
+  }
+}
+
 // --- Multi-threaded scaling: the sharded serving layer ---------------------
 
 /// Spawns \p Threads workers running Body(tid), returns wall ms from
@@ -795,9 +1037,11 @@ buildSuite(const SuiteOptions &Options,
     addJitWorkloads(Suite, Fixture, Passes);
     addAdaptiveWorkloads(Suite, Fixture, Passes);
     addExperimentWorkloads(Suite, Fixture, Affectations);
+    addMphfWorkloads(Suite, Fixture, Passes);
   }
   addScalingWorkload(Suite, Options.Full);
   addShardScaleWorkloads(Suite, Options);
+  addMphfScaleWorkloads(Suite, Options.Full);
   addQualityWorkloads(Suite, std::move(Scorecard));
   if (!Options.Filter.empty()) {
     try {

@@ -16,11 +16,14 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "container/direct_index_map.h"
+#include "container/flat_index_map.h"
 #include "core/explain.h"
 #include "core/jit.h"
 #include "core/synthesizer.h"
 #include "driver/experiment.h"
 #include "driver/report.h"
+#include "quality/mphf_check.h"
 #include "runtime/adaptive_hash.h"
 #include "support/cpu_features.h"
 #include "support/json.h"
@@ -76,7 +79,14 @@ void printUsage(const char *Argv0) {
       "  --trace=FILE.json     write the flight recorder as Chrome-trace\n"
       "                        JSON (load in chrome://tracing or\n"
       "                        Perfetto; needs a -DSEPE_TRACE=ON build\n"
-      "                        for non-empty data)\n",
+      "                        for non-empty data)\n"
+      "  --mphf[=N]            build a minimal perfect hash over N\n"
+      "                        distinct --key keys (default 100000),\n"
+      "                        verify the bijection structurally, and\n"
+      "                        time MPHF-backed direct-index lookups\n"
+      "                        against FlatIndexMap\n"
+      "  --mphf-json=FILE      write the --mphf scorecard + timings as\n"
+      "                        JSON (the mphf-smoke CI job floors on it)\n",
       Argv0);
 }
 
@@ -344,6 +354,124 @@ int runExplain(PaperKey Key, IsaLevel Isa, ExplainFormat Format) {
   return 0;
 }
 
+/// --mphf: construct the static-set tier over \p N distinct --key
+/// keys, verify the bijection structurally (the mphf-smoke CI floors),
+/// and race values[mphf(key)] lookups against the FlatIndexMap
+/// baseline over the same key set.
+int runMphf(PaperKey Key, size_t N, uint64_t Seed,
+            const std::string &JsonPath) {
+  const FormatSpec &Spec = paperKeyFormat(Key);
+  KeyGenerator Gen(Spec, KeyDistribution::Uniform, Seed);
+  const std::vector<std::string> Keys = Gen.distinct(N);
+  const std::vector<std::string_view> Views(Keys.begin(), Keys.end());
+  std::vector<uint32_t> Values(N);
+  for (size_t I = 0; I != N; ++I)
+    Values[I] = static_cast<uint32_t>(I);
+
+  MphfBuildOptions Options;
+  Options.Format = &Spec;
+  Options.Seed = Seed;
+  const double BuildStart = nowMs();
+  Expected<Mphf> F = buildMphf(Views, Options);
+  const double BuildMs = nowMs() - BuildStart;
+  if (!F) {
+    std::fprintf(stderr, "error: %s\n", F.error().Message.c_str());
+    return 1;
+  }
+
+  quality::MphfReport Report =
+      quality::measureMphf(*F, Views.data(), Views.size());
+  Report.Format = paperKeyName(Key);
+  std::printf("mphf: key=%s n=%zu tier=%s base=%s\n", paperKeyName(Key), N,
+              Report.Tier.c_str(),
+              F->plan().RawBase ? "raw bytes" : "pext extraction");
+  std::printf("build: %.2f ms (%.0f keys/ms), %.2f bits/key\n", BuildMs,
+              BuildMs > 0 ? static_cast<double>(N) / BuildMs : 0.0,
+              Report.BitsPerKey);
+  std::printf("verify: collisions=%llu out_of_range=%llu coverage=%.6f "
+              "max_index=%llu -> %s\n",
+              static_cast<unsigned long long>(Report.Collisions),
+              static_cast<unsigned long long>(Report.OutOfRange),
+              Report.Coverage,
+              static_cast<unsigned long long>(Report.MaxIndex),
+              Report.perfect() ? "minimal perfect" : "BROKEN");
+
+  const DirectIndexMap<uint32_t> Direct(*F, Views.data(), Values.data(), N);
+  if (!Direct.valid()) {
+    std::fprintf(stderr, "error: DirectIndexMap rejected the MPHF\n");
+    return 1;
+  }
+
+  const size_t Passes = std::max<size_t>(1, 2000000 / std::max<size_t>(N, 1));
+  uint64_t Sink = 0;
+
+  double DirectNs = 0;
+  {
+    const double Start = nowMs();
+    for (size_t P = 0; P != Passes; ++P)
+      for (const std::string_view &K : Views)
+        Sink += Direct.find(K) != nullptr;
+    DirectNs = (nowMs() - Start) * 1e6 / static_cast<double>(Passes * N);
+  }
+  double DirectBatchNs = 0;
+  {
+    std::vector<const uint32_t *> Out(N);
+    const double Start = nowMs();
+    for (size_t P = 0; P != Passes; ++P)
+      Sink += Direct.findBatch(Views.data(), Out.data(), N);
+    DirectBatchNs =
+        (nowMs() - Start) * 1e6 / static_cast<double>(Passes * N);
+  }
+
+  // FlatIndexMap over the same set (the general specialized-storage
+  // tier, no fixed-set assumption): only sound for a bijective plan.
+  double FlatBuildMs = -1, FlatNs = -1;
+  Expected<HashPlan> Plan = synthesize(Spec.abstract(), HashFamily::Pext);
+  if (Plan && Plan->Bijective) {
+    const double Start = nowMs();
+    FlatIndexMap<uint32_t> Flat(SynthesizedHash(Plan.take()), N);
+    Flat.insertBatch(Views.data(), Values.data(), N);
+    FlatBuildMs = nowMs() - Start;
+    const double FindStart = nowMs();
+    for (size_t P = 0; P != Passes; ++P)
+      for (const std::string_view &K : Views)
+        Sink += Flat.find(K) != nullptr;
+    FlatNs = (nowMs() - FindStart) * 1e6 / static_cast<double>(Passes * N);
+  }
+  asm volatile("" : : "r"(Sink) : "memory");
+
+  std::printf("lookup (%zu pass%s):\n"
+              "  direct        %8.3f ns/key  (%zu fingerprint bytes + "
+              "values)\n"
+              "  direct batch  %8.3f ns/key\n",
+              Passes, Passes == 1 ? "" : "es", DirectNs,
+              static_cast<size_t>(N), DirectBatchNs);
+  if (FlatNs >= 0)
+    std::printf("  flat          %8.3f ns/key  (FlatIndexMap, build "
+                "%.2f ms)\n",
+                FlatNs, FlatBuildMs);
+  else
+    std::printf("  flat          skipped (no bijective Pext plan)\n");
+
+  if (!JsonPath.empty()) {
+    std::FILE *Out = std::fopen(JsonPath.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", JsonPath.c_str());
+      return 1;
+    }
+    std::fprintf(Out,
+                 "{\n\"mphf\": %s,\n"
+                 "\"build_ms\": %.4f,\n\"flat_build_ms\": %.4f,\n"
+                 "\"lookup_ns\": {\"direct\": %.4f, \"direct_batch\": "
+                 "%.4f, \"flat\": %.4f}\n}\n",
+                 Report.toJson().c_str(), BuildMs, FlatBuildMs, DirectNs,
+                 DirectBatchNs, FlatNs);
+    std::fclose(Out);
+    std::printf("mphf scorecard written to %s\n", JsonPath.c_str());
+  }
+  return Report.perfect() ? 0 : 1;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -358,6 +486,9 @@ int main(int Argc, char **Argv) {
   ExplainFormat ExplainAs = ExplainFormat::Text;
   bool HaveDriftKey = false;
   PaperKey DriftKey = PaperKey::SSN;
+  bool MphfMode = false;
+  size_t MphfN = 100000;
+  std::string MphfJson;
 
   for (int I = 1; I != Argc; ++I) {
     const std::string Arg = Argv[I];
@@ -429,6 +560,14 @@ int main(int Argc, char **Argv) {
       TracePath = Value;
     } else if (Arg == "--adaptive") {
       Adaptive = true;
+    } else if (parseValue(Arg, "mphf-json", Value)) {
+      MphfJson = Value;
+      MphfMode = true;
+    } else if (Arg == "--mphf" || parseValue(Arg, "mphf", Value)) {
+      if (!Value.empty())
+        MphfN = std::stoul(Value);
+      MphfMode = true;
+      Value.clear();
     } else if (Arg == "--explain" || parseValue(Arg, "explain", Value)) {
       if (!parseExplainFormat(Value, ExplainAs)) {
         std::fprintf(stderr, "error: unknown explain format '%s'\n",
@@ -499,6 +638,12 @@ int main(int Argc, char **Argv) {
 
   if (Explain)
     return runExplain(Key, Isa, ExplainAs);
+
+  if (MphfMode) {
+    const int Rc = runMphf(Key, MphfN, Config.Seed, MphfJson);
+    writeTraceIfRequested(TracePath);
+    return Rc;
+  }
 
   if (Adaptive) {
     const int Rc = runAdaptiveReplay(Key, Config, Isa, HaveDriftKey,

@@ -148,6 +148,49 @@ TEST(ToolsCliTest, PlanInRejectsGarbage) {
   EXPECT_NE(ExitCode, 0);
 }
 
+TEST(ToolsCliTest, MphfBuildSerializeLoadExplainRoundTrips) {
+  // Static-set tier CLI loop: build an MPHF over a key file (the regex
+  // supplies the extraction front-end), store it, reload it, and check
+  // the reloaded plan renders identically.
+  const std::string KeysFile = ::testing::TempDir() + "/mphf_keys.txt";
+  {
+    std::ofstream Out(KeysFile);
+    for (int I = 0; I != 200; ++I) {
+      char Buffer[16];
+      std::snprintf(Buffer, sizeof(Buffer), "%03d-%02d-%04d", I % 1000,
+                    (I * 7) % 100, (I * 37) % 10000);
+      Out << Buffer << "\n";
+    }
+  }
+  const std::string MphfFile = ::testing::TempDir() + "/mphf_keys.mphf";
+  int ExitCode = 0;
+  const std::string Direct = runCommand(
+      binaryPath("keysynth") + " --mphf-keys=" + KeysFile +
+          " --mphf-out=" + MphfFile + " '\\d{3}-\\d{2}-\\d{4}'",
+      ExitCode);
+  ASSERT_EQ(ExitCode, 0);
+  EXPECT_NE(Direct.find("mphf Split"), std::string::npos)
+      << "200 keys must land in the Split tier: " << Direct;
+  const std::string Reloaded = runCommand(
+      binaryPath("keysynth") + " --mphf-in=" + MphfFile, ExitCode);
+  ASSERT_EQ(ExitCode, 0);
+  EXPECT_EQ(Direct, Reloaded)
+      << "serialized MPHF must explain identically after reload";
+}
+
+TEST(ToolsCliTest, MphfInRejectsGarbage) {
+  const std::string Path = ::testing::TempDir() + "/garbage_mphf";
+  {
+    std::ofstream Out(Path);
+    Out << "sepe-mphf v999\nnot a plan\n";
+  }
+  int ExitCode = 0;
+  runCommand(binaryPath("keysynth") + " --mphf-in=" + Path +
+                 " 2>/dev/null",
+             ExitCode);
+  EXPECT_NE(ExitCode, 0);
+}
+
 TEST(ToolsCliTest, SepedriverRunsOneExperiment) {
   int ExitCode = 0;
   const std::string Output = runCommand(

@@ -85,6 +85,55 @@ TEST(GperfTest, CollidesHeavilyOnUnseenKeys) {
       << "the asso tables confine unseen keys to a narrow range";
 }
 
+TEST(GperfTest, PropertyRandomizedKeywordSetsAcrossFormats) {
+  // Property sweep over large randomized keyword sets: for every paper
+  // format and several seeds, (a) the reported training-collision
+  // count matches a recount over the training set, (b) the batch path
+  // agrees with the scalar path key for key, and (c) rebuilding from
+  // the same set reproduces the same function.
+  for (const PaperKey Key :
+       {PaperKey::SSN, PaperKey::IPv4, PaperKey::MAC, PaperKey::IPv6}) {
+    for (const uint64_t Seed : {11u, 222u, 3333u}) {
+      KeyGenerator Gen(paperKeyFormat(Key), KeyDistribution::Uniform, Seed);
+      const std::vector<std::string> Text = Gen.distinct(2000);
+      const std::vector<std::string_view> Keys(Text.begin(), Text.end());
+      const PerfectHashFunction Fn = buildPerfectHash(Text);
+
+      std::unordered_set<size_t> Seen;
+      size_t Recount = 0;
+      for (const std::string_view K : Keys)
+        Recount += Seen.insert(Fn(K)).second ? 0 : 1;
+      EXPECT_EQ(Fn.trainingCollisions(), Recount)
+          << paperKeyName(Key) << " seed " << Seed;
+
+      std::vector<uint64_t> Batch(Keys.size());
+      Fn.hashBatch(Keys.data(), Batch.data(), Keys.size());
+      for (size_t I = 0; I != Keys.size(); ++I)
+        ASSERT_EQ(Batch[I], Fn(Keys[I]))
+            << paperKeyName(Key) << " seed " << Seed << " key " << Text[I];
+
+      const PerfectHashFunction Again = buildPerfectHash(Text);
+      for (size_t I = 0; I < Keys.size(); I += 97)
+        EXPECT_EQ(Again(Keys[I]), Fn(Keys[I]));
+    }
+  }
+}
+
+TEST(GperfTest, PerfectOnRandomizedSetsInTheKeywordRegime) {
+  // gperf's home turf is keyword-table scale. Randomized sets drawn
+  // from high-entropy formats must stay collision-free there.
+  for (const uint64_t Seed : {5u, 50u, 500u}) {
+    KeyGenerator Gen(paperKeyFormat(PaperKey::IPv6),
+                     KeyDistribution::Uniform, Seed);
+    const std::vector<std::string> Text = Gen.distinct(32);
+    const PerfectHashFunction Fn = buildPerfectHash(Text);
+    EXPECT_EQ(Fn.trainingCollisions(), 0u) << "seed " << Seed;
+    std::unordered_set<size_t> Hashes;
+    for (const std::string &K : Text)
+      EXPECT_TRUE(Hashes.insert(Fn(K)).second) << K;
+  }
+}
+
 TEST(GperfTest, TableSizeReportsAssoEntries) {
   const std::vector<std::string> Keys = {"one", "two", "six"};
   const PerfectHashFunction Fn = buildPerfectHash(Keys);

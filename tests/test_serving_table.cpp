@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <random>
 #include <thread>
@@ -277,4 +278,176 @@ TEST(ServingTableTest, HotSwapUnderConcurrentTrafficLosesNoLookups) {
     ASSERT_TRUE(Table.get(Drifted[I], V));
     ASSERT_EQ(V, Resident + I);
   }
+}
+
+TEST(ServingTableStaticTest, SealStaticServesSealedKeysExactly) {
+  ServingTable<uint64_t> Table(patternOf(SsnRegex), servingOptions());
+  const std::vector<std::string> Keys = distinctKeys(SsnRegex, 500, 11);
+  std::vector<std::string_view> Views(Keys.begin(), Keys.end());
+  for (size_t I = 0; I != Keys.size(); ++I)
+    Table.put(Keys[I], I);
+
+  EXPECT_FALSE(Table.staticLaneActive());
+  EXPECT_EQ(Table.sealStatic(Views), Keys.size());
+  ASSERT_TRUE(Table.staticLaneActive());
+  const auto Stats = Table.stats();
+  EXPECT_TRUE(Stats.StaticActive);
+  EXPECT_EQ(Stats.StaticSize, Keys.size());
+
+  for (size_t I = 0; I != Keys.size(); ++I) {
+    uint64_t V = ~0ull;
+    ASSERT_TRUE(Table.get(Keys[I], V)) << Keys[I];
+    ASSERT_EQ(V, I);
+  }
+  // Out-of-set keys must miss: the exact key compare catches any
+  // fingerprint false positive, so the static lane never serves a
+  // wrong value.
+  const std::vector<std::string> Absent = distinctKeys(SsnRegex, 500, 12);
+  for (const std::string &Key : Absent) {
+    uint64_t V = 0;
+    bool InSealed = false;
+    for (const std::string &K : Keys)
+      InSealed |= K == Key;
+    if (!InSealed) {
+      EXPECT_FALSE(Table.get(Key, V)) << Key;
+    }
+  }
+
+  // The batch path runs through the MPHF's fused base kernels; it must
+  // agree with scalar gets.
+  std::vector<uint64_t> Out(Views.size(), ~0ull);
+  std::vector<uint8_t> Found(Views.size(), 0);
+  EXPECT_EQ(
+      Table.getBatch(Views.data(), Out.data(), Found.data(), Views.size()),
+      Views.size());
+  for (size_t I = 0; I != Views.size(); ++I) {
+    ASSERT_TRUE(Found[I]) << Views[I];
+    ASSERT_EQ(Out[I], I);
+  }
+}
+
+TEST(ServingTableStaticTest, SealSnapshotsPresentSubsetAcrossBothLanes) {
+  // The seal list may name absent keys (skipped) and spill-lane keys
+  // (sealed like any present key: the MPHF's raw-byte fallback handles
+  // out-of-format keys).
+  ServingTable<uint64_t> Table(patternOf(SsnRegex), servingOptions());
+  const std::vector<std::string> InFormat = distinctKeys(SsnRegex, 100, 21);
+  for (size_t I = 0; I != InFormat.size(); ++I)
+    Table.put(InFormat[I], I);
+  Table.put("not-an-ssn-at-all", 777);
+
+  std::vector<std::string_view> SealList(InFormat.begin(), InFormat.end());
+  SealList.push_back("not-an-ssn-at-all");
+  SealList.push_back("999-99-9999"); // Never inserted.
+  EXPECT_EQ(Table.sealStatic(SealList), InFormat.size() + 1);
+  EXPECT_EQ(Table.stats().StaticSize, InFormat.size() + 1);
+
+  uint64_t V = 0;
+  ASSERT_TRUE(Table.get("not-an-ssn-at-all", V));
+  EXPECT_EQ(V, 777u);
+  EXPECT_FALSE(Table.get("999-99-9999", V));
+
+  // New puts miss the sealed lane but are served by the dynamic lanes;
+  // the lane stays valid because put never overwrites a present key.
+  EXPECT_TRUE(Table.put("999-99-9999", 42));
+  EXPECT_TRUE(Table.staticLaneActive());
+  ASSERT_TRUE(Table.get("999-99-9999", V));
+  EXPECT_EQ(V, 42u);
+  EXPECT_FALSE(Table.put(InFormat[0], 1000)) << "first insert still wins";
+  ASSERT_TRUE(Table.get(InFormat[0], V));
+  EXPECT_EQ(V, 0u);
+}
+
+TEST(ServingTableStaticTest, EraseOfSealedKeyInvalidatesTheLane) {
+  ServingTable<uint64_t> Table(patternOf(SsnRegex), servingOptions());
+  const std::vector<std::string> Keys = distinctKeys(SsnRegex, 64, 31);
+  std::vector<std::string_view> Views(Keys.begin(), Keys.end());
+  for (size_t I = 0; I != Keys.size(); ++I)
+    Table.put(Keys[I], I);
+  ASSERT_EQ(Table.sealStatic(Views), Keys.size());
+
+  // Erasing a non-sealed key leaves the lane up.
+  Table.put("111-11-1111", 99);
+  if (Keys.end() == std::find(Keys.begin(), Keys.end(), "111-11-1111")) {
+    EXPECT_TRUE(Table.erase("111-11-1111"));
+    EXPECT_TRUE(Table.staticLaneActive());
+  }
+
+  // Erasing a sealed key must tear the lane down before erase returns:
+  // a stale values[mphf(key)] copy may never be served.
+  EXPECT_TRUE(Table.erase(Keys[0]));
+  EXPECT_FALSE(Table.staticLaneActive());
+  uint64_t V = 0;
+  EXPECT_FALSE(Table.get(Keys[0], V));
+  for (size_t I = 1; I != Keys.size(); ++I) {
+    ASSERT_TRUE(Table.get(Keys[I], V)) << "dynamic lanes keep serving";
+    ASSERT_EQ(V, I);
+  }
+
+  // Re-seal after the erase: one fewer key, and serving resumes.
+  EXPECT_EQ(Table.sealStatic(Views), Keys.size() - 1);
+  EXPECT_TRUE(Table.staticLaneActive());
+}
+
+TEST(ServingTableStaticTest, DropStaticAndEmptySealAreBenign) {
+  ServingTable<uint64_t> Table(patternOf(SsnRegex), servingOptions());
+  EXPECT_EQ(Table.sealStatic(nullptr, 0), 0u) << "empty seal list";
+  EXPECT_FALSE(Table.staticLaneActive());
+
+  const std::vector<std::string> Keys = distinctKeys(SsnRegex, 32, 41);
+  std::vector<std::string_view> Views(Keys.begin(), Keys.end());
+  EXPECT_EQ(Table.sealStatic(Views), 0u) << "nothing present yet";
+
+  for (size_t I = 0; I != Keys.size(); ++I)
+    Table.put(Keys[I], I);
+  ASSERT_EQ(Table.sealStatic(Views), Keys.size());
+  Table.dropStatic();
+  EXPECT_FALSE(Table.staticLaneActive());
+  for (size_t I = 0; I != Keys.size(); ++I) {
+    uint64_t V = ~0ull;
+    ASSERT_TRUE(Table.get(Keys[I], V));
+    ASSERT_EQ(V, I);
+  }
+}
+
+TEST(ServingTableStaticTest, ConcurrentReadersSurviveSealAndDropCycles) {
+  // TSan target: readers hammer sealed keys while the main thread
+  // seals, drops, and re-seals. Every lookup must hit with the right
+  // value regardless of which lane serves it — the retired-storage
+  // discipline means a reader mid-probe on a dropped lane is safe.
+  ServingTable<uint64_t> Table(patternOf(SsnRegex), servingOptions());
+  const std::vector<std::string> Keys = distinctKeys(SsnRegex, 256, 51);
+  std::vector<std::string_view> Views(Keys.begin(), Keys.end());
+  for (size_t I = 0; I != Keys.size(); ++I)
+    Table.put(Keys[I], I);
+
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Failed{0};
+  std::vector<std::thread> Readers;
+  for (int T = 0; T != 3; ++T)
+    Readers.emplace_back([&, T] {
+      std::mt19937_64 Rng(300 + T);
+      uint64_t Batch[16];
+      uint8_t Found[16];
+      std::string_view Probe[16];
+      while (!Stop.load(std::memory_order_relaxed)) {
+        const size_t I = Rng() % Keys.size();
+        uint64_t V = ~0ull;
+        if (!Table.get(Keys[I], V) || V != I)
+          Failed.fetch_add(1, std::memory_order_relaxed);
+        for (size_t J = 0; J != 16; ++J)
+          Probe[J] = Keys[(I + J) % Keys.size()];
+        if (Table.getBatch(Probe, Batch, Found, 16) != 16)
+          Failed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  for (int Round = 0; Round != 20; ++Round) {
+    ASSERT_EQ(Table.sealStatic(Views), Keys.size());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    Table.dropStatic();
+  }
+  Stop.store(true, std::memory_order_relaxed);
+  for (std::thread &R : Readers)
+    R.join();
+  EXPECT_EQ(Failed.load(), 0u);
 }
